@@ -1,0 +1,148 @@
+use hetesim_graph::{Hin, NodeRef, TypeId};
+use hetesim_sparse::{CooMatrix, CsrMatrix};
+
+/// A heterogeneous network flattened into one homogeneous directed graph.
+///
+/// SimRank and random-walk-with-restart are defined on plain graphs; to
+/// apply them to a HIN (as the paper does when comparing complexities) all
+/// typed node registries are concatenated into one global index space and
+/// every relation instance becomes an ordinary edge.
+#[derive(Debug, Clone)]
+pub struct FlatGraph {
+    /// Starting global index of each type (plus one trailing sentinel =
+    /// total node count).
+    offsets: Vec<usize>,
+    /// Global adjacency. Directed: relation instances point src → dst;
+    /// undirected construction stores both directions.
+    adj: CsrMatrix,
+}
+
+impl FlatGraph {
+    fn build(hin: &Hin, undirected: bool) -> FlatGraph {
+        let schema = hin.schema();
+        let mut offsets = Vec::with_capacity(schema.type_count() + 1);
+        let mut total = 0usize;
+        for ty in schema.type_ids() {
+            offsets.push(total);
+            total += hin.node_count(ty);
+        }
+        offsets.push(total);
+        let mut coo = CooMatrix::new(total, total);
+        for rel in schema.relation_ids() {
+            let s_off = offsets[schema.relation_src(rel).index()];
+            let d_off = offsets[schema.relation_dst(rel).index()];
+            for (r, c, v) in hin.adjacency(rel).iter() {
+                coo.push(s_off + r, d_off + c, v);
+                if undirected {
+                    coo.push(d_off + c, s_off + r, v);
+                }
+            }
+        }
+        FlatGraph {
+            offsets,
+            adj: coo.to_csr(),
+        }
+    }
+
+    /// Flattens keeping relation direction.
+    pub fn directed(hin: &Hin) -> FlatGraph {
+        FlatGraph::build(hin, false)
+    }
+
+    /// Flattens treating every relation instance as a bidirectional link —
+    /// the natural reading for bibliographic relations like "writes".
+    pub fn undirected(hin: &Hin) -> FlatGraph {
+        FlatGraph::build(hin, true)
+    }
+
+    /// Total number of global nodes.
+    pub fn node_count(&self) -> usize {
+        *self.offsets.last().expect("offsets non-empty")
+    }
+
+    /// The global adjacency matrix.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// Global index of a typed node.
+    pub fn global_index(&self, node: NodeRef) -> usize {
+        self.offsets[node.ty.index()] + node.idx as usize
+    }
+
+    /// Inverse of [`FlatGraph::global_index`]: which type's range a global
+    /// index falls into, and the local index within it.
+    pub fn local_index(&self, global: usize) -> (usize, u32) {
+        debug_assert!(global < self.node_count());
+        // offsets is sorted; partition_point finds the type whose range
+        // contains `global`.
+        let ty = self.offsets.partition_point(|&o| o <= global) - 1;
+        (ty, (global - self.offsets[ty]) as u32)
+    }
+
+    /// The global index range `[start, end)` occupied by one type.
+    pub fn type_range(&self, ty: TypeId) -> std::ops::Range<usize> {
+        self.offsets[ty.index()]..self.offsets[ty.index() + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetesim_graph::{HinBuilder, Schema};
+
+    fn toy() -> Hin {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let w = s.add_relation("writes", a, p).unwrap();
+        let mut b = HinBuilder::new(s);
+        b.add_edge_by_name(w, "Tom", "P1", 1.0).unwrap();
+        b.add_edge_by_name(w, "Mary", "P1", 1.0).unwrap();
+        b.add_edge_by_name(w, "Mary", "P2", 1.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn directed_flatten_counts() {
+        let hin = toy();
+        let g = FlatGraph::directed(&hin);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.adjacency().nnz(), 3);
+    }
+
+    #[test]
+    fn undirected_flatten_doubles_edges() {
+        let hin = toy();
+        let g = FlatGraph::undirected(&hin);
+        assert_eq!(g.adjacency().nnz(), 6);
+        // Symmetry of the adjacency.
+        let t = g.adjacency().transpose();
+        assert_eq!(&t, g.adjacency());
+    }
+
+    #[test]
+    fn global_local_roundtrip() {
+        let hin = toy();
+        let g = FlatGraph::directed(&hin);
+        let a = hin.schema().type_id("author").unwrap();
+        let p = hin.schema().type_id("paper").unwrap();
+        for ty in [a, p] {
+            for idx in 0..hin.node_count(ty) as u32 {
+                let gi = g.global_index(NodeRef::new(ty, idx));
+                assert_eq!(g.local_index(gi), (ty.index(), idx));
+            }
+        }
+        assert_eq!(g.type_range(a), 0..2);
+        assert_eq!(g.type_range(p), 2..4);
+    }
+
+    #[test]
+    fn edge_targets_are_offset() {
+        let hin = toy();
+        let g = FlatGraph::directed(&hin);
+        // Tom (global 0) -> P1 (global 2).
+        assert_eq!(g.adjacency().get(0, 2), 1.0);
+        assert_eq!(g.adjacency().get(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Baseline relevance/similarity measures the HeteSim paper compares
+//! against (Section 2 and Section 5).
+//!
+//! * [`Pcrw`] — the Path-Constrained Random Walk of Lao & Cohen: the
+//!   probability of reaching the target by following the relevance path.
+//!   Asymmetric — the paper's Tables 3 and 4 and Figure 6 contrast this
+//!   asymmetry with HeteSim's symmetry.
+//! * [`PathSim`] — Sun et al.'s meta-path similarity, defined only for
+//!   *symmetric* paths between same-typed objects (Tables 4 and 6).
+//! * [`simrank`] — Jeh & Widom's SimRank, both the general whole-network
+//!   form (used in the Section 4.6 complexity comparison) and the
+//!   bipartite hop decomposition behind Property 5 (SimRank is the sum of
+//!   unnormalized HeteSim over all even self-paths).
+//! * [`rwr`] — random walk with restart (Personalized PageRank), the
+//!   classic asymmetric proximity for heterogeneous graphs.
+//!
+//! All measures operate on the same [`hetesim_graph::Hin`] and, where
+//! meaningful, implement [`hetesim_core::PathMeasure`] so experiments can
+//! swap them freely.
+
+mod flatten;
+mod pathsim;
+mod pcrw;
+pub mod rwr;
+pub mod simrank;
+
+pub use flatten::FlatGraph;
+pub use pathsim::PathSim;
+pub use pcrw::Pcrw;

@@ -1,0 +1,57 @@
+//! Section 4.6 complexity comparison: HeteSim (single-path sparse product)
+//! vs SimRank (whole-network dense fixed point) as the network grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetesim_baselines::simrank::{simrank, SimRankConfig};
+use hetesim_core::HeteSimEngine;
+use hetesim_data::dblp::{self, DblpConfig};
+use hetesim_graph::MetaPath;
+use std::hint::black_box;
+
+fn network(authors: usize) -> dblp::DblpDataset {
+    dblp::generate(&DblpConfig {
+        seed: 11,
+        authors,
+        papers: authors,
+        terms: (authors / 2).max(8),
+        labeled_authors: (authors / 4).max(1),
+        labeled_papers: (authors / 10).max(1),
+        ..DblpConfig::default()
+    })
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hetesim_vs_simrank");
+    g.sample_size(10);
+    for &authors in &[100usize, 200, 400] {
+        let data = network(authors);
+        let hin = &data.hin;
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("hetesim_matrix_apc", authors),
+            &authors,
+            |b, _| {
+                b.iter(|| {
+                    let engine = HeteSimEngine::new(hin);
+                    black_box(engine.matrix(&apc).unwrap())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("simrank_10_iters", authors),
+            &authors,
+            |b, _| {
+                let cfg = SimRankConfig {
+                    iterations: 10,
+                    max_nodes: 1_000_000,
+                    ..SimRankConfig::default()
+                };
+                b.iter(|| black_box(simrank(hin, cfg)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! One Criterion benchmark per paper table/figure: how long each
+//! experiment takes to regenerate end to end (excluding dataset
+//! generation, which is shared and measured separately).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetesim_bench::datasets::{acm_dataset, dblp_dataset, Scale, REPRO_SEED};
+use hetesim_bench::{clustering, expert, profiling, query, semantics};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let acm = acm_dataset(Scale::Tiny);
+    let dblp = dblp_dataset(Scale::Tiny);
+
+    c.bench_function("table1_object_profiling_author", |b| {
+        b.iter(|| black_box(profiling::table1(&acm, 5).unwrap()))
+    });
+    c.bench_function("table2_object_profiling_conference", |b| {
+        b.iter(|| black_box(profiling::table2(&acm, 5).unwrap()))
+    });
+    c.bench_function("table3_symmetry_pairs", |b| {
+        b.iter(|| black_box(expert::table3(&acm, &["KDD", "SIGMOD", "SIGIR"]).unwrap()))
+    });
+    c.bench_function("table4_path_semantics_rankings", |b| {
+        b.iter(|| black_box(semantics::table4(&acm, 10).unwrap()))
+    });
+    c.bench_function("table5_query_auc", |b| {
+        b.iter(|| black_box(query::table5(&dblp).unwrap()))
+    });
+    let mut slow = c.benchmark_group("slow");
+    slow.sample_size(10);
+    slow.bench_function("table6_clustering_nmi", |b| {
+        b.iter(|| black_box(clustering::table6(&dblp, REPRO_SEED).unwrap()))
+    });
+    slow.bench_function("fig6_rank_difference", |b| {
+        b.iter(|| black_box(expert::fig6(&acm, 50).unwrap()))
+    });
+    slow.finish();
+    c.bench_function("table7_conference_author_paths", |b| {
+        b.iter(|| black_box(semantics::table7(&acm, "KDD", 10).unwrap()))
+    });
+    c.bench_function("fig7_walk_distributions", |b| {
+        b.iter(|| black_box(semantics::fig7(&acm, &[]).unwrap()))
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_generation");
+    g.sample_size(10);
+    g.bench_function("acm_tiny", |b| {
+        b.iter(|| black_box(acm_dataset(Scale::Tiny)))
+    });
+    g.bench_function("dblp_tiny", |b| {
+        b.iter(|| black_box(dblp_dataset(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_generation);
+criterion_main!(benches);

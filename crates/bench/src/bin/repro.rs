@@ -1,0 +1,170 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! repro [--scale tiny|default|paper] [table1..table7|fig6|fig7|truncation|
+//!        scaling|all]
+//! ```
+//!
+//! Absolute numbers differ from the paper (synthetic network), but every
+//! structural claim — symmetry, who ranks first, which measure wins — is
+//! expected to hold and is additionally asserted by `tests/`.
+
+use hetesim_bench::datasets::{acm_dataset, dblp_dataset, Scale, REPRO_SEED};
+use hetesim_bench::{approx, clustering, expert, profiling, query, scaling, semantics};
+use std::process::ExitCode;
+
+struct Args {
+    scale: Scale,
+    which: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = Scale::Default;
+    let mut which = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [--scale tiny|default|paper] [experiments...]".into())
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    Ok(Args { scale, which })
+}
+
+fn wants(args: &Args, name: &str) -> bool {
+    args.which.iter().any(|w| w == name || w == "all")
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let needs_acm = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table7",
+        "fig6",
+        "fig7",
+        "truncation",
+    ]
+    .iter()
+    .any(|e| wants(args, e));
+    let needs_dblp = ["table5", "table6"].iter().any(|e| wants(args, e));
+
+    let acm = needs_acm.then(|| {
+        eprintln!("generating ACM-like network ({:?})...", args.scale);
+        acm_dataset(args.scale)
+    });
+    let dblp = needs_dblp.then(|| {
+        eprintln!("generating DBLP-like network ({:?})...", args.scale);
+        dblp_dataset(args.scale)
+    });
+
+    if wants(args, "table1") {
+        let acm = acm.as_ref().expect("built above");
+        for t in profiling::render(
+            &format!("Table 1 — profile of {}", acm.star_concentrated),
+            &profiling::table1(acm, 5)?,
+        ) {
+            println!("{t}");
+        }
+    }
+    if wants(args, "table2") {
+        let acm = acm.as_ref().expect("built above");
+        for t in profiling::render("Table 2 — profile of KDD", &profiling::table2(acm, 5)?) {
+            println!("{t}");
+        }
+    }
+    if wants(args, "table3") {
+        let acm = acm.as_ref().expect("built above");
+        let rows = expert::table3(acm, &["KDD", "SIGIR", "SIGMOD", "SODA", "SIGCOMM", "VLDB"])?;
+        println!("{}", expert::render_table3(&rows));
+    }
+    if wants(args, "table4") {
+        let acm = acm.as_ref().expect("built above");
+        let rankings = semantics::table4(acm, 10)?;
+        println!(
+            "{}",
+            semantics::render_rankings(
+                &format!(
+                    "Table 4 — top 10 authors related to {} (APVCVPA)",
+                    acm.star_concentrated
+                ),
+                &rankings
+            )
+        );
+    }
+    if wants(args, "table5") {
+        let dblp = dblp.as_ref().expect("built above");
+        println!("{}", query::render_table5(&query::table5(dblp)?));
+    }
+    if wants(args, "table6") {
+        let dblp = dblp.as_ref().expect("built above");
+        println!(
+            "{}",
+            clustering::render_table6(&clustering::table6(dblp, REPRO_SEED)?)
+        );
+    }
+    if wants(args, "table7") {
+        let acm = acm.as_ref().expect("built above");
+        let rankings = semantics::table7(acm, "KDD", 10)?;
+        println!(
+            "{}",
+            semantics::render_rankings("Table 7 — top 10 authors to KDD", &rankings)
+        );
+    }
+    if wants(args, "fig6") {
+        let acm = acm.as_ref().expect("built above");
+        let top_n = match args.scale {
+            Scale::Tiny => 50,
+            _ => 200,
+        };
+        println!("{}", expert::render_fig6(&expert::fig6(acm, top_n)?));
+    }
+    if wants(args, "fig7") {
+        let acm = acm.as_ref().expect("built above");
+        println!("{}", semantics::render_fig7(&semantics::fig7(acm, &[])?));
+    }
+    if wants(args, "truncation") {
+        let acm = acm.as_ref().expect("built above");
+        let rows = approx::truncation_sweep(acm, &[1, 2, 4, 8, 16, 32])?;
+        println!("{}", approx::render_truncation(&rows));
+    }
+    if wants(args, "scaling") {
+        let sizes: &[usize] = match args.scale {
+            Scale::Tiny => &[100, 200, 400],
+            Scale::Default => &[200, 400, 800, 1600],
+            Scale::Paper => &[400, 800, 1600, 3200],
+        };
+        println!(
+            "{}",
+            scaling::render_scaling(&scaling::scaling_sweep(sizes, REPRO_SEED)?)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Tables 1 and 2: automatic object profiling.
+//!
+//! The profile of an object is, per relevance path, the list of most
+//! related objects of the path's target type. Table 1 profiles a star
+//! author (conferences via `APVC`, terms via `APT`, subjects via `APS`,
+//! co-authors via `APA`); Table 2 profiles the KDD conference (authors via
+//! `CVPA`, affiliations via `CVPAF`, subjects via `CVPS`, peer conferences
+//! via `CVPAPVC`).
+
+use crate::table::{fmt_score, Table};
+use hetesim_core::{HeteSimEngine, Result};
+use hetesim_data::acm::AcmDataset;
+use hetesim_graph::MetaPath;
+
+/// One profile facet: the top targets of one relevance path.
+#[derive(Debug, Clone)]
+pub struct ProfileList {
+    /// The path in dashed notation.
+    pub path: String,
+    /// `(target name, HeteSim score)`, best first.
+    pub entries: Vec<(String, f64)>,
+}
+
+/// Top-`k` profile of a named object along one path.
+pub fn profile_object(
+    engine: &HeteSimEngine<'_>,
+    path_text: &str,
+    source_name: &str,
+    k: usize,
+) -> Result<ProfileList> {
+    let hin = engine.hin();
+    let path = MetaPath::parse(hin.schema(), path_text)?;
+    let source = hin.node_id(path.source_type(), source_name)?;
+    let ranked = engine.top_k(&path, source, k)?;
+    let entries = ranked
+        .into_iter()
+        .map(|r| {
+            (
+                hin.node_name(path.target_type(), r.index).to_string(),
+                r.score,
+            )
+        })
+        .collect();
+    Ok(ProfileList {
+        path: path.display(hin.schema()),
+        entries,
+    })
+}
+
+/// Table 1: profile of the planted concentrated-star author.
+pub fn table1(acm: &AcmDataset, k: usize) -> Result<Vec<ProfileList>> {
+    let engine = HeteSimEngine::new(&acm.hin);
+    ["APVC", "APT", "APS", "APA"]
+        .iter()
+        .map(|p| profile_object(&engine, p, &acm.star_concentrated, k))
+        .collect()
+}
+
+/// Table 2: profile of the KDD conference.
+pub fn table2(acm: &AcmDataset, k: usize) -> Result<Vec<ProfileList>> {
+    let engine = HeteSimEngine::new(&acm.hin);
+    ["CVPA", "CVPAF", "CVPS", "CVPAPVC"]
+        .iter()
+        .map(|p| profile_object(&engine, p, "KDD", k))
+        .collect()
+}
+
+/// Renders profile facets side by side as one table per facet.
+pub fn render(title: &str, lists: &[ProfileList]) -> Vec<Table> {
+    lists
+        .iter()
+        .map(|list| {
+            let mut t = Table::new(
+                format!("{title} — path {}", list.path),
+                &["rank", "object", "score"],
+            );
+            for (i, (name, score)) in list.entries.iter().enumerate() {
+                t.push_row(vec![(i + 1).to_string(), name.clone(), fmt_score(*score)]);
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{acm_dataset, Scale};
+
+    #[test]
+    fn table1_star_profile_is_kdd_centric() {
+        let acm = acm_dataset(Scale::Tiny);
+        let lists = table1(&acm, 5).unwrap();
+        assert_eq!(lists.len(), 4);
+        // APVC facet: the star's top conference must be KDD.
+        let apvc = &lists[0];
+        assert_eq!(apvc.path, "A-P-V-C");
+        assert_eq!(apvc.entries[0].0, "KDD");
+        // Scores are sorted descending.
+        for facet in &lists {
+            for w in facet.entries.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+        // APA facet: the most related author to the star is themselves.
+        let apa = &lists[3];
+        assert_eq!(apa.entries[0].0, acm.star_concentrated);
+        assert!((apa.entries[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_kdd_profile() {
+        let acm = acm_dataset(Scale::Tiny);
+        let lists = table2(&acm, 5).unwrap();
+        assert_eq!(lists.len(), 4);
+        // CVPAPVC: KDD's most similar conference is itself with score 1.
+        let peers = &lists[3];
+        assert_eq!(peers.entries[0].0, "KDD");
+        assert!((peers.entries[0].1 - 1.0).abs() < 1e-9);
+        // CVPA: the concentrated star or the KDD anchor leads the authors.
+        let authors = &lists[0];
+        assert!(
+            authors.entries[0].0 == acm.star_concentrated
+                || authors.entries[0].0 == acm.conference_anchors[0],
+            "unexpected top KDD author {}",
+            authors.entries[0].0
+        );
+    }
+
+    #[test]
+    fn render_produces_one_table_per_facet() {
+        let acm = acm_dataset(Scale::Tiny);
+        let lists = table1(&acm, 3).unwrap();
+        let tables = render("Table 1", &lists);
+        assert_eq!(tables.len(), 4);
+        assert!(tables[0].to_string().contains("A-P-V-C"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Tables 4, 7 and Figure 7: relevance search based on path semantics.
+//!
+//! Table 4 ranks the authors most related to the concentrated star along
+//! `APVCVPA` (authors publishing in the same conferences) under HeteSim,
+//! PathSim and PCRW. The paper's observations, reproduced as integration
+//! tests: HeteSim's top-1 is the star itself (distribution match); PCRW's
+//! top-1 is typically *not* the star (reach-probability favors high-volume
+//! authors); PathSim favors equal-visibility peers. Figure 7 plots the
+//! underlying `APVC` walk distributions; Table 7 contrasts `CVPA` (own
+//! publications) against `CVPAPA` (co-author group activity).
+
+use crate::table::{fmt_score, Table};
+use hetesim_core::{HeteSimEngine, PathMeasure, Ranked, Result};
+use hetesim_data::acm::{AcmDataset, CONFERENCES};
+use hetesim_graph::MetaPath;
+
+/// One measure's top-k ranking with resolved names.
+#[derive(Debug, Clone)]
+pub struct NamedRanking {
+    /// Measure name.
+    pub measure: String,
+    /// `(object name, score)`, best first.
+    pub entries: Vec<(String, f64)>,
+}
+
+fn resolve(acm: &AcmDataset, ranked: &[Ranked], k: usize) -> Vec<(String, f64)> {
+    ranked
+        .iter()
+        .take(k)
+        .map(|r| (acm.hin.node_name(acm.authors, r.index).to_string(), r.score))
+        .collect()
+}
+
+/// Table 4: top-`k` authors related to the concentrated star along
+/// `APVCVPA`, under HeteSim, PathSim, and PCRW.
+pub fn table4(acm: &AcmDataset, k: usize) -> Result<Vec<NamedRanking>> {
+    let hin = &acm.hin;
+    let star = acm.author_id(&acm.star_concentrated);
+    let path = MetaPath::parse(hin.schema(), "APVCVPA")?;
+
+    let engine = HeteSimEngine::new(hin);
+    let hs = engine.top_k(&path, star, k)?;
+
+    let pathsim = hetesim_baselines::PathSim::new(hin);
+    let ps = pathsim.rank_targets(&path, star)?;
+
+    let pcrw = hetesim_baselines::Pcrw::new(hin);
+    let pc = pcrw.rank_targets(&path, star)?;
+
+    Ok(vec![
+        NamedRanking {
+            measure: "HeteSim".into(),
+            entries: resolve(acm, &hs, k),
+        },
+        NamedRanking {
+            measure: "PathSim".into(),
+            entries: resolve(acm, &ps, k),
+        },
+        NamedRanking {
+            measure: "PCRW".into(),
+            entries: resolve(acm, &pc, k),
+        },
+    ])
+}
+
+/// Table 7: top-`k` authors related to a conference under `CVPA` (own
+/// publication volume) and `CVPAPA` (co-author group activity).
+pub fn table7(acm: &AcmDataset, conference: &str, k: usize) -> Result<Vec<NamedRanking>> {
+    let hin = &acm.hin;
+    let ci = acm.conference_id(conference);
+    let engine = HeteSimEngine::new(hin);
+    let mut out = Vec::with_capacity(2);
+    for text in ["CVPA", "CVPAPA"] {
+        let path = MetaPath::parse(hin.schema(), text)?;
+        let ranked = engine.top_k(&path, ci, k)?;
+        out.push(NamedRanking {
+            measure: text.into(),
+            entries: resolve(acm, &ranked, k),
+        });
+    }
+    Ok(out)
+}
+
+/// Figure 7: `APVC` reachable-probability distributions over the 14
+/// conferences for the named authors.
+#[derive(Debug, Clone)]
+pub struct WalkDistributions {
+    /// Conference names, column order.
+    pub conferences: Vec<String>,
+    /// `(author name, probability per conference)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Computes Figure 7 for the planted star authors plus any extra names.
+pub fn fig7(acm: &AcmDataset, extra_authors: &[&str]) -> Result<WalkDistributions> {
+    let hin = &acm.hin;
+    let pcrw = hetesim_baselines::Pcrw::new(hin);
+    let apvc = MetaPath::parse(hin.schema(), "APVC")?;
+    let mut names: Vec<String> = vec![acm.star_concentrated.clone()];
+    names.extend(acm.broad_stars.iter().cloned());
+    names.extend(extra_authors.iter().map(|s| s.to_string()));
+    let rows = names
+        .into_iter()
+        .map(|name| {
+            let a = acm.author_id(&name);
+            let dist = pcrw.walk_distribution(&apvc, a)?;
+            Ok((name, dist))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(WalkDistributions {
+        conferences: CONFERENCES.iter().map(|s| s.to_string()).collect(),
+        rows,
+    })
+}
+
+/// Renders rankings side by side, one column pair per measure.
+pub fn render_rankings(title: &str, rankings: &[NamedRanking]) -> Table {
+    let mut headers: Vec<String> = vec!["rank".into()];
+    for r in rankings {
+        headers.push(r.measure.clone());
+        headers.push("score".into());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(title, &header_refs);
+    let depth = rankings.iter().map(|r| r.entries.len()).max().unwrap_or(0);
+    for i in 0..depth {
+        let mut row = vec![(i + 1).to_string()];
+        for r in rankings {
+            if let Some((name, score)) = r.entries.get(i) {
+                row.push(name.clone());
+                row.push(fmt_score(*score));
+            } else {
+                row.push(String::new());
+                row.push(String::new());
+            }
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Renders Figure 7 as a probability table.
+pub fn render_fig7(d: &WalkDistributions) -> Table {
+    let mut headers = vec!["author".to_string()];
+    headers.extend(d.conferences.iter().cloned());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 7 — author → conference walk probabilities (APVC)",
+        &header_refs,
+    );
+    for (name, dist) in &d.rows {
+        let mut row = vec![name.clone()];
+        row.extend(dist.iter().map(|v| format!("{v:.3}")));
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{acm_dataset, Scale};
+
+    #[test]
+    fn table4_hetesim_top1_is_self() {
+        let acm = acm_dataset(Scale::Tiny);
+        let rankings = table4(&acm, 10).unwrap();
+        assert_eq!(rankings.len(), 3);
+        let hs = &rankings[0];
+        assert_eq!(hs.measure, "HeteSim");
+        assert_eq!(
+            hs.entries[0].0, acm.star_concentrated,
+            "HeteSim's most related author must be the star itself"
+        );
+        assert!((hs.entries[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table4_pathsim_self_score_is_one() {
+        let acm = acm_dataset(Scale::Tiny);
+        let rankings = table4(&acm, 10).unwrap();
+        let ps = &rankings[1];
+        // PathSim also puts the star first (self-similarity 1), but its
+        // runner-ups are the high-volume broad stars.
+        assert_eq!(ps.entries[0].0, acm.star_concentrated);
+        let top5: Vec<&str> = ps.entries.iter().take(5).map(|(n, _)| n.as_str()).collect();
+        assert!(
+            acm.broad_stars.iter().any(|b| top5.contains(&b.as_str()))
+                || top5.contains(&acm.conference_anchors[0].as_str()),
+            "PathSim top-5 should contain a high-volume author: {top5:?}"
+        );
+    }
+
+    #[test]
+    fn fig7_rows_are_distributions() {
+        let acm = acm_dataset(Scale::Tiny);
+        let d = fig7(&acm, &[]).unwrap();
+        assert_eq!(d.conferences.len(), 14);
+        assert_eq!(d.rows.len(), 3);
+        for (name, dist) in &d.rows {
+            let s: f64 = dist.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{name} distribution sums to {s}");
+        }
+        // The concentrated star's KDD mass exceeds every broad star's.
+        let star_kdd = d.rows[0].1[0];
+        for (_, dist) in &d.rows[1..] {
+            assert!(star_kdd > dist[0]);
+        }
+    }
+
+    #[test]
+    fn table7_rankings_differ_between_paths() {
+        let acm = acm_dataset(Scale::Tiny);
+        let rankings = table7(&acm, "KDD", 10).unwrap();
+        assert_eq!(rankings.len(), 2);
+        let cvpa: Vec<&str> = rankings[0]
+            .entries
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        let cvpapa: Vec<&str> = rankings[1]
+            .entries
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(!cvpa.is_empty() && !cvpapa.is_empty());
+        // The two paths express different semantics; the orderings should
+        // not be identical.
+        assert_ne!(cvpa, cvpapa, "CVPA and CVPAPA should rank differently");
+    }
+
+    #[test]
+    fn renders_mention_measures() {
+        let acm = acm_dataset(Scale::Tiny);
+        let t = render_rankings("Table 4", &table4(&acm, 3).unwrap());
+        let s = t.to_string();
+        assert!(s.contains("HeteSim") && s.contains("PathSim") && s.contains("PCRW"));
+        let f = render_fig7(&fig7(&acm, &[]).unwrap());
+        assert!(f.to_string().contains("KDD"));
+    }
+}

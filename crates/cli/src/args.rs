@@ -1,0 +1,138 @@
+//! Dependency-free argument parsing for the CLI.
+//!
+//! The grammar is `hetesim-cli <command> [positional] [--flag value]...`;
+//! commands own their flag sets and validate them eagerly so the user gets
+//! one precise error instead of a failed query minutes into a run.
+
+use std::collections::HashMap;
+
+/// A parsed invocation: command, positional arguments, `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub flags: HashMap<String, String>,
+}
+
+/// Parses raw arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut it = args.iter().peekable();
+    let command = it
+        .next()
+        .ok_or_else(|| "missing command; try `hetesim-cli help`".to_string())?
+        .clone();
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            if flags.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(Parsed {
+        command,
+        positional,
+        flags,
+    })
+}
+
+impl Parsed {
+    /// Required flag lookup.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Optional flag with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map_or(default, String::as_str)
+    }
+
+    /// Optional numeric flag.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Optional u64 flag.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// The single required positional argument (e.g. the network dir).
+    pub fn one_positional(&self, what: &str) -> Result<&str, String> {
+        match self.positional.as_slice() {
+            [p] => Ok(p),
+            [] => Err(format!("missing {what}")),
+            _ => Err(format!("expected exactly one {what}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_positionals_flags() {
+        let p = parse(&s(&["query", "netdir", "--path", "APVC", "--k", "5"])).unwrap();
+        assert_eq!(p.command, "query");
+        assert_eq!(p.positional, vec!["netdir"]);
+        assert_eq!(p.require("path").unwrap(), "APVC");
+        assert_eq!(p.get_usize("k", 10).unwrap(), 5);
+        assert_eq!(p.get_usize("missing", 7).unwrap(), 7);
+        assert_eq!(p.get_or("measure", "hetesim"), "hetesim");
+        assert_eq!(p.one_positional("dir").unwrap(), "netdir");
+    }
+
+    #[test]
+    fn missing_command_and_values_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&s(&["query", "--path"])).is_err());
+        let p = parse(&s(&["query"])).unwrap();
+        assert!(p.require("path").is_err());
+        assert!(p.one_positional("dir").is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        assert!(parse(&s(&["q", "--k", "1", "--k", "2"])).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        let p = parse(&s(&["q", "--k", "lots"])).unwrap();
+        assert!(p.get_usize("k", 1).is_err());
+        assert!(p.get_u64("k", 1).is_err());
+    }
+
+    #[test]
+    fn extra_positionals_rejected_by_one_positional() {
+        let p = parse(&s(&["q", "a", "b"])).unwrap();
+        assert!(p.one_positional("dir").is_err());
+    }
+}

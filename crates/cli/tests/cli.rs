@@ -1,0 +1,191 @@
+//! End-to-end tests of the `hetesim-cli` binary: generate → save → query
+//! through a real process, exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hetesim-cli")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_net(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hetesim-cli-{tag}-{}", std::process::id()))
+}
+
+fn generate(dir: &std::path::Path) {
+    let out = run(&[
+        "generate",
+        "--dataset",
+        "acm",
+        "--scale",
+        "tiny",
+        "--seed",
+        "3",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "stats", "paths", "query", "pair", "join"] {
+        assert!(text.contains(cmd), "help should mention {cmd}");
+    }
+    // No args behaves like help.
+    assert!(run(&[]).status.success());
+}
+
+#[test]
+fn generate_stats_query_pair_join_roundtrip() {
+    let dir = temp_net("roundtrip");
+    generate(&dir);
+
+    let stats = run(&["stats", dir.to_str().unwrap()]);
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("author"));
+    assert!(text.contains("conference"));
+
+    let query = run(&[
+        "query",
+        dir.to_str().unwrap(),
+        "--path",
+        "APVC",
+        "--source",
+        "star_concentrated",
+        "--k",
+        "3",
+    ]);
+    assert!(query.status.success());
+    let text = String::from_utf8_lossy(&query.stdout);
+    assert!(text.contains("KDD"), "star's top conference: {text}");
+
+    let pair = run(&[
+        "pair",
+        dir.to_str().unwrap(),
+        "--path",
+        "APVC",
+        "--source",
+        "star_concentrated",
+        "--target",
+        "KDD",
+    ]);
+    assert!(pair.status.success());
+    let text = String::from_utf8_lossy(&pair.stdout);
+    assert!(text.contains("normalized"));
+    assert!(text.contains("PCRW"));
+
+    let explained = run(&[
+        "pair",
+        dir.to_str().unwrap(),
+        "--path",
+        "APVC",
+        "--source",
+        "star_concentrated",
+        "--target",
+        "KDD",
+        "--explain",
+        "3",
+    ]);
+    assert!(explained.status.success());
+    let text = String::from_utf8_lossy(&explained.stdout);
+    assert!(text.contains("meeting points"));
+    assert!(text.contains("published_in"));
+
+    let join = run(&["join", dir.to_str().unwrap(), "--path", "APA", "--k", "5"]);
+    assert!(join.status.success());
+    let text = String::from_utf8_lossy(&join.stdout);
+    assert!(text.contains("top 5 pairs"));
+
+    let paths = run(&[
+        "paths",
+        dir.to_str().unwrap(),
+        "--from",
+        "A",
+        "--to",
+        "C",
+        "--max-len",
+        "3",
+    ]);
+    assert!(paths.status.success());
+    assert!(String::from_utf8_lossy(&paths.stdout).contains("A-P-V-C"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn measure_selection_works() {
+    let dir = temp_net("measures");
+    generate(&dir);
+    for measure in ["hetesim", "pcrw"] {
+        let out = run(&[
+            "query",
+            dir.to_str().unwrap(),
+            "--path",
+            "APVC",
+            "--source",
+            "star_concentrated",
+            "--measure",
+            measure,
+        ]);
+        assert!(out.status.success(), "measure {measure} failed");
+        assert!(String::from_utf8_lossy(&out.stdout).contains(measure));
+    }
+    // PathSim on an asymmetric path is a user error, reported not panicked.
+    let out = run(&[
+        "query",
+        dir.to_str().unwrap(),
+        "--path",
+        "APVC",
+        "--source",
+        "star_concentrated",
+        "--measure",
+        "pathsim",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("symmetric"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = run(&["stats", "/nonexistent/hetesim-net"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot load"));
+
+    let out = run(&["generate", "--dataset", "imdb", "--out", "/tmp/x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+
+    let dir = temp_net("badpath");
+    generate(&dir);
+    let out = run(&[
+        "query",
+        dir.to_str().unwrap(),
+        "--path",
+        "AXQ",
+        "--source",
+        "star_concentrated",
+    ]);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

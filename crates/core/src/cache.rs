@@ -1,0 +1,171 @@
+use hetesim_sparse::CsrMatrix;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The two materialized half-path products of a decomposed relevance path,
+/// plus the derived structures every query needs.
+///
+/// This is the unit of memoization behind the Section 4.6 optimization:
+/// "the concatenation of partially materialized reachable probability
+/// matrices helps to fasten the computation". Once a path's halves are
+/// built, single pairs are two row reads and a sparse dot; top-k queries
+/// touch only the middle objects the source actually reaches.
+#[derive(Debug)]
+pub struct Halves {
+    /// `PM_PL`: source type × middle (row-stochastic product).
+    pub left: CsrMatrix,
+    /// `PM_PR⁻¹`: target type × middle.
+    pub right: CsrMatrix,
+    /// Transpose of `right` (middle × target), used by pruned top-k search.
+    pub right_t: CsrMatrix,
+    /// Euclidean norms of `left`'s rows (Definition 10 denominators).
+    pub left_norms: Vec<f64>,
+    /// Euclidean norms of `right`'s rows.
+    pub right_norms: Vec<f64>,
+}
+
+/// A concurrent memo table from path cache keys to materialized halves.
+///
+/// Shared by reference inside [`crate::HeteSimEngine`]; `parking_lot`'s
+/// `RwLock` keeps concurrent read-mostly access cheap, matching the
+/// "frequently-used relevance paths are computed off-line, on-line search
+/// only locates rows" usage pattern the paper describes.
+#[derive(Debug, Default)]
+pub struct PathCache {
+    inner: RwLock<HashMap<String, Arc<Halves>>>,
+    /// Materialized products of step *prefixes* (Section 4.6,
+    /// optimization 2): `C-P-A` is computed once and reused by `C-P-A-P-A`,
+    /// `C-P-A-P-C`, … when prefix reuse is enabled on the engine.
+    partial: RwLock<HashMap<String, Arc<CsrMatrix>>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl PathCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PathCache::default()
+    }
+
+    /// Fetches the halves for `key`, or builds and inserts them.
+    pub fn get_or_build<F, E>(&self, key: &str, build: F) -> Result<Arc<Halves>, E>
+    where
+        F: FnOnce() -> Result<Halves, E>,
+    {
+        if let Some(h) = self.inner.read().get(key) {
+            *self.hits.write() += 1;
+            return Ok(Arc::clone(h));
+        }
+        // Build outside the lock; a racing duplicate build is acceptable
+        // (both produce identical data, last insert wins).
+        let built = Arc::new(build()?);
+        *self.misses.write() += 1;
+        self.inner
+            .write()
+            .insert(key.to_string(), Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Fetches a materialized step-prefix product, or builds and inserts
+    /// it.
+    pub fn get_or_build_partial<F, E>(&self, key: &str, build: F) -> Result<Arc<CsrMatrix>, E>
+    where
+        F: FnOnce() -> Result<CsrMatrix, E>,
+    {
+        if let Some(m) = self.partial.read().get(key) {
+            return Ok(Arc::clone(m));
+        }
+        let built = Arc::new(build()?);
+        self.partial
+            .write()
+            .insert(key.to_string(), Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Number of materialized prefix products.
+    pub fn partial_len(&self) -> usize {
+        self.partial.read().len()
+    }
+
+    /// Number of cached paths.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since construction or the last clear.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+
+    /// Drops all cached halves and prefix products and resets counters.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+        self.partial.write().clear();
+        *self.hits.write() = 0;
+        *self.misses.write() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_halves() -> Halves {
+        let m = CsrMatrix::identity(2);
+        Halves {
+            left: m.clone(),
+            right: m.clone(),
+            right_t: m.clone(),
+            left_norms: vec![1.0, 1.0],
+            right_norms: vec![1.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn build_once_then_hit() {
+        let cache = PathCache::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let r: Result<_, ()> = cache.get_or_build("k", || {
+                builds += 1;
+                Ok(dummy_halves())
+            });
+            assert!(r.is_ok());
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.len(), 1);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn build_errors_are_propagated_and_not_cached() {
+        let cache = PathCache::new();
+        let r: Result<Arc<Halves>, &str> = cache.get_or_build("k", || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let cache = PathCache::new();
+        let _: Result<_, ()> = cache.get_or_build("k", || Ok(dummy_halves()));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_entries() {
+        let cache = PathCache::new();
+        let _: Result<_, ()> = cache.get_or_build("a", || Ok(dummy_halves()));
+        let _: Result<_, ()> = cache.get_or_build("b", || Ok(dummy_halves()));
+        assert_eq!(cache.len(), 2);
+    }
+}

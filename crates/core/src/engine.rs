@@ -1,0 +1,772 @@
+use crate::cache::{Halves, PathCache};
+use crate::decompose::{decompose, edge_split};
+use crate::reachable::{normalize_chain, propagate};
+use crate::{CoreError, Result};
+use hetesim_graph::{Direction, Hin, MetaPath, Step};
+use hetesim_sparse::{parallel, CooMatrix, CsrMatrix, SparseVec};
+use std::sync::Arc;
+
+/// Cache key of a step sequence (same format as `MetaPath::cache_key`,
+/// but computable for arbitrary sub-slices).
+fn steps_key(steps: &[Step]) -> String {
+    let mut s = String::new();
+    for step in steps {
+        s.push(match step.dir {
+            Direction::Forward => '+',
+            Direction::Backward => '-',
+        });
+        s.push_str(&step.rel.index().to_string());
+    }
+    s
+}
+
+/// The HeteSim query engine.
+///
+/// Borrows a network immutably and memoizes the materialized half-path
+/// products per relevance path, so the expensive matrix chain is paid once
+/// per path and every subsequent query — full matrix, pair, single-source
+/// row, top-k — reuses it (the Section 4.6 off-line/on-line split).
+///
+/// All scores are the *normalized* HeteSim of Definition 10 (cosine form)
+/// unless the method name says `unnormalized`, which yields the raw
+/// pairwise meeting probability of Definition 3 / Equation 6.
+#[derive(Debug)]
+pub struct HeteSimEngine<'a> {
+    hin: &'a Hin,
+    cache: PathCache,
+    threads: usize,
+    reuse_prefixes: bool,
+}
+
+impl<'a> HeteSimEngine<'a> {
+    /// Creates an engine with serial multiplication.
+    pub fn new(hin: &'a Hin) -> Self {
+        HeteSimEngine {
+            hin,
+            cache: PathCache::new(),
+            threads: 1,
+            reuse_prefixes: false,
+        }
+    }
+
+    /// Creates an engine that multiplies large chains with the given number
+    /// of worker threads.
+    pub fn with_threads(hin: &'a Hin, threads: usize) -> Self {
+        HeteSimEngine {
+            hin,
+            cache: PathCache::new(),
+            threads: threads.max(1),
+            reuse_prefixes: false,
+        }
+    }
+
+    /// Enables prefix-product reuse (Section 4.6, optimization 2): the
+    /// transition products of step prefixes are materialized once and
+    /// shared across concatenable paths (`C-P-A` serves `C-P-A-P-A`,
+    /// `C-P-A-P-C`, …). Trades the chain-order optimization for reuse —
+    /// worthwhile when many related paths are queried against one network.
+    pub fn reuse_prefixes(mut self, on: bool) -> Self {
+        self.reuse_prefixes = on;
+        self
+    }
+
+    /// Number of materialized prefix products currently cached.
+    pub fn prefix_cache_len(&self) -> usize {
+        self.cache.partial_len()
+    }
+
+    /// Materialized product of the row-stochastic transitions of a step
+    /// sequence, reusing the longest cached prefix.
+    fn prefix_product(&self, steps: &[Step]) -> Result<Arc<CsrMatrix>> {
+        debug_assert!(!steps.is_empty());
+        let key = steps_key(steps);
+        self.cache.get_or_build_partial(&key, || {
+            let last = self.hin.step_transition(steps[steps.len() - 1]);
+            if steps.len() == 1 {
+                Ok::<_, CoreError>(last)
+            } else {
+                let prefix = self.prefix_product(&steps[..steps.len() - 1])?;
+                Ok(parallel::matmul_parallel(&prefix, &last, self.threads)?)
+            }
+        })
+    }
+
+    /// The underlying network.
+    pub fn hin(&self) -> &'a Hin {
+        self.hin
+    }
+
+    /// `(hits, misses)` of the half-path cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Drops all memoized half-path products.
+    pub fn clear_cache(&self) {
+        self.cache.clear()
+    }
+
+    fn chain_product(&self, mats: &[CsrMatrix]) -> Result<CsrMatrix> {
+        if self.threads <= 1 {
+            return crate::reachable::product(mats);
+        }
+        let mut iter = mats.iter();
+        let first = iter
+            .next()
+            .ok_or(CoreError::Sparse(hetesim_sparse::SparseError::EmptyChain))?;
+        let mut acc = first.clone();
+        for m in iter {
+            acc = parallel::matmul_parallel(&acc, m, self.threads)?;
+        }
+        Ok(acc)
+    }
+
+    /// Builds the two half-products through the prefix cache
+    /// (`reuse_prefixes` mode): pure-step prefixes are shared across
+    /// paths; odd paths append the edge-object split as a final factor.
+    fn build_halves_prefix(&self, path: &MetaPath) -> Result<(CsrMatrix, CsrMatrix)> {
+        let steps = path.steps();
+        let l = steps.len();
+        if l % 2 == 0 {
+            let mid = l / 2;
+            let left = (*self.prefix_product(&steps[..mid])?).clone();
+            let rsteps: Vec<Step> = steps[mid..].iter().rev().map(|s| s.reversed()).collect();
+            let right = (*self.prefix_product(&rsteps)?).clone();
+            Ok((left, right))
+        } else {
+            let ms = l / 2;
+            let (ae, eb) = edge_split(self.hin.step_adjacency(steps[ms]));
+            let ae_n = ae.row_normalized();
+            let left = if ms == 0 {
+                ae_n
+            } else {
+                let prefix = self.prefix_product(&steps[..ms])?;
+                parallel::matmul_parallel(&prefix, &ae_n, self.threads)?
+            };
+            let eb_n = eb.transpose().row_normalized();
+            let right = if ms + 1 == l {
+                eb_n
+            } else {
+                let rsteps: Vec<Step> =
+                    steps[ms + 1..].iter().rev().map(|s| s.reversed()).collect();
+                let prefix = self.prefix_product(&rsteps)?;
+                parallel::matmul_parallel(&prefix, &eb_n, self.threads)?
+            };
+            Ok((left, right))
+        }
+    }
+
+    /// Materializes (or fetches) the half-path products of a path.
+    pub(crate) fn halves(&self, path: &MetaPath) -> Result<Arc<Halves>> {
+        let key = path.cache_key();
+        self.cache.get_or_build(&key, || {
+            let (left, right) = if self.reuse_prefixes {
+                self.build_halves_prefix(path)?
+            } else {
+                let d = decompose(self.hin, path)?;
+                (
+                    self.chain_product(&normalize_chain(d.left))?,
+                    self.chain_product(&normalize_chain(d.right_rev))?,
+                )
+            };
+            left.check_finite("hetesim left half")?;
+            right.check_finite("hetesim right half")?;
+            let left_norms = left.row_l2_norms();
+            let right_norms = right.row_l2_norms();
+            let right_t = right.transpose();
+            Ok::<_, CoreError>(Halves {
+                left,
+                right,
+                right_t,
+                left_norms,
+                right_norms,
+            })
+        })
+    }
+
+    fn check_source(&self, path: &MetaPath, a: u32) -> Result<()> {
+        let n = self.hin.node_count(path.source_type());
+        if (a as usize) < n {
+            Ok(())
+        } else {
+            Err(CoreError::NodeOutOfRange {
+                endpoint: "source",
+                index: a,
+                count: n,
+            })
+        }
+    }
+
+    fn check_target(&self, path: &MetaPath, b: u32) -> Result<()> {
+        let n = self.hin.node_count(path.target_type());
+        if (b as usize) < n {
+            Ok(())
+        } else {
+            Err(CoreError::NodeOutOfRange {
+                endpoint: "target",
+                index: b,
+                count: n,
+            })
+        }
+    }
+
+    /// Unnormalized relevance matrix `PM_PL · PM_PR⁻¹ᵀ` (Equation 6): entry
+    /// `(a, b)` is the probability the two walkers meet.
+    pub fn matrix_unnormalized(&self, path: &MetaPath) -> Result<CsrMatrix> {
+        let h = self.halves(path)?;
+        Ok(parallel::matmul_parallel(
+            &h.left,
+            &h.right_t,
+            self.threads,
+        )?)
+    }
+
+    /// Normalized relevance matrix (Definition 10): the cosine form, every
+    /// entry in `[0, 1]`.
+    pub fn matrix(&self, path: &MetaPath) -> Result<CsrMatrix> {
+        let h = self.halves(path)?;
+        let raw = parallel::matmul_parallel(&h.left, &h.right_t, self.threads)?;
+        // Scale entry (a, b) by 1 / (||left_a|| * ||right_b||). Any stored
+        // entry has both norms > 0, since the product entry requires
+        // overlapping support.
+        let mut coo = CooMatrix::with_capacity(raw.nrows(), raw.ncols(), raw.nnz());
+        for (a, b, v) in raw.iter() {
+            let denom = h.left_norms[a] * h.right_norms[b];
+            debug_assert!(denom > 0.0);
+            coo.push(a, b, v / denom);
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// Normalized HeteSim of one pair.
+    pub fn pair(&self, path: &MetaPath, a: u32, b: u32) -> Result<f64> {
+        self.check_source(path, a)?;
+        self.check_target(path, b)?;
+        let h = self.halves(path)?;
+        Ok(h.left.row(a as usize).cosine(&h.right.row(b as usize)))
+    }
+
+    /// Unnormalized HeteSim (meeting probability) of one pair.
+    pub fn pair_unnormalized(&self, path: &MetaPath, a: u32, b: u32) -> Result<f64> {
+        self.check_source(path, a)?;
+        self.check_target(path, b)?;
+        let h = self.halves(path)?;
+        Ok(h.left.row(a as usize).dot(&h.right.row(b as usize)))
+    }
+
+    /// Normalized HeteSim of one pair computed *online*: both walkers'
+    /// distributions are propagated as sparse vectors without materializing
+    /// the half-path matrices. Cheaper for one-off queries on paths that
+    /// will not be reused; the ablation benches compare the two modes.
+    pub fn pair_online(&self, path: &MetaPath, a: u32, b: u32) -> Result<f64> {
+        self.check_source(path, a)?;
+        self.check_target(path, b)?;
+        let d = decompose(self.hin, path)?;
+        let left = normalize_chain(d.left);
+        let right = normalize_chain(d.right_rev);
+        let la = propagate(
+            SparseVec::unit(self.hin.node_count(path.source_type()), a as usize),
+            &left,
+        )?;
+        let rb = propagate(
+            SparseVec::unit(self.hin.node_count(path.target_type()), b as usize),
+            &right,
+        )?;
+        Ok(la.cosine(&rb))
+    }
+
+    /// Approximate normalized HeteSim of one pair: both walkers propagate
+    /// online and their distributions are truncated to the `keep`
+    /// largest-mass objects after every step (Section 4.6, optimization 3:
+    /// "approximate algorithms … fasten the search with a small loss of
+    /// accuracy"). With `keep >=` the widest distribution encountered this
+    /// is exact; smaller `keep` trades accuracy for bounded per-step work.
+    pub fn pair_truncated(&self, path: &MetaPath, a: u32, b: u32, keep: usize) -> Result<f64> {
+        self.check_source(path, a)?;
+        self.check_target(path, b)?;
+        let d = decompose(self.hin, path)?;
+        let left = normalize_chain(d.left);
+        let right = normalize_chain(d.right_rev);
+        let mut la = SparseVec::unit(self.hin.node_count(path.source_type()), a as usize);
+        for m in &left {
+            la = m.vecmat(&la)?.truncated_top(keep);
+        }
+        let mut rb = SparseVec::unit(self.hin.node_count(path.target_type()), b as usize);
+        for m in &right {
+            rb = m.vecmat(&rb)?.truncated_top(keep);
+        }
+        Ok(la.cosine(&rb))
+    }
+
+    /// Normalized relevance of one source against *all* targets, as a dense
+    /// row (zeros where the walkers cannot meet).
+    pub fn single_source(&self, path: &MetaPath, a: u32) -> Result<Vec<f64>> {
+        self.check_source(path, a)?;
+        let h = self.halves(path)?;
+        let u = h.left.row(a as usize);
+        let nt = h.right.nrows();
+        if u.is_empty() {
+            return Ok(vec![0.0; nt]);
+        }
+        let un = u.l2_norm();
+        let dots = h.right.matvec(&u.to_dense())?;
+        Ok(dots
+            .iter()
+            .enumerate()
+            .map(|(t, &d)| {
+                let denom = un * h.right_norms[t];
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    d / denom
+                }
+            })
+            .collect())
+    }
+
+    /// Top-`k` targets for one source, using pruned search (Section 4.6,
+    /// optimization 3): only targets sharing at least one middle object
+    /// with the source are ever scored.
+    pub fn top_k(&self, path: &MetaPath, a: u32, k: usize) -> Result<Vec<crate::Ranked>> {
+        self.check_source(path, a)?;
+        let h = self.halves(path)?;
+        crate::topk::top_k_pruned(&h, a, k)
+    }
+
+    /// The `k` most relevant `(source, target)` pairs across the whole
+    /// relevance matrix — the path-based analogue of a top-k similarity
+    /// join.
+    pub fn top_k_pairs(&self, path: &MetaPath, k: usize) -> Result<Vec<crate::topk::RankedPair>> {
+        let h = self.halves(path)?;
+        crate::topk::top_k_pairs(&h, k)
+    }
+
+    /// Decomposes one pair's score over the middle objects the two walkers
+    /// meet at (provenance: "related *through what*"). Contributions sum
+    /// to the normalized HeteSim score; at most `k` largest are returned.
+    pub fn explain(
+        &self,
+        path: &MetaPath,
+        a: u32,
+        b: u32,
+        k: usize,
+    ) -> Result<crate::explain::Explanation> {
+        self.check_source(path, a)?;
+        self.check_target(path, b)?;
+        let h = self.halves(path)?;
+        let la = h.left.row(a as usize);
+        let rb = h.right.row(b as usize);
+        let denom = la.l2_norm() * rb.l2_norm();
+        let mut meetings = Vec::new();
+        let mut score = 0.0;
+        if denom > 0.0 {
+            let (mut i, mut j) = (0usize, 0usize);
+            let (li, lv) = (la.indices(), la.values());
+            let (ri, rv) = (rb.indices(), rb.values());
+            while i < li.len() && j < ri.len() {
+                match li[i].cmp(&ri[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let contribution = lv[i] * rv[j] / denom;
+                        score += contribution;
+                        meetings.push(crate::explain::Meeting {
+                            middle: li[i],
+                            contribution,
+                        });
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        meetings.sort_by(|x, y| {
+            y.contribution
+                .partial_cmp(&x.contribution)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| x.middle.cmp(&y.middle))
+        });
+        meetings.truncate(k);
+        Ok(crate::explain::Explanation {
+            middle: crate::explain::middle_kind(path),
+            meetings,
+            score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetesim_graph::{HinBuilder, Schema};
+
+    /// Figure 4-style toy network.
+    fn fig4() -> Hin {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let c = s.add_type("conference").unwrap();
+        let w = s.add_relation("writes", a, p).unwrap();
+        let pb = s.add_relation("published_in", p, c).unwrap();
+        let mut b = HinBuilder::new(s);
+        b.add_edge_by_name(w, "Tom", "P1", 1.0).unwrap();
+        b.add_edge_by_name(w, "Tom", "P2", 1.0).unwrap();
+        b.add_edge_by_name(w, "Mary", "P2", 1.0).unwrap();
+        b.add_edge_by_name(w, "Mary", "P3", 1.0).unwrap();
+        b.add_edge_by_name(w, "Bob", "P4", 1.0).unwrap();
+        b.add_edge_by_name(pb, "P1", "KDD", 1.0).unwrap();
+        b.add_edge_by_name(pb, "P2", "KDD", 1.0).unwrap();
+        b.add_edge_by_name(pb, "P3", "SIGMOD", 1.0).unwrap();
+        b.add_edge_by_name(pb, "P4", "SIGMOD", 1.0).unwrap();
+        b.build()
+    }
+
+    fn ids(hin: &Hin) -> (u32, u32, u32, u32) {
+        let a = hin.schema().type_id("author").unwrap();
+        let c = hin.schema().type_id("conference").unwrap();
+        (
+            hin.node_id(a, "Tom").unwrap(),
+            hin.node_id(a, "Mary").unwrap(),
+            hin.node_id(c, "KDD").unwrap(),
+            hin.node_id(c, "SIGMOD").unwrap(),
+        )
+    }
+
+    #[test]
+    fn example_2_tom_kdd_apc() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        let (tom, _, kdd, sigmod) = ids(&hin);
+        // Paper Example 2: HeteSim(Tom, KDD | APC) = 0.5 (unnormalized),
+        // with I(KDD|PC) = {P1, P2} here.
+        let raw = e.pair_unnormalized(&apc, tom, kdd).unwrap();
+        assert!((raw - 0.5).abs() < 1e-12);
+        // Tom never meets SIGMOD along APC.
+        assert_eq!(e.pair(&apc, tom, sigmod).unwrap(), 0.0);
+        // Normalized value is within [0, 1].
+        let n = e.pair(&apc, tom, kdd).unwrap();
+        assert!(n > 0.0 && n <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn symmetry_property_3() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        let cpa = apc.reversed();
+        let (tom, mary, kdd, sigmod) = ids(&hin);
+        for &(a, c) in &[(tom, kdd), (tom, sigmod), (mary, kdd), (mary, sigmod)] {
+            let forward = e.pair(&apc, a, c).unwrap();
+            let backward = e.pair(&cpa, c, a).unwrap();
+            assert!(
+                (forward - backward).abs() < 1e-12,
+                "HeteSim({a},{c}|APC)={forward} != HeteSim({c},{a}|CPA)={backward}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_maximum_on_symmetric_path() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apa = MetaPath::parse(hin.schema(), "APA").unwrap();
+        let a = hin.schema().type_id("author").unwrap();
+        for name in ["Tom", "Mary", "Bob"] {
+            let i = hin.node_id(a, name).unwrap();
+            let v = e.pair(&apa, i, i).unwrap();
+            assert!((v - 1.0).abs() < 1e-12, "HeteSim({name},{name}|APA)={v}");
+        }
+    }
+
+    #[test]
+    fn matrix_agrees_with_pairs() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        let m = e.matrix(&apc).unwrap();
+        for a in 0..3u32 {
+            for c in 0..2u32 {
+                let p = e.pair(&apc, a, c).unwrap();
+                assert!((m.get(a as usize, c as usize) - p).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_values_in_unit_interval() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        for text in ["APC", "AP", "APA", "CPA"] {
+            let path = MetaPath::parse(hin.schema(), text).unwrap();
+            let m = e.matrix(&path).unwrap();
+            for (_, _, v) in m.iter() {
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&v),
+                    "path {text}: value {v} out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_matches_matrix_row() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        let m = e.matrix(&apc).unwrap();
+        for a in 0..3u32 {
+            let row = e.single_source(&apc, a).unwrap();
+            for (c, &v) in row.iter().enumerate() {
+                assert!((v - m.get(a as usize, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn online_pair_matches_cached_pair() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        for text in ["APC", "AP", "APAPC"] {
+            let path = MetaPath::parse(hin.schema(), text).unwrap();
+            let ns = hin.node_count(path.source_type());
+            let nt = hin.node_count(path.target_type());
+            for a in 0..ns as u32 {
+                for b in 0..nt as u32 {
+                    let cached = e.pair(&path, a, b).unwrap();
+                    let online = e.pair_online(&path, a, b).unwrap();
+                    assert!(
+                        (cached - online).abs() < 1e-12,
+                        "path {text} pair ({a},{b}): cached {cached} vs online {online}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_relation_definition_7() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let ap = MetaPath::parse(hin.schema(), "AP").unwrap();
+        let (tom, ..) = ids(&hin);
+        let p = hin.schema().type_id("paper").unwrap();
+        let p1 = hin.node_id(p, "P1").unwrap();
+        let p3 = hin.node_id(p, "P3").unwrap();
+        // Tom wrote P1 (among 2 papers, P1 has 1 writer):
+        // unnormalized = 1 / (2 * 1) = 0.5.
+        let v = e.pair_unnormalized(&ap, tom, p1).unwrap();
+        assert!((v - 0.5).abs() < 1e-12);
+        // Tom did not write P3.
+        assert_eq!(e.pair(&ap, tom, p3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cache_is_reused_across_queries() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        let _ = e.pair(&apc, 0, 0).unwrap();
+        let _ = e.pair(&apc, 1, 1).unwrap();
+        let _ = e.matrix(&apc).unwrap();
+        let (hits, misses) = e.cache_stats();
+        assert_eq!(misses, 1);
+        assert!(hits >= 2);
+        e.clear_cache();
+        assert_eq!(e.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_nodes_error() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        assert!(matches!(
+            e.pair(&apc, 99, 0),
+            Err(CoreError::NodeOutOfRange {
+                endpoint: "source",
+                ..
+            })
+        ));
+        assert!(matches!(
+            e.pair(&apc, 0, 99),
+            Err(CoreError::NodeOutOfRange {
+                endpoint: "target",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn threads_produce_identical_results() {
+        let hin = fig4();
+        let serial = HeteSimEngine::new(&hin);
+        let par = HeteSimEngine::with_threads(&hin, 4);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        let a = serial.matrix(&apc).unwrap();
+        let b = par.matrix(&apc).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn explanation_decomposes_the_score() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        let (tom, _, kdd, sigmod) = ids(&hin);
+        let ex = e.explain(&apc, tom, kdd, 10).unwrap();
+        // Contributions sum to the normalized pair score.
+        let pair = e.pair(&apc, tom, kdd).unwrap();
+        assert!((ex.score - pair).abs() < 1e-12);
+        let sum: f64 = ex.meetings.iter().map(|m| m.contribution).sum();
+        assert!((sum - pair).abs() < 1e-12);
+        // Tom meets KDD through exactly P1 and P2 (paper indices 0, 1).
+        let p = hin.schema().type_id("paper").unwrap();
+        assert_eq!(ex.middle, crate::explain::MiddleKind::Type(p));
+        let mids: Vec<u32> = ex.meetings.iter().map(|m| m.middle).collect();
+        assert_eq!(mids.len(), 2);
+        assert!(mids.contains(&hin.node_id(p, "P1").unwrap()));
+        assert!(mids.contains(&hin.node_id(p, "P2").unwrap()));
+        // No meeting points for a zero pair.
+        let none = e.explain(&apc, tom, sigmod, 10).unwrap();
+        assert!(none.meetings.is_empty());
+        assert_eq!(none.score, 0.0);
+        // Truncation caps the list but not the total score field.
+        let capped = e.explain(&apc, tom, kdd, 1).unwrap();
+        assert_eq!(capped.meetings.len(), 1);
+        assert!((capped.score - pair).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explanation_on_odd_path_names_edge_objects() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let ap = MetaPath::parse(hin.schema(), "AP").unwrap();
+        let (tom, ..) = ids(&hin);
+        let p = hin.schema().type_id("paper").unwrap();
+        let p1 = hin.node_id(p, "P1").unwrap();
+        let ex = e.explain(&ap, tom, p1, 5).unwrap();
+        let w = hin.schema().relation_id("writes").unwrap();
+        assert_eq!(
+            ex.middle,
+            crate::explain::MiddleKind::EdgeObjects { relation: w }
+        );
+        // Tom and P1 meet at exactly one edge object: the (Tom, P1) edge.
+        assert_eq!(ex.meetings.len(), 1);
+    }
+
+    #[test]
+    fn prefix_reuse_is_behavior_preserving() {
+        let hin = fig4();
+        let plain = HeteSimEngine::new(&hin);
+        let reuse = HeteSimEngine::new(&hin).reuse_prefixes(true);
+        for text in ["APC", "AP", "APA", "APAPC", "CPAPA"] {
+            let path = MetaPath::parse(hin.schema(), text).unwrap();
+            let a = plain.matrix(&path).unwrap();
+            let b = reuse.matrix(&path).unwrap();
+            assert!(
+                a.max_abs_diff(&b).unwrap() < 1e-12,
+                "path {text}: prefix-reuse result differs"
+            );
+        }
+        // Concatenable paths share prefixes: CPAPA and APAPC's reversed
+        // right halves overlap, so the prefix cache holds fewer entries
+        // than the total number of steps multiplied out.
+        assert!(reuse.prefix_cache_len() > 0);
+        let before = reuse.prefix_cache_len();
+        // Re-querying a longer path with a shared prefix reuses entries
+        // instead of rebuilding from scratch.
+        let apapa = MetaPath::parse(hin.schema(), "APAPA").unwrap();
+        let _ = reuse.matrix(&apapa).unwrap();
+        let after = reuse.prefix_cache_len();
+        // APAPA's halves (A-P and A-P reversed prefixes already cached)
+        // add at most one new prefix per side.
+        assert!(after - before <= 2, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn top_k_pairs_matches_matrix_maxima() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        let m = e.matrix(&apc).unwrap();
+        let mut all: Vec<(u32, u32, f64)> =
+            m.iter().map(|(a, b, v)| (a as u32, b as u32, v)).collect();
+        all.sort_by(|x, y| {
+            y.2.partial_cmp(&x.2)
+                .unwrap()
+                .then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
+        });
+        for k in [1usize, 2, 4, 100] {
+            let pairs = e.top_k_pairs(&apc, k).unwrap();
+            assert_eq!(pairs.len(), k.min(all.len()));
+            for (got, want) in pairs.iter().zip(&all) {
+                assert!((got.score - want.2).abs() < 1e-12);
+            }
+            // Sorted descending.
+            for w in pairs.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+        assert!(e.top_k_pairs(&apc, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_pair_exact_with_large_keep() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        for text in ["APC", "APAPC", "AP"] {
+            let path = MetaPath::parse(hin.schema(), text).unwrap();
+            for a in 0..3u32 {
+                let nt = hin.node_count(path.target_type()) as u32;
+                for b in 0..nt {
+                    let exact = e.pair(&path, a, b).unwrap();
+                    let approx = e.pair_truncated(&path, a, b, 100).unwrap();
+                    assert!(
+                        (exact - approx).abs() < 1e-12,
+                        "path {text} ({a},{b}): exact {exact} vs truncated {approx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_pair_with_keep_one_follows_mode() {
+        let hin = fig4();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        // keep=1 collapses each walker to its single most likely object;
+        // the score stays within [0, 1] and remains 0 where exact is 0.
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                let approx = e.pair_truncated(&apc, a, b, 1).unwrap();
+                assert!((0.0..=1.0 + 1e-12).contains(&approx));
+                if e.pair(&apc, a, b).unwrap() == 0.0 {
+                    assert_eq!(approx, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn author_with_no_papers_scores_zero() {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let c = s.add_type("conference").unwrap();
+        let w = s.add_relation("writes", a, p).unwrap();
+        let pb = s.add_relation("published_in", p, c).unwrap();
+        let mut b = HinBuilder::new(s);
+        b.add_edge_by_name(w, "Tom", "P1", 1.0).unwrap();
+        b.add_edge_by_name(pb, "P1", "KDD", 1.0).unwrap();
+        let idle = b.add_node(a, "Idle");
+        let hin = b.build();
+        let e = HeteSimEngine::new(&hin);
+        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+        // "If O(s|R1) is empty we define the relevance to be 0."
+        assert_eq!(e.pair(&apc, idle, 0).unwrap(), 0.0);
+        let row = e.single_source(&apc, idle).unwrap();
+        assert!(row.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! The HeteSim relevance measure (Shi, Kong, Yu, Xie, Wu — EDBT 2012).
+//!
+//! HeteSim measures the relatedness of two objects — of the *same or
+//! different types* — in a heterogeneous information network, relative to a
+//! user-chosen relevance path. Intuitively, `HeteSim(s, t | P)` is the
+//! probability that `s`, walking *along* `P`, and `t`, walking *against*
+//! `P`, meet at the same object — normalized (Definition 10) to the cosine
+//! of the two reachable-probability distributions over the path's middle
+//! type.
+//!
+//! The crate is organized around the paper's own construction:
+//!
+//! * [`decompose`] — splits an arbitrary relevance path into two
+//!   equal-length halves (Definition 5), inserting *edge objects* into the
+//!   middle atomic relation of odd-length paths (Definition 6) so that the
+//!   two walkers can always meet;
+//! * [`reachable`] — builds reachable-probability matrices (Definition 9)
+//!   as chains of row-stochastic transition matrices (Definition 8);
+//! * [`HeteSimEngine`] — the user-facing query engine: full relevance
+//!   matrices, single pairs, single-source rows and pruned top-k search,
+//!   with the Section 4.6 optimizations (materialized half-path products,
+//!   chain-order optimization, parallel multiplication);
+//! * [`PathMeasure`] — the common trait implemented by HeteSim and all the
+//!   baseline measures in `hetesim-baselines`, so experiments can swap
+//!   measures generically.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hetesim_core::HeteSimEngine;
+//! use hetesim_graph::{HinBuilder, MetaPath, Schema};
+//!
+//! // Figure 4 of the paper: Tom's papers both appear in KDD.
+//! let mut schema = Schema::new();
+//! let a = schema.add_type("author").unwrap();
+//! let p = schema.add_type("paper").unwrap();
+//! let c = schema.add_type("conference").unwrap();
+//! let writes = schema.add_relation("writes", a, p).unwrap();
+//! let pub_in = schema.add_relation("published_in", p, c).unwrap();
+//! let mut b = HinBuilder::new(schema);
+//! b.add_edge_by_name(writes, "Tom", "P1", 1.0).unwrap();
+//! b.add_edge_by_name(writes, "Tom", "P2", 1.0).unwrap();
+//! b.add_edge_by_name(pub_in, "P1", "KDD", 1.0).unwrap();
+//! b.add_edge_by_name(pub_in, "P2", "KDD", 1.0).unwrap();
+//! let hin = b.build();
+//!
+//! let engine = HeteSimEngine::new(&hin);
+//! let apc = MetaPath::parse(hin.schema(), "A-P-C").unwrap();
+//! let tom = hin.node_id(a, "Tom").unwrap();
+//! let kdd = hin.node_id(c, "KDD").unwrap();
+//! // Example 2 of the paper: the unnormalized meeting probability is 0.5.
+//! let raw = engine.pair_unnormalized(&apc, tom, kdd).unwrap();
+//! assert!((raw - 0.5).abs() < 1e-12);
+//! ```
+
+mod cache;
+mod engine;
+mod error;
+mod measure;
+mod topk;
+
+pub mod decompose;
+pub mod explain;
+pub mod learning;
+pub mod reachable;
+
+pub use cache::PathCache;
+pub use engine::HeteSimEngine;
+pub use error::CoreError;
+pub use measure::{PathMeasure, Ranked};
+pub use topk::{RankedPair, TopK};
+
+/// Convenience alias used by fallible entry points of this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,104 @@
+use crate::Result;
+use hetesim_graph::MetaPath;
+use hetesim_sparse::CsrMatrix;
+
+/// One ranked search result: a target object index and its relevance score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ranked {
+    /// Index of the target object within its type registry.
+    pub index: u32,
+    /// Relevance score under the queried measure and path.
+    pub score: f64,
+}
+
+/// A path-based relevance measure over a heterogeneous network.
+///
+/// Implemented by [`crate::HeteSimEngine`] and by every baseline in
+/// `hetesim-baselines` (PCRW, PathSim), so experiment harnesses can swap
+/// measures behind one interface. The contract:
+///
+/// * `relevance_matrix` returns a `|source type| × |target type|` matrix of
+///   scores for the given path;
+/// * `score` returns a single entry of that matrix (implementations may
+///   compute it without materializing the matrix);
+/// * `rank_targets` ranks all targets for one source, best first.
+pub trait PathMeasure {
+    /// Short display name ("HeteSim", "PCRW", "PathSim").
+    fn name(&self) -> &'static str;
+
+    /// Full relevance matrix for a path.
+    fn relevance_matrix(&self, path: &MetaPath) -> Result<CsrMatrix>;
+
+    /// Relevance of a single pair.
+    fn score(&self, path: &MetaPath, a: u32, b: u32) -> Result<f64> {
+        Ok(self.relevance_matrix(path)?.get(a as usize, b as usize))
+    }
+
+    /// All targets ranked for one source, best first (zero scores omitted).
+    fn rank_targets(&self, path: &MetaPath, a: u32) -> Result<Vec<Ranked>> {
+        let m = self.relevance_matrix(path)?;
+        let mut out: Vec<Ranked> = m
+            .row_indices(a as usize)
+            .iter()
+            .zip(m.row_values(a as usize))
+            .map(|(&t, &s)| Ranked { index: t, score: s })
+            .collect();
+        out.sort_by(|x, y| {
+            y.score
+                .partial_cmp(&x.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| x.index.cmp(&y.index))
+        });
+        Ok(out)
+    }
+}
+
+impl PathMeasure for crate::HeteSimEngine<'_> {
+    fn name(&self) -> &'static str {
+        "HeteSim"
+    }
+
+    fn relevance_matrix(&self, path: &MetaPath) -> Result<CsrMatrix> {
+        self.matrix(path)
+    }
+
+    fn score(&self, path: &MetaPath, a: u32, b: u32) -> Result<f64> {
+        self.pair(path, a, b)
+    }
+
+    fn rank_targets(&self, path: &MetaPath, a: u32) -> Result<Vec<Ranked>> {
+        let nt = self.hin().node_count(path.target_type());
+        self.top_k(path, a, nt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeteSimEngine;
+    use hetesim_graph::{HinBuilder, Schema};
+
+    #[test]
+    fn trait_object_usable() {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let w = s.add_relation("writes", a, p).unwrap();
+        let mut b = HinBuilder::new(s);
+        b.add_edge_by_name(w, "Tom", "P1", 1.0).unwrap();
+        b.add_edge_by_name(w, "Mary", "P1", 1.0).unwrap();
+        b.add_edge_by_name(w, "Mary", "P2", 1.0).unwrap();
+        let hin = b.build();
+        let engine = HeteSimEngine::new(&hin);
+        let measure: &dyn PathMeasure = &engine;
+        assert_eq!(measure.name(), "HeteSim");
+        let apa = MetaPath::parse(hin.schema(), "A-P-A").unwrap();
+        let m = measure.relevance_matrix(&apa).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        let ranked = measure.rank_targets(&apa, 1).unwrap();
+        // Mary's most related author under APA is herself.
+        assert_eq!(ranked[0].index, 1);
+        assert!((ranked[0].score - 1.0).abs() < 1e-12);
+        assert!((measure.score(&apa, 0, 1).unwrap() - m.get(0, 1)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Pruned top-k relevance search (Section 4.6, optimization 3).
+//!
+//! "The related objects to a searched object are a very small percentage of
+//! all objects in the target type" — so instead of scoring every target, we
+//! walk only the middle objects the source actually reaches and accumulate
+//! meeting mass into the targets that share them. Targets never touched are
+//! provably zero and are skipped entirely.
+
+use crate::cache::Halves;
+use crate::{Ranked, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A bounded max-score collector: keeps the `k` highest-scoring items seen,
+/// breaking score ties by ascending index for deterministic output.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    // Min-heap of the current best k (the root is the weakest kept item).
+    heap: BinaryHeap<HeapItem>,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    score: f64,
+    index: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering on score => BinaryHeap becomes a min-heap on
+        // score. NaN scores are rejected at insertion.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores are finite")
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopK {
+    /// A collector keeping the best `k` items.
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one item; non-finite scores are ignored.
+    pub fn push(&mut self, index: u32, score: f64) {
+        if self.k == 0 || !score.is_finite() {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapItem { score, index });
+            return;
+        }
+        let weakest = self.heap.peek().expect("non-empty at capacity");
+        let better = score > weakest.score || (score == weakest.score && index < weakest.index);
+        if better {
+            self.heap.pop();
+            self.heap.push(HeapItem { score, index });
+        }
+    }
+
+    /// Extracts the kept items, best first.
+    pub fn into_sorted(self) -> Vec<Ranked> {
+        let mut items: Vec<HeapItem> = self.heap.into_vec();
+        items.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        items
+            .into_iter()
+            .map(|h| Ranked {
+                index: h.index,
+                score: h.score,
+            })
+            .collect()
+    }
+}
+
+/// Top-k normalized HeteSim for one source row over materialized halves.
+///
+/// Complexity is `O(Σ_{m ∈ supp(u)} nnz(right_t[m]) + |candidates| log k)`
+/// — independent of the number of targets with zero meeting probability.
+pub fn top_k_pruned(h: &Halves, source: u32, k: usize) -> Result<Vec<Ranked>> {
+    let u = h.left.row(source as usize);
+    if u.is_empty() || k == 0 {
+        return Ok(Vec::new());
+    }
+    let un = u.l2_norm();
+    // Sparse accumulation of dot products into only the reachable targets.
+    let mut acc: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for (m, w) in u.iter() {
+        for (&t, &v) in h.right_t.row_indices(m).iter().zip(h.right_t.row_values(m)) {
+            *acc.entry(t).or_insert(0.0) += w * v;
+        }
+    }
+    let mut top = TopK::new(k);
+    for (t, dot) in acc {
+        let denom = un * h.right_norms[t as usize];
+        if denom > 0.0 {
+            top.push(t, dot / denom);
+        }
+    }
+    Ok(top.into_sorted())
+}
+
+/// One scored source–target pair from an all-pairs search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedPair {
+    /// Source object index.
+    pub source: u32,
+    /// Target object index.
+    pub target: u32,
+    /// Normalized HeteSim score.
+    pub score: f64,
+}
+
+/// The `k` highest-scoring `(source, target)` pairs over materialized
+/// halves — the path-based analogue of the top-k similarity join the
+/// related-work section cites. Pairs with zero meeting probability are
+/// never materialized; ties break by `(source, target)` ascending.
+pub fn top_k_pairs(h: &Halves, k: usize) -> Result<Vec<RankedPair>> {
+    let mut best: Vec<RankedPair> = Vec::with_capacity(k + 1);
+    if k == 0 {
+        return Ok(best);
+    }
+    for source in 0..h.left.nrows() {
+        let u = h.left.row(source);
+        if u.is_empty() {
+            continue;
+        }
+        let un = u.l2_norm();
+        let mut acc: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for (m, w) in u.iter() {
+            for (&t, &v) in h.right_t.row_indices(m).iter().zip(h.right_t.row_values(m)) {
+                *acc.entry(t).or_insert(0.0) += w * v;
+            }
+        }
+        for (t, dot) in acc {
+            let denom = un * h.right_norms[t as usize];
+            if denom <= 0.0 {
+                continue;
+            }
+            let score = dot / denom;
+            if !score.is_finite() {
+                continue;
+            }
+            let candidate = RankedPair {
+                source: source as u32,
+                target: t,
+                score,
+            };
+            let pos = best.partition_point(|b| {
+                b.score > candidate.score
+                    || (b.score == candidate.score
+                        && (b.source, b.target) < (candidate.source, candidate.target))
+            });
+            if pos < k {
+                best.insert(pos, candidate);
+                best.truncate(k);
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k_sorted() {
+        let mut t = TopK::new(3);
+        for (i, s) in [(0u32, 0.1), (1, 0.9), (2, 0.5), (3, 0.7), (4, 0.2)] {
+            t.push(i, s);
+        }
+        let out = t.into_sorted();
+        let idx: Vec<u32> = out.iter().map(|r| r.index).collect();
+        assert_eq!(idx, vec![1, 3, 2]);
+        assert!(out[0].score >= out[1].score && out[1].score >= out[2].score);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let mut t = TopK::new(2);
+        t.push(5, 0.5);
+        t.push(1, 0.5);
+        t.push(3, 0.5);
+        let idx: Vec<u32> = t.into_sorted().iter().map(|r| r.index).collect();
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_k_collects_nothing() {
+        let mut t = TopK::new(0);
+        t.push(0, 1.0);
+        assert!(t.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn nan_scores_are_ignored() {
+        let mut t = TopK::new(2);
+        t.push(0, f64::NAN);
+        t.push(1, 0.5);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index, 1);
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let mut t = TopK::new(10);
+        t.push(0, 0.3);
+        t.push(1, 0.6);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].index, 1);
+    }
+}

@@ -1,0 +1,599 @@
+//! Synthetic ACM-like bibliographic network (Figure 3(a), Section 5.1).
+//!
+//! Schema: papers (P), authors (A), affiliations (F), terms (T), subjects
+//! (S), venues (V), conferences (C), with `writes: A→P`,
+//! `published_in: P→V`, `part_of: V→C`, `has_term: P→T`,
+//! `has_subject: P→S`, `affiliated_with: A→F`.
+//!
+//! The generator plants the structural contrasts the paper's ACM case
+//! studies rely on:
+//!
+//! * a **concentrated star** author (the C. Faloutsos role): top
+//!   productivity, ~95% of papers in one conference (KDD);
+//! * two **broad stars** (the P. Yu / J. Han roles): the same total
+//!   productivity spread across six conferences;
+//! * one **anchor** author per conference: high productivity, loyal to
+//!   that conference — so every conference has a "top ranked author"
+//!   (Table 3's expert pairs);
+//! * Zipfian productivity for everyone else, per-conference topic
+//!   vocabularies over terms and subjects, and affiliation blocks aligned
+//!   with conferences so `C-V-P-A-F` surfaces the orgs that dominate a
+//!   conference (Table 2).
+
+use crate::zipf::{WeightedSampler, Zipf};
+use hetesim_graph::{Hin, HinBuilder, RelId, Schema, TypeId};
+use hetesim_sparse::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 14 ACM-dataset conferences, in the paper's order.
+pub const CONFERENCES: [&str; 14] = [
+    "KDD", "SIGMOD", "WWW", "SIGIR", "CIKM", "SODA", "STOC", "SOSP", "SPAA", "SIGCOMM", "MobiCOMM",
+    "ICML", "COLT", "VLDB",
+];
+
+/// Generator parameters. `Default` produces a laptop-friendly network
+/// (~2.4K papers); [`AcmConfig::paper_scale`] matches the entity counts of
+/// Section 5.1; [`AcmConfig::tiny`] is for tests.
+#[derive(Debug, Clone)]
+pub struct AcmConfig {
+    /// RNG seed; everything is a deterministic function of it.
+    pub seed: u64,
+    /// Number of papers.
+    pub papers: usize,
+    /// Number of authors (including the planted ones).
+    pub authors: usize,
+    /// Number of affiliations.
+    pub affiliations: usize,
+    /// Number of terms.
+    pub terms: usize,
+    /// Number of ACM subjects (73 in the real dataset).
+    pub subjects: usize,
+    /// Venue proceedings per conference (196 / 14 = 14 in the paper).
+    pub venues_per_conference: usize,
+    /// Maximum co-authors added beyond the lead.
+    pub max_coauthors: usize,
+    /// Terms attached per paper.
+    pub terms_per_paper: usize,
+    /// Subjects attached per paper.
+    pub subjects_per_paper: usize,
+    /// Probability a regular author's paper goes to their home conference.
+    pub conference_loyalty: f64,
+    /// Zipf exponent of author productivity.
+    pub productivity_exponent: f64,
+    /// Size of each author's recurring collaborator pool.
+    pub collaborator_pool: usize,
+}
+
+impl Default for AcmConfig {
+    fn default() -> Self {
+        AcmConfig {
+            seed: 42,
+            papers: 2400,
+            authors: 3400,
+            affiliations: 360,
+            terms: 500,
+            subjects: 73,
+            venues_per_conference: 14,
+            max_coauthors: 3,
+            terms_per_paper: 6,
+            subjects_per_paper: 2,
+            conference_loyalty: 0.8,
+            productivity_exponent: 1.05,
+            collaborator_pool: 6,
+        }
+    }
+}
+
+impl AcmConfig {
+    /// A very small network for unit tests.
+    pub fn tiny(seed: u64) -> AcmConfig {
+        AcmConfig {
+            seed,
+            papers: 300,
+            authors: 260,
+            affiliations: 40,
+            terms: 80,
+            subjects: 20,
+            venues_per_conference: 3,
+            ..AcmConfig::default()
+        }
+    }
+
+    /// Entity counts matching Section 5.1 of the paper: 12K papers, 17K
+    /// authors, 1.8K affiliations, 1.5K terms, 73 subjects, 196 venues.
+    pub fn paper_scale(seed: u64) -> AcmConfig {
+        AcmConfig {
+            seed,
+            papers: 12_000,
+            authors: 17_000,
+            affiliations: 1_800,
+            terms: 1_500,
+            subjects: 73,
+            venues_per_conference: 14,
+            ..AcmConfig::default()
+        }
+    }
+}
+
+/// A generated ACM-like network together with the handles experiments need.
+#[derive(Debug)]
+pub struct AcmDataset {
+    /// The network.
+    pub hin: Hin,
+    /// The configuration that produced it.
+    pub config: AcmConfig,
+    /// Type ids, in schema order: author, paper, venue, conference, term,
+    /// subject, affiliation.
+    pub authors: TypeId,
+    /// Paper type.
+    pub papers: TypeId,
+    /// Venue (proceedings) type.
+    pub venues: TypeId,
+    /// Conference type.
+    pub conferences: TypeId,
+    /// Term type.
+    pub terms: TypeId,
+    /// Subject type.
+    pub subjects: TypeId,
+    /// Affiliation type.
+    pub affiliations: TypeId,
+    /// `writes: A → P`.
+    pub writes: RelId,
+    /// `published_in: P → V`.
+    pub published_in: RelId,
+    /// `part_of: V → C`.
+    pub part_of: RelId,
+    /// `has_term: P → T`.
+    pub has_term: RelId,
+    /// `has_subject: P → S`.
+    pub has_subject: RelId,
+    /// `affiliated_with: A → F`.
+    pub affiliated_with: RelId,
+    /// Node name of the planted concentrated star (home: KDD).
+    pub star_concentrated: String,
+    /// Node names of the planted broad stars.
+    pub broad_stars: Vec<String>,
+    /// Node names of the per-conference anchor authors, indexed by
+    /// conference.
+    pub conference_anchors: Vec<String>,
+}
+
+/// Per-author placement profile used during generation.
+struct AuthorProfile {
+    /// Distribution over conferences for this author's papers.
+    conf_sampler: WeightedSampler,
+    /// Relative productivity weight.
+    weight: f64,
+}
+
+fn circular_distance(a: usize, b: usize, n: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+/// Topic sampler for one conference: mass concentrated around the
+/// conference's "center" in the topic space, with a global Zipf overlay so
+/// a few topics are popular everywhere.
+fn topic_sampler(conf: usize, n_topics: usize, n_confs: usize) -> WeightedSampler {
+    let center = (conf * n_topics) / n_confs + n_topics / (2 * n_confs);
+    let global = Zipf::new(n_topics, 0.8);
+    let weights: Vec<f64> = (0..n_topics)
+        .map(|t| {
+            let d = circular_distance(t, center, n_topics) as f64;
+            let local = 1.0 / (1.0 + d * d * (n_confs as f64 * n_confs as f64) / (n_topics as f64));
+            local + 0.2 * global.pmf(t) * n_topics as f64 / 10.0
+        })
+        .collect();
+    WeightedSampler::new(&weights)
+}
+
+/// Generates the network.
+pub fn generate(config: &AcmConfig) -> AcmDataset {
+    assert!(config.authors >= CONFERENCES.len() + 3, "too few authors");
+    assert!(config.papers > 0 && config.terms > 0 && config.subjects > 0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_confs = CONFERENCES.len();
+
+    let mut schema = Schema::new();
+    let a_ty = schema.add_type_with_abbrev("author", 'A').expect("fresh");
+    let p_ty = schema.add_type_with_abbrev("paper", 'P').expect("fresh");
+    let v_ty = schema.add_type_with_abbrev("venue", 'V').expect("fresh");
+    let c_ty = schema
+        .add_type_with_abbrev("conference", 'C')
+        .expect("fresh");
+    let t_ty = schema.add_type_with_abbrev("term", 'T').expect("fresh");
+    let s_ty = schema.add_type_with_abbrev("subject", 'S').expect("fresh");
+    let f_ty = schema
+        .add_type_with_abbrev("affiliation", 'F')
+        .expect("fresh");
+    let writes = schema.add_relation("writes", a_ty, p_ty).expect("fresh");
+    let published_in = schema
+        .add_relation("published_in", p_ty, v_ty)
+        .expect("fresh");
+    let part_of = schema.add_relation("part_of", v_ty, c_ty).expect("fresh");
+    let has_term = schema.add_relation("has_term", p_ty, t_ty).expect("fresh");
+    let has_subject = schema
+        .add_relation("has_subject", p_ty, s_ty)
+        .expect("fresh");
+    let affiliated_with = schema
+        .add_relation("affiliated_with", a_ty, f_ty)
+        .expect("fresh");
+
+    let mut b = HinBuilder::new(schema);
+
+    // --- Node registries -------------------------------------------------
+    let conf_ids: Vec<u32> = CONFERENCES.iter().map(|n| b.add_node(c_ty, n)).collect();
+    let mut venue_ids: Vec<Vec<u32>> = Vec::with_capacity(n_confs);
+    for (ci, name) in CONFERENCES.iter().enumerate() {
+        let mut per_conf = Vec::with_capacity(config.venues_per_conference);
+        for y in 0..config.venues_per_conference {
+            per_conf.push(b.add_node(v_ty, &format!("{name}'{:02}", (97 + y) % 100)));
+        }
+        let _ = ci;
+        venue_ids.push(per_conf);
+    }
+    let term_ids: Vec<u32> = (0..config.terms)
+        .map(|i| b.add_node(t_ty, &format!("term_{i:04}")))
+        .collect();
+    let subject_ids: Vec<u32> = (0..config.subjects)
+        .map(|i| b.add_node(s_ty, &format!("subj_{i:02}")))
+        .collect();
+    let aff_ids: Vec<u32> = (0..config.affiliations)
+        .map(|i| b.add_node(f_ty, &format!("org_{i:04}")))
+        .collect();
+
+    // Planted authors first (indices 0..), regular authors after.
+    let star_concentrated = "star_concentrated".to_string();
+    let broad_stars = vec!["star_broad_0".to_string(), "star_broad_1".to_string()];
+    let conference_anchors: Vec<String> =
+        CONFERENCES.iter().map(|c| format!("anchor_{c}")).collect();
+    let mut author_ids: Vec<u32> = Vec::with_capacity(config.authors);
+    author_ids.push(b.add_node(a_ty, &star_concentrated));
+    for s in &broad_stars {
+        author_ids.push(b.add_node(a_ty, s));
+    }
+    for s in &conference_anchors {
+        author_ids.push(b.add_node(a_ty, s));
+    }
+    let planted = author_ids.len();
+    for i in planted..config.authors {
+        author_ids.push(b.add_node(a_ty, &format!("author_{i:05}")));
+    }
+
+    // --- Author profiles --------------------------------------------------
+    let zipf = Zipf::new(config.authors, config.productivity_exponent);
+    let top_weight = zipf.pmf(0) * config.authors as f64;
+    let loyal = |home: usize, loyalty: f64| -> WeightedSampler {
+        let w: Vec<f64> = (0..n_confs)
+            .map(|c| {
+                if c == home {
+                    loyalty
+                } else {
+                    (1.0 - loyalty) / (n_confs - 1) as f64
+                }
+            })
+            .collect();
+        WeightedSampler::new(&w)
+    };
+    let kdd = 0usize; // CONFERENCES[0]
+    let mut profiles: Vec<AuthorProfile> = Vec::with_capacity(config.authors);
+    // Concentrated star: effectively all papers in KDD.
+    profiles.push(AuthorProfile {
+        conf_sampler: loyal(kdd, 0.95),
+        weight: top_weight,
+    });
+    // Broad stars: same volume, spread across six related conferences
+    // (KDD, SIGMOD, WWW, CIKM, ICML, VLDB).
+    for _ in &broad_stars {
+        let mut w = vec![0.0; n_confs];
+        for (c, share) in [
+            (0, 0.30),
+            (1, 0.16),
+            (2, 0.14),
+            (4, 0.14),
+            (11, 0.12),
+            (13, 0.14),
+        ] {
+            w[c] = share;
+        }
+        // Residual mass sprinkled uniformly.
+        let spread: f64 = 1.0 - w.iter().sum::<f64>();
+        for v in &mut w {
+            *v += spread / n_confs as f64;
+        }
+        profiles.push(AuthorProfile {
+            conf_sampler: WeightedSampler::new(&w),
+            weight: top_weight,
+        });
+    }
+    // Per-conference anchors: high volume, 0.9 loyalty.
+    for home in 0..n_confs {
+        profiles.push(AuthorProfile {
+            conf_sampler: loyal(home, 0.9),
+            weight: top_weight * 0.85,
+        });
+    }
+    // Regular authors: random home conference, Zipf weight by rank.
+    let mut home_of: Vec<usize> = vec![kdd; planted];
+    home_of[1] = kdd; // broad stars nominally "live" at KDD for pooling
+    home_of[2] = kdd;
+    for i in 1..=conference_anchors.len() {
+        home_of[2 + i] = i - 1;
+    }
+    for i in planted..config.authors {
+        let home = rng.random_range(0..n_confs);
+        home_of.push(home);
+        profiles.push(AuthorProfile {
+            conf_sampler: loyal(home, config.conference_loyalty),
+            weight: zipf.pmf(i) * config.authors as f64,
+        });
+    }
+
+    // Productivity sampler over all authors.
+    let lead_sampler = WeightedSampler::new(&profiles.iter().map(|p| p.weight).collect::<Vec<_>>());
+
+    // Collaborator pools: recurring co-authors drawn from the same home
+    // conference (falling back to anyone), so `A-P-A` has repeat structure.
+    let mut by_home: Vec<Vec<usize>> = vec![Vec::new(); n_confs];
+    for (i, &h) in home_of.iter().enumerate() {
+        by_home[h].push(i);
+    }
+    let pools: Vec<Vec<usize>> = (0..config.authors)
+        .map(|i| {
+            let mates = &by_home[home_of[i]];
+            let mut pool = Vec::with_capacity(config.collaborator_pool);
+            for _ in 0..config.collaborator_pool {
+                let cand = if mates.len() > 1 && rng.random::<f64>() < 0.9 {
+                    mates[rng.random_range(0..mates.len())]
+                } else {
+                    rng.random_range(0..config.authors)
+                };
+                if cand != i {
+                    pool.push(cand);
+                }
+            }
+            pool
+        })
+        .collect();
+
+    // Affiliations: block-aligned with conferences; big orgs first.
+    let org_zipf = Zipf::new(config.affiliations.min(24), 1.0);
+    let author_aff: Vec<u32> = (0..config.authors)
+        .map(|i| {
+            if i < planted {
+                // Stars and anchors sit at the biggest orgs.
+                aff_ids[i % 4]
+            } else {
+                let home = home_of[i];
+                if rng.random::<f64>() < 0.7 {
+                    // An org from the home conference's block.
+                    let block = config.affiliations / n_confs;
+                    let base = home * block;
+                    aff_ids[base + rng.random_range(0..block.max(1))]
+                } else {
+                    aff_ids[org_zipf.sample(&mut rng) % config.affiliations]
+                }
+            }
+        })
+        .collect();
+    for (i, &aff) in author_aff.iter().enumerate() {
+        b.add_edge(affiliated_with, author_ids[i], aff, 1.0)
+            .expect("registered nodes");
+    }
+
+    // Venue -> conference edges.
+    for (ci, venues) in venue_ids.iter().enumerate() {
+        for &v in venues {
+            b.add_edge(part_of, v, conf_ids[ci], 1.0)
+                .expect("registered nodes");
+        }
+    }
+
+    // Topic samplers per conference.
+    let term_samplers: Vec<WeightedSampler> = (0..n_confs)
+        .map(|c| topic_sampler(c, config.terms, n_confs))
+        .collect();
+    let subject_samplers: Vec<WeightedSampler> = (0..n_confs)
+        .map(|c| topic_sampler(c, config.subjects, n_confs))
+        .collect();
+
+    // --- Papers -----------------------------------------------------------
+    for pi in 0..config.papers {
+        let paper = b.add_node(p_ty, &format!("paper_{pi:05}"));
+        let lead = lead_sampler.sample(&mut rng);
+        let conf = profiles[lead].conf_sampler.sample(&mut rng);
+        let venue = venue_ids[conf][rng.random_range(0..config.venues_per_conference)];
+        b.add_edge(published_in, paper, venue, 1.0)
+            .expect("registered nodes");
+        b.add_edge(writes, author_ids[lead], paper, 1.0)
+            .expect("registered nodes");
+        // Co-authors from the lead's pool (deduplicated).
+        let mut coauthors: Vec<usize> = Vec::new();
+        while coauthors.len() < config.max_coauthors && rng.random::<f64>() < 0.55 {
+            let cand = if !pools[lead].is_empty() && rng.random::<f64>() < 0.8 {
+                pools[lead][rng.random_range(0..pools[lead].len())]
+            } else {
+                rng.random_range(0..config.authors)
+            };
+            if cand != lead && !coauthors.contains(&cand) {
+                coauthors.push(cand);
+            }
+        }
+        for co in coauthors {
+            b.add_edge(writes, author_ids[co], paper, 1.0)
+                .expect("registered nodes");
+        }
+        // Terms and subjects from the conference's topic profiles.
+        let mut seen_terms = Vec::with_capacity(config.terms_per_paper);
+        while seen_terms.len() < config.terms_per_paper {
+            let t = term_samplers[conf].sample(&mut rng);
+            if !seen_terms.contains(&t) {
+                seen_terms.push(t);
+                b.add_edge(has_term, paper, term_ids[t], 1.0)
+                    .expect("registered nodes");
+            }
+        }
+        let mut seen_subjects = Vec::with_capacity(config.subjects_per_paper);
+        while seen_subjects.len() < config.subjects_per_paper.min(config.subjects) {
+            let s = subject_samplers[conf].sample(&mut rng);
+            if !seen_subjects.contains(&s) {
+                seen_subjects.push(s);
+                b.add_edge(has_subject, paper, subject_ids[s], 1.0)
+                    .expect("registered nodes");
+            }
+        }
+    }
+
+    AcmDataset {
+        hin: b.build(),
+        config: config.clone(),
+        authors: a_ty,
+        papers: p_ty,
+        venues: v_ty,
+        conferences: c_ty,
+        terms: t_ty,
+        subjects: s_ty,
+        affiliations: f_ty,
+        writes,
+        published_in,
+        part_of,
+        has_term,
+        has_subject,
+        affiliated_with,
+        star_concentrated,
+        broad_stars,
+        conference_anchors,
+    }
+}
+
+impl AcmDataset {
+    /// Raw author × conference paper counts (the product of the raw
+    /// adjacencies along `A-P-V-C`) — the ground truth for the expert
+    /// finding experiment (Figure 6).
+    pub fn author_conference_counts(&self) -> CsrMatrix {
+        let ap = self.hin.adjacency(self.writes);
+        let pv = self.hin.adjacency(self.published_in);
+        let vc = self.hin.adjacency(self.part_of);
+        ap.matmul(pv)
+            .and_then(|m| m.matmul(vc))
+            .expect("schema-consistent shapes")
+    }
+
+    /// Author index by name.
+    pub fn author_id(&self, name: &str) -> u32 {
+        self.hin
+            .node_id(self.authors, name)
+            .expect("planted author exists")
+    }
+
+    /// Conference index by name.
+    pub fn conference_id(&self, name: &str) -> u32 {
+        self.hin
+            .node_id(self.conferences, name)
+            .expect("known conference")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetesim_graph::stats::stats;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&AcmConfig::tiny(7));
+        let b = generate(&AcmConfig::tiny(7));
+        assert_eq!(stats(&a.hin), stats(&b.hin));
+        let c = generate(&AcmConfig::tiny(8));
+        assert_ne!(stats(&a.hin).total_edges, 0);
+        assert_ne!(stats(&a.hin), stats(&c.hin));
+    }
+
+    #[test]
+    fn entity_counts_match_config() {
+        let cfg = AcmConfig::tiny(1);
+        let d = generate(&cfg);
+        assert_eq!(d.hin.node_count(d.papers), cfg.papers);
+        assert_eq!(d.hin.node_count(d.authors), cfg.authors);
+        assert_eq!(d.hin.node_count(d.conferences), 14);
+        assert_eq!(d.hin.node_count(d.venues), 14 * cfg.venues_per_conference);
+        assert_eq!(d.hin.node_count(d.subjects), cfg.subjects);
+        assert_eq!(d.hin.node_count(d.affiliations), cfg.affiliations);
+    }
+
+    #[test]
+    fn every_paper_has_venue_author_topics() {
+        let d = generate(&AcmConfig::tiny(2));
+        let pv = d.hin.adjacency(d.published_in);
+        let pa = d.hin.adjacency_t(d.writes);
+        let pt = d.hin.adjacency(d.has_term);
+        let ps = d.hin.adjacency(d.has_subject);
+        for p in 0..d.hin.node_count(d.papers) {
+            assert_eq!(pv.row_nnz(p), 1, "paper {p} venues");
+            assert!(pa.row_nnz(p) >= 1, "paper {p} authors");
+            assert_eq!(pt.row_nnz(p), d.config.terms_per_paper);
+            assert_eq!(ps.row_nnz(p), d.config.subjects_per_paper);
+        }
+    }
+
+    #[test]
+    fn concentrated_star_dominates_kdd() {
+        let d = generate(&AcmConfig::tiny(3));
+        let counts = d.author_conference_counts();
+        let star = d.author_id(&d.star_concentrated) as usize;
+        let kdd = d.conference_id("KDD") as usize;
+        let star_kdd = counts.get(star, kdd);
+        let star_total: f64 = counts.row_values(star).iter().sum();
+        assert!(star_total > 5.0, "star should be highly productive");
+        assert!(
+            star_kdd / star_total > 0.75,
+            "star should publish mostly in KDD ({star_kdd}/{star_total})"
+        );
+    }
+
+    #[test]
+    fn broad_stars_are_spread() {
+        let d = generate(&AcmConfig::tiny(4));
+        let counts = d.author_conference_counts();
+        let broad = d.author_id(&d.broad_stars[0]) as usize;
+        let total: f64 = counts.row_values(broad).iter().sum();
+        assert!(total > 5.0);
+        // No single conference holds more than 60% of a broad star's work.
+        let max = counts
+            .row_values(broad)
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v));
+        assert!(
+            max / total < 0.6,
+            "broad star too concentrated: {max}/{total}"
+        );
+    }
+
+    #[test]
+    fn anchors_favor_their_conference() {
+        let d = generate(&AcmConfig::tiny(5));
+        let counts = d.author_conference_counts();
+        let mut favored = 0;
+        for (ci, anchor) in d.conference_anchors.iter().enumerate() {
+            let a = d.author_id(anchor) as usize;
+            let own = counts.get(a, ci);
+            let total: f64 = counts.row_values(a).iter().sum();
+            if total > 0.0 && own / total >= 0.5 {
+                favored += 1;
+            }
+        }
+        // With 300 papers across 14 anchors a couple may starve; most must
+        // still favor their home conference.
+        assert!(favored >= 10, "only {favored}/14 anchors favor home");
+    }
+
+    #[test]
+    fn paper_scale_config_counts() {
+        let cfg = AcmConfig::paper_scale(1);
+        assert_eq!(cfg.papers, 12_000);
+        assert_eq!(cfg.authors, 17_000);
+        assert_eq!(cfg.subjects, 73);
+        assert_eq!(cfg.venues_per_conference * 14, 196);
+    }
+}

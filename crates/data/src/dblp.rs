@@ -1,0 +1,435 @@
+//! Synthetic DBLP-like four-area network (Figure 3(b), Section 5.1).
+//!
+//! Schema: authors (A), papers (P), conferences (C), terms (T), with
+//! `writes: A→P`, `published_in: P→C`, `has_term: P→T`.
+//!
+//! The real dataset is the classic "DBLP four-area" subset: 20 conferences
+//! across database, data mining, information retrieval and AI, with 4057
+//! authors, all 20 conferences and 100 papers labeled by area. The
+//! generator plants the same partition: every author belongs to one area,
+//! papers are published in the author's area with probability
+//! `1 - area_mixing`, terms come from per-area vocabularies, and labels are
+//! emitted for the same entity subsets so the AUC (Table 5) and NMI
+//! (Table 6) experiments run unchanged.
+
+use crate::zipf::{WeightedSampler, Zipf};
+use hetesim_graph::{Hin, HinBuilder, RelId, Schema, TypeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four research areas.
+pub const AREAS: [&str; 4] = ["database", "data_mining", "info_retrieval", "ai"];
+
+/// The 20 conferences and their planted area, five per area.
+pub const CONFERENCES: [(&str, usize); 20] = [
+    ("SIGMOD", 0),
+    ("VLDB", 0),
+    ("ICDE", 0),
+    ("EDBT", 0),
+    ("PODS", 0),
+    ("KDD", 1),
+    ("ICDM", 1),
+    ("SDM", 1),
+    ("PKDD", 1),
+    ("PAKDD", 1),
+    ("SIGIR", 2),
+    ("ECIR", 2),
+    ("CIKM", 2),
+    ("WSDM", 2),
+    ("TREC", 2),
+    ("AAAI", 3),
+    ("IJCAI", 3),
+    ("ICML", 3),
+    ("NIPS", 3),
+    ("ECAI", 3),
+];
+
+/// Generator parameters. `Default` is laptop-friendly;
+/// [`DblpConfig::paper_scale`] matches Section 5.1 (14K papers, 14K
+/// authors, 8.9K terms, 4057 labeled authors, 100 labeled papers).
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of papers.
+    pub papers: usize,
+    /// Number of authors.
+    pub authors: usize,
+    /// Number of terms.
+    pub terms: usize,
+    /// Probability a paper lands outside its lead author's area.
+    pub area_mixing: f64,
+    /// How many of the most productive authors receive labels.
+    pub labeled_authors: usize,
+    /// How many papers receive labels.
+    pub labeled_papers: usize,
+    /// Terms per paper.
+    pub terms_per_paper: usize,
+    /// Max co-authors beyond the lead.
+    pub max_coauthors: usize,
+    /// Zipf exponent of author productivity.
+    pub productivity_exponent: f64,
+    /// Recurring collaborator pool size.
+    pub collaborator_pool: usize,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            seed: 42,
+            papers: 2800,
+            authors: 2800,
+            terms: 1800,
+            area_mixing: 0.12,
+            labeled_authors: 800,
+            labeled_papers: 100,
+            terms_per_paper: 6,
+            max_coauthors: 3,
+            productivity_exponent: 1.0,
+            collaborator_pool: 6,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A very small network for unit tests.
+    pub fn tiny(seed: u64) -> DblpConfig {
+        DblpConfig {
+            seed,
+            papers: 400,
+            authors: 300,
+            terms: 150,
+            labeled_authors: 120,
+            labeled_papers: 40,
+            ..DblpConfig::default()
+        }
+    }
+
+    /// Entity counts matching Section 5.1 of the paper.
+    pub fn paper_scale(seed: u64) -> DblpConfig {
+        DblpConfig {
+            seed,
+            papers: 14_000,
+            authors: 14_000,
+            terms: 8_900,
+            labeled_authors: 4_057,
+            labeled_papers: 100,
+            ..DblpConfig::default()
+        }
+    }
+}
+
+/// A generated DBLP-like network with its planted ground truth.
+#[derive(Debug)]
+pub struct DblpDataset {
+    /// The network.
+    pub hin: Hin,
+    /// The configuration that produced it.
+    pub config: DblpConfig,
+    /// Author type.
+    pub authors: TypeId,
+    /// Paper type.
+    pub papers: TypeId,
+    /// Conference type.
+    pub conferences: TypeId,
+    /// Term type.
+    pub terms: TypeId,
+    /// `writes: A → P`.
+    pub writes: RelId,
+    /// `published_in: P → C`.
+    pub published_in: RelId,
+    /// `has_term: P → T`.
+    pub has_term: RelId,
+    /// Planted area of every conference (index-aligned with the registry).
+    pub conference_area: Vec<usize>,
+    /// Planted area of every author.
+    pub author_area: Vec<usize>,
+    /// Area of every paper (the area of its publishing conference).
+    pub paper_area: Vec<usize>,
+    /// The labeled-author subset (most productive first), as node indices.
+    pub labeled_authors: Vec<u32>,
+    /// The labeled-paper subset, as node indices.
+    pub labeled_papers: Vec<u32>,
+}
+
+impl DblpDataset {
+    /// Conference index by name.
+    pub fn conference_id(&self, name: &str) -> u32 {
+        self.hin
+            .node_id(self.conferences, name)
+            .expect("known conference")
+    }
+
+    /// Number of planted areas (clusters for Table 6).
+    pub fn n_areas(&self) -> usize {
+        AREAS.len()
+    }
+}
+
+/// Generates the network.
+pub fn generate(config: &DblpConfig) -> DblpDataset {
+    assert!(config.papers > 0 && config.authors > 0 && config.terms >= 8);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_confs = CONFERENCES.len();
+    let n_areas = AREAS.len();
+
+    let mut schema = Schema::new();
+    let a_ty = schema.add_type_with_abbrev("author", 'A').expect("fresh");
+    let p_ty = schema.add_type_with_abbrev("paper", 'P').expect("fresh");
+    let c_ty = schema
+        .add_type_with_abbrev("conference", 'C')
+        .expect("fresh");
+    let t_ty = schema.add_type_with_abbrev("term", 'T').expect("fresh");
+    let writes = schema.add_relation("writes", a_ty, p_ty).expect("fresh");
+    let published_in = schema
+        .add_relation("published_in", p_ty, c_ty)
+        .expect("fresh");
+    let has_term = schema.add_relation("has_term", p_ty, t_ty).expect("fresh");
+
+    let mut b = HinBuilder::new(schema);
+    let conf_ids: Vec<u32> = CONFERENCES
+        .iter()
+        .map(|(name, _)| b.add_node(c_ty, name))
+        .collect();
+    let conference_area: Vec<usize> = CONFERENCES.iter().map(|&(_, a)| a).collect();
+    let term_ids: Vec<u32> = (0..config.terms)
+        .map(|i| b.add_node(t_ty, &format!("term_{i:05}")))
+        .collect();
+    let author_ids: Vec<u32> = (0..config.authors)
+        .map(|i| b.add_node(a_ty, &format!("author_{i:05}")))
+        .collect();
+
+    // Areas, home conferences, productivity.
+    let author_area: Vec<usize> = (0..config.authors)
+        .map(|_| rng.random_range(0..n_areas))
+        .collect();
+    let home_conf: Vec<usize> = author_area
+        .iter()
+        .map(|&area| {
+            let within = rng.random_range(0..n_confs / n_areas);
+            area * (n_confs / n_areas) + within
+        })
+        .collect();
+    let zipf = Zipf::new(config.authors, config.productivity_exponent);
+    let lead_sampler = WeightedSampler::new(
+        &(0..config.authors)
+            .map(|i| zipf.pmf(i) * config.authors as f64)
+            .collect::<Vec<_>>(),
+    );
+
+    // Per-area conference and term samplers. Area vocabularies overlap
+    // slightly (shared stop-ish terms at the head of the global Zipf).
+    let conf_sampler_for_area: Vec<WeightedSampler> = (0..n_areas)
+        .map(|area| {
+            let w: Vec<f64> = (0..n_confs)
+                .map(|c| if conference_area[c] == area { 1.0 } else { 0.0 })
+                .collect();
+            WeightedSampler::new(&w)
+        })
+        .collect();
+    let any_conf = WeightedSampler::new(&vec![1.0; n_confs]);
+    let term_sampler_for_area: Vec<WeightedSampler> = (0..n_areas)
+        .map(|area| {
+            let block = config.terms / n_areas;
+            let w: Vec<f64> = (0..config.terms)
+                .map(|t| {
+                    let in_block = t / block.max(1) == area;
+                    let shared = t < config.terms / 20 + 2;
+                    if in_block {
+                        1.0
+                    } else if shared {
+                        0.8
+                    } else {
+                        0.02
+                    }
+                })
+                .collect();
+            WeightedSampler::new(&w)
+        })
+        .collect();
+
+    // Collaborator pools within areas.
+    let mut by_area: Vec<Vec<usize>> = vec![Vec::new(); n_areas];
+    for (i, &ar) in author_area.iter().enumerate() {
+        by_area[ar].push(i);
+    }
+    let pools: Vec<Vec<usize>> = (0..config.authors)
+        .map(|i| {
+            let mates = &by_area[author_area[i]];
+            (0..config.collaborator_pool)
+                .filter_map(|_| {
+                    let cand = mates[rng.random_range(0..mates.len())];
+                    (cand != i).then_some(cand)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Papers.
+    let mut paper_area = Vec::with_capacity(config.papers);
+    let mut paper_count_per_author = vec![0usize; config.authors];
+    for pi in 0..config.papers {
+        let paper = b.add_node(p_ty, &format!("paper_{pi:05}"));
+        let lead = lead_sampler.sample(&mut rng);
+        paper_count_per_author[lead] += 1;
+        // Prolific authors publish more broadly (as in real DBLP, where
+        // senior researchers appear across areas); Zipf ranks are
+        // assigned in index order, so low index = high productivity.
+        let mixing = if lead < config.authors / 20 {
+            (2.5 * config.area_mixing).min(0.5)
+        } else {
+            config.area_mixing
+        };
+        let conf = if rng.random::<f64>() < mixing {
+            any_conf.sample(&mut rng)
+        } else if rng.random::<f64>() < 0.6 {
+            home_conf[lead]
+        } else {
+            conf_sampler_for_area[author_area[lead]].sample(&mut rng)
+        };
+        paper_area.push(conference_area[conf]);
+        b.add_edge(published_in, paper, conf_ids[conf], 1.0)
+            .expect("registered nodes");
+        b.add_edge(writes, author_ids[lead], paper, 1.0)
+            .expect("registered nodes");
+        let mut coauthors: Vec<usize> = Vec::new();
+        while coauthors.len() < config.max_coauthors && rng.random::<f64>() < 0.5 {
+            let cand = if !pools[lead].is_empty() && rng.random::<f64>() < 0.85 {
+                pools[lead][rng.random_range(0..pools[lead].len())]
+            } else {
+                rng.random_range(0..config.authors)
+            };
+            if cand != lead && !coauthors.contains(&cand) {
+                coauthors.push(cand);
+                paper_count_per_author[cand] += 1;
+            }
+        }
+        for co in coauthors {
+            b.add_edge(writes, author_ids[co], paper, 1.0)
+                .expect("registered nodes");
+        }
+        let area = conference_area[conf];
+        let mut seen = Vec::with_capacity(config.terms_per_paper);
+        while seen.len() < config.terms_per_paper {
+            let t = term_sampler_for_area[area].sample(&mut rng);
+            if !seen.contains(&t) {
+                seen.push(t);
+                b.add_edge(has_term, paper, term_ids[t], 1.0)
+                    .expect("registered nodes");
+            }
+        }
+    }
+
+    // Labeled subsets: the most productive authors, and the first N papers
+    // (both deterministic).
+    let mut by_productivity: Vec<usize> = (0..config.authors).collect();
+    by_productivity.sort_by(|&a, &b| {
+        paper_count_per_author[b]
+            .cmp(&paper_count_per_author[a])
+            .then(a.cmp(&b))
+    });
+    let labeled_authors: Vec<u32> = by_productivity
+        .into_iter()
+        .take(config.labeled_authors)
+        .map(|i| author_ids[i])
+        .collect();
+    let labeled_papers: Vec<u32> = (0..config.labeled_papers.min(config.papers) as u32).collect();
+
+    DblpDataset {
+        hin: b.build(),
+        config: config.clone(),
+        authors: a_ty,
+        papers: p_ty,
+        conferences: c_ty,
+        terms: t_ty,
+        writes,
+        published_in,
+        has_term,
+        conference_area,
+        author_area,
+        paper_area,
+        labeled_authors,
+        labeled_papers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetesim_graph::stats::stats;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&DblpConfig::tiny(9));
+        let b = generate(&DblpConfig::tiny(9));
+        assert_eq!(stats(&a.hin), stats(&b.hin));
+        assert_eq!(a.author_area, b.author_area);
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let cfg = DblpConfig::tiny(1);
+        let d = generate(&cfg);
+        assert_eq!(d.hin.node_count(d.conferences), 20);
+        assert_eq!(d.hin.node_count(d.papers), cfg.papers);
+        assert_eq!(d.labeled_authors.len(), cfg.labeled_authors);
+        assert_eq!(d.labeled_papers.len(), cfg.labeled_papers);
+        assert_eq!(d.conference_area.len(), 20);
+        assert_eq!(d.paper_area.len(), cfg.papers);
+        // Five conferences per area.
+        for area in 0..4 {
+            assert_eq!(d.conference_area.iter().filter(|&&a| a == area).count(), 5);
+        }
+    }
+
+    #[test]
+    fn papers_mostly_stay_in_lead_area() {
+        let d = generate(&DblpConfig::tiny(2));
+        // Count how often a paper's conference area matches its lead's area
+        // indirectly: authors' areas should correlate with the areas of the
+        // conferences of the papers they write.
+        let pa = d.hin.adjacency_t(d.writes); // paper x author
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for p in 0..d.hin.node_count(d.papers) {
+            for &a in pa.row_indices(p) {
+                total += 1;
+                if d.author_area[a as usize] == d.paper_area[p] {
+                    matches += 1;
+                }
+            }
+        }
+        let frac = matches as f64 / total as f64;
+        assert!(frac > 0.7, "area coherence too weak: {frac}");
+    }
+
+    #[test]
+    fn labeled_authors_are_most_productive() {
+        let d = generate(&DblpConfig::tiny(3));
+        let ap = d.hin.adjacency(d.writes);
+        let labeled_min = d
+            .labeled_authors
+            .iter()
+            .map(|&a| ap.row_nnz(a as usize))
+            .min()
+            .unwrap();
+        // Every labeled author has at least as many papers as the median
+        // unlabeled author (weak but deterministic sanity check).
+        let mut unlabeled: Vec<usize> = (0..d.hin.node_count(d.authors) as u32)
+            .filter(|i| !d.labeled_authors.contains(i))
+            .map(|i| ap.row_nnz(i as usize))
+            .collect();
+        unlabeled.sort_unstable();
+        let median = unlabeled[unlabeled.len() / 2];
+        assert!(labeled_min >= median);
+    }
+
+    #[test]
+    fn paper_scale_config_counts() {
+        let cfg = DblpConfig::paper_scale(1);
+        assert_eq!(cfg.papers, 14_000);
+        assert_eq!(cfg.authors, 14_000);
+        assert_eq!(cfg.labeled_authors, 4_057);
+        assert_eq!(cfg.labeled_papers, 100);
+    }
+}

@@ -1,0 +1,130 @@
+//! The paper's worked toy examples as ready-made networks.
+//!
+//! * [`fig4`] — the Figure 4 bibliographic network behind Example 2
+//!   (`HeteSim(Tom, KDD | APC) = 0.5` before normalization);
+//! * [`fig5`] — the Figure 5 bipartite relation whose edge-object
+//!   decomposition yields the unnormalized HeteSim row
+//!   `a2 → (0, 1/6, 1/3, 1/6)`.
+
+use hetesim_graph::{Hin, HinBuilder, Schema};
+
+/// Handles into the [`fig4`] network.
+#[derive(Debug)]
+pub struct Fig4 {
+    /// The network: 3 authors, 4 papers, 2 conferences.
+    pub hin: Hin,
+}
+
+/// Builds the Figure 4 toy network.
+///
+/// Tom wrote P1 and P2, both published in KDD; Mary wrote P2 and P3; Bob
+/// wrote P3 and P4; SIGMOD published P3 and P4. Schema abbreviations are
+/// `A`, `P`, `C`, so paths parse as `"APC"`, `"APAPC"`, etc.
+pub fn fig4() -> Fig4 {
+    let mut schema = Schema::new();
+    let a = schema.add_type("author").expect("fresh schema");
+    let p = schema.add_type("paper").expect("fresh schema");
+    let c = schema.add_type("conference").expect("fresh schema");
+    let writes = schema.add_relation("writes", a, p).expect("fresh schema");
+    let published = schema
+        .add_relation("published_in", p, c)
+        .expect("fresh schema");
+    let mut b = HinBuilder::new(schema);
+    for (author, paper) in [
+        ("Tom", "P1"),
+        ("Tom", "P2"),
+        ("Mary", "P2"),
+        ("Mary", "P3"),
+        ("Bob", "P3"),
+        ("Bob", "P4"),
+    ] {
+        b.add_edge_by_name(writes, author, paper, 1.0)
+            .expect("schema matches");
+    }
+    for (paper, conf) in [
+        ("P1", "KDD"),
+        ("P2", "KDD"),
+        ("P3", "SIGMOD"),
+        ("P4", "SIGMOD"),
+    ] {
+        b.add_edge_by_name(published, paper, conf, 1.0)
+            .expect("schema matches");
+    }
+    Fig4 { hin: b.build() }
+}
+
+/// Handles into the [`fig5`] network.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// The bipartite network: 3 `A` objects, 4 `B` objects, relation `ab`.
+    pub hin: Hin,
+    /// The expected *unnormalized* HeteSim values of row `a2` over
+    /// `b1..b4` per Figure 5(c): `(0, 1/6, 1/3, 1/6)`.
+    pub expected_a2_row: [f64; 4],
+}
+
+/// Builds the Figure 5 bipartite relation: `a1–{b1,b2}`, `a2–{b2,b3,b4}`,
+/// `a3–{b1,b4}`.
+pub fn fig5() -> Fig5 {
+    let mut schema = Schema::new();
+    let a = schema.add_type("A").expect("fresh schema");
+    let b_ty = schema.add_type("B").expect("fresh schema");
+    let ab = schema.add_relation("ab", a, b_ty).expect("fresh schema");
+    let mut b = HinBuilder::new(schema);
+    // Register in order so a1..a3 / b1..b4 get indices 0..
+    for name in ["a1", "a2", "a3"] {
+        b.add_node(a, name);
+    }
+    for name in ["b1", "b2", "b3", "b4"] {
+        b.add_node(b_ty, name);
+    }
+    for (x, y) in [
+        ("a1", "b1"),
+        ("a1", "b2"),
+        ("a2", "b2"),
+        ("a2", "b3"),
+        ("a2", "b4"),
+        ("a3", "b1"),
+        ("a3", "b4"),
+    ] {
+        b.add_edge_by_name(ab, x, y, 1.0).expect("schema matches");
+    }
+    Fig5 {
+        hin: b.build(),
+        expected_a2_row: [0.0, 1.0 / 6.0, 1.0 / 3.0, 1.0 / 6.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetesim_graph::MetaPath;
+
+    #[test]
+    fn fig4_shape() {
+        let f = fig4();
+        let a = f.hin.schema().type_id("author").unwrap();
+        let p = f.hin.schema().type_id("paper").unwrap();
+        let c = f.hin.schema().type_id("conference").unwrap();
+        assert_eq!(f.hin.node_count(a), 3);
+        assert_eq!(f.hin.node_count(p), 4);
+        assert_eq!(f.hin.node_count(c), 2);
+        assert!(MetaPath::parse(f.hin.schema(), "APC").is_ok());
+        // Tom's out-neighbors are exactly P1, P2.
+        let writes = f.hin.schema().relation_id("writes").unwrap();
+        let tom = f.hin.node_id(a, "Tom").unwrap();
+        assert_eq!(f.hin.out_degree(writes, tom), 2);
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let f = fig5();
+        let ab = f.hin.schema().relation_id("ab").unwrap();
+        assert_eq!(f.hin.adjacency(ab).shape(), (3, 4));
+        assert_eq!(f.hin.adjacency(ab).nnz(), 7);
+        // Degrees per the figure: b1:2, b2:2, b3:1, b4:2.
+        for (b_idx, deg) in [(0u32, 2), (1, 2), (2, 1), (3, 2)] {
+            assert_eq!(f.hin.in_degree(ab, b_idx), deg);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Synthetic datasets for the HeteSim experiments.
+//!
+//! The paper evaluates on two proprietary crawls — an ACM Digital Library
+//! snapshot (June 2010) and a four-area DBLP subset — that cannot be
+//! redistributed. Every experiment, however, probes *structural* contrasts
+//! (publication concentration vs. breadth, shared-author overlap between
+//! conferences, planted community structure), not the identity of real
+//! researchers. This crate generates networks with the same schema, the
+//! same entity-count scale, and those same contrasts planted explicitly:
+//!
+//! * [`acm`] — the 7-type ACM-like network (Figure 3(a)): 14 conferences
+//!   with venues (proceedings), Zipfian author productivity, per-conference
+//!   topic vocabularies, and planted author archetypes — a *concentrated
+//!   star* who publishes almost exclusively in one conference (the
+//!   C. Faloutsos role in Tables 1, 3, 4) and *broad stars* with equal
+//!   volume spread over many conferences (the P. Yu / J. Han role).
+//! * [`dblp`] — the 4-type DBLP-like network (Figure 3(b)): 20 conferences
+//!   in 4 planted research areas with area labels on conferences, authors
+//!   and papers, driving the AUC (Table 5) and NMI (Table 6) tasks.
+//! * [`fixtures`] — the toy networks of Figure 4 (Example 2's
+//!   `HeteSim(Tom, KDD | APC) = 0.5`) and Figure 5 (the atomic-relation
+//!   decomposition whose unnormalized row is `(0, 1/6, 1/3, 1/6)`).
+//! * [`zipf`] — the power-law and weighted samplers underlying the
+//!   generators.
+//!
+//! All generators are deterministic functions of their config's `seed`.
+
+pub mod acm;
+pub mod dblp;
+pub mod fixtures;
+pub mod movies;
+pub mod zipf;

@@ -1,0 +1,349 @@
+//! Synthetic movie-recommendation network.
+//!
+//! The paper's introduction motivates relevance search with recommendation:
+//! "in a recommendation system, we need to know the relatedness between
+//! users and movies", and "a teenager may like the movie *Harry Potter*
+//! more than *The Shawshank Redemption*". This module generates that
+//! scenario as a HIN — users (U), movies (M), genres (G), actors (A) and
+//! demographics (D) — with *weighted* `rates` edges (star ratings), which
+//! also exercises the weighted-relation code path the bibliographic
+//! networks do not.
+//!
+//! Planted structure: each demographic has a genre-preference profile;
+//! one blockbuster per demographic is loved disproportionately by that
+//! demographic (the "Harry Potter for teens" contrast), so path-based
+//! relevance along `U-D-U-M` (what people like me watch) ranks the right
+//! blockbuster first.
+
+use crate::zipf::{WeightedSampler, Zipf};
+use hetesim_graph::{Hin, HinBuilder, RelId, Schema, TypeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The planted demographics.
+pub const DEMOGRAPHICS: [&str; 4] = ["teen", "young_adult", "adult", "senior"];
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct MoviesConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of users.
+    pub users: usize,
+    /// Number of movies.
+    pub movies: usize,
+    /// Number of genres.
+    pub genres: usize,
+    /// Number of actors.
+    pub actors: usize,
+    /// Ratings per user.
+    pub ratings_per_user: usize,
+    /// Actors per movie.
+    pub actors_per_movie: usize,
+    /// Genres per movie (1..=this).
+    pub max_genres_per_movie: usize,
+    /// Probability a rating follows the user's demographic preference
+    /// rather than global popularity.
+    pub preference_strength: f64,
+}
+
+impl Default for MoviesConfig {
+    fn default() -> Self {
+        MoviesConfig {
+            seed: 42,
+            users: 1200,
+            movies: 500,
+            genres: 12,
+            actors: 400,
+            ratings_per_user: 12,
+            actors_per_movie: 4,
+            max_genres_per_movie: 3,
+            preference_strength: 0.75,
+        }
+    }
+}
+
+impl MoviesConfig {
+    /// A very small network for tests.
+    pub fn tiny(seed: u64) -> MoviesConfig {
+        MoviesConfig {
+            seed,
+            users: 150,
+            movies: 80,
+            genres: 8,
+            actors: 60,
+            ratings_per_user: 8,
+            ..MoviesConfig::default()
+        }
+    }
+}
+
+/// A generated recommendation network with its planted handles.
+#[derive(Debug)]
+pub struct MoviesDataset {
+    /// The network.
+    pub hin: Hin,
+    /// The configuration that produced it.
+    pub config: MoviesConfig,
+    /// User type.
+    pub users: TypeId,
+    /// Movie type.
+    pub movies: TypeId,
+    /// Genre type.
+    pub genres: TypeId,
+    /// Actor type (abbreviation `'C'` for "cast" — `'A'` would collide
+    /// with nothing here, but `'C'` keeps paths readable next to `U`/`M`).
+    pub actors: TypeId,
+    /// Demographic type.
+    pub demographics: TypeId,
+    /// `rates: U → M`, weighted 1–5.
+    pub rates: RelId,
+    /// `has_genre: M → G`.
+    pub has_genre: RelId,
+    /// `features: M → C` (cast membership).
+    pub features: RelId,
+    /// `belongs_to: U → D`.
+    pub belongs_to: RelId,
+    /// Planted demographic of every user.
+    pub user_demographic: Vec<usize>,
+    /// One planted blockbuster movie name per demographic.
+    pub blockbusters: Vec<String>,
+}
+
+impl MoviesDataset {
+    /// Movie index by name.
+    pub fn movie_id(&self, name: &str) -> u32 {
+        self.hin.node_id(self.movies, name).expect("known movie")
+    }
+
+    /// User index by name.
+    pub fn user_id(&self, name: &str) -> u32 {
+        self.hin.node_id(self.users, name).expect("known user")
+    }
+}
+
+/// Generates the network.
+pub fn generate(config: &MoviesConfig) -> MoviesDataset {
+    assert!(config.genres >= DEMOGRAPHICS.len(), "need >= 4 genres");
+    assert!(config.movies > DEMOGRAPHICS.len() && config.users > 0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let nd = DEMOGRAPHICS.len();
+
+    let mut schema = Schema::new();
+    let u_ty = schema.add_type_with_abbrev("user", 'U').expect("fresh");
+    let m_ty = schema.add_type_with_abbrev("movie", 'M').expect("fresh");
+    let g_ty = schema.add_type_with_abbrev("genre", 'G').expect("fresh");
+    let c_ty = schema.add_type_with_abbrev("actor", 'C').expect("fresh");
+    let d_ty = schema
+        .add_type_with_abbrev("demographic", 'D')
+        .expect("fresh");
+    let rates = schema.add_relation("rates", u_ty, m_ty).expect("fresh");
+    let has_genre = schema.add_relation("has_genre", m_ty, g_ty).expect("fresh");
+    let features = schema.add_relation("features", m_ty, c_ty).expect("fresh");
+    let belongs_to = schema
+        .add_relation("belongs_to", u_ty, d_ty)
+        .expect("fresh");
+
+    let mut b = HinBuilder::new(schema);
+    let demo_ids: Vec<u32> = DEMOGRAPHICS.iter().map(|d| b.add_node(d_ty, d)).collect();
+    let genre_ids: Vec<u32> = (0..config.genres)
+        .map(|i| b.add_node(g_ty, &format!("genre_{i:02}")))
+        .collect();
+    let actor_ids: Vec<u32> = (0..config.actors)
+        .map(|i| b.add_node(c_ty, &format!("actor_{i:03}")))
+        .collect();
+
+    // Movies: the first `nd` are the planted blockbusters, single-genre
+    // aligned with one demographic's favorite genre.
+    let blockbusters: Vec<String> = (0..nd)
+        .map(|d| format!("blockbuster_{}", DEMOGRAPHICS[d]))
+        .collect();
+    let mut movie_ids: Vec<u32> = Vec::with_capacity(config.movies);
+    let mut movie_genres: Vec<Vec<usize>> = Vec::with_capacity(config.movies);
+    for (d, name) in blockbusters.iter().enumerate() {
+        movie_ids.push(b.add_node(m_ty, name));
+        movie_genres.push(vec![d]); // genre d == demographic d's favorite
+    }
+    for i in nd..config.movies {
+        movie_ids.push(b.add_node(m_ty, &format!("movie_{i:04}")));
+        let count = 1 + rng.random_range(0..config.max_genres_per_movie);
+        let mut gs = Vec::with_capacity(count);
+        while gs.len() < count {
+            let g = rng.random_range(0..config.genres);
+            if !gs.contains(&g) {
+                gs.push(g);
+            }
+        }
+        movie_genres.push(gs);
+    }
+    for (mi, gs) in movie_genres.iter().enumerate() {
+        for &g in gs {
+            b.add_edge(has_genre, movie_ids[mi], genre_ids[g], 1.0)
+                .expect("registered nodes");
+        }
+    }
+    // Casts: popular actors (Zipf) across movies.
+    let actor_zipf = Zipf::new(config.actors, 1.0);
+    for &m in &movie_ids {
+        let mut cast = Vec::with_capacity(config.actors_per_movie);
+        while cast.len() < config.actors_per_movie.min(config.actors) {
+            let a = actor_zipf.sample(&mut rng);
+            if !cast.contains(&a) {
+                cast.push(a);
+                b.add_edge(features, m, actor_ids[a], 1.0)
+                    .expect("registered nodes");
+            }
+        }
+    }
+
+    // Demographic genre preferences: demographic d strongly prefers genre
+    // d, mildly the neighbors.
+    let pref_samplers: Vec<WeightedSampler> = (0..nd)
+        .map(|d| {
+            let w: Vec<f64> = (0..config.genres)
+                .map(|g| {
+                    if g == d {
+                        8.0
+                    } else if g % nd == d {
+                        2.0
+                    } else {
+                        0.5
+                    }
+                })
+                .collect();
+            WeightedSampler::new(&w)
+        })
+        .collect();
+    // Per-genre movie lists for preference-driven sampling.
+    let mut by_genre: Vec<Vec<usize>> = vec![Vec::new(); config.genres];
+    for (mi, gs) in movie_genres.iter().enumerate() {
+        for &g in gs {
+            by_genre[g].push(mi);
+        }
+    }
+    let movie_pop = Zipf::new(config.movies, 0.9);
+
+    // Users.
+    let mut user_demographic = Vec::with_capacity(config.users);
+    for ui in 0..config.users {
+        let uid = b.add_node(u_ty, &format!("user_{ui:05}"));
+        let d = rng.random_range(0..nd);
+        user_demographic.push(d);
+        b.add_edge(belongs_to, uid, demo_ids[d], 1.0)
+            .expect("registered nodes");
+        let mut seen: Vec<usize> = Vec::with_capacity(config.ratings_per_user);
+        while seen.len() < config.ratings_per_user.min(config.movies) {
+            let (mi, on_pref) = if rng.random::<f64>() < config.preference_strength {
+                // A movie from a preferred genre; blockbusters double-dip
+                // because they sit first in their genre's list.
+                let g = pref_samplers[d].sample(&mut rng);
+                let list = &by_genre[g];
+                if list.is_empty() {
+                    (movie_pop.sample(&mut rng), false)
+                } else if g == d && rng.random::<f64>() < 0.35 {
+                    (list[0], true) // the demographic's blockbuster
+                } else {
+                    (list[rng.random_range(0..list.len())], true)
+                }
+            } else {
+                (movie_pop.sample(&mut rng), false)
+            };
+            if seen.contains(&mi) {
+                continue;
+            }
+            seen.push(mi);
+            // Ratings: preference-aligned picks rate high.
+            let base = if on_pref { 4.0 } else { 2.5 };
+            let rating = (base + rng.random_range(0..2) as f64).min(5.0);
+            b.add_edge(rates, uid, movie_ids[mi], rating)
+                .expect("registered nodes");
+        }
+    }
+
+    MoviesDataset {
+        hin: b.build(),
+        config: config.clone(),
+        users: u_ty,
+        movies: m_ty,
+        genres: g_ty,
+        actors: c_ty,
+        demographics: d_ty,
+        rates,
+        has_genre,
+        features,
+        belongs_to,
+        user_demographic,
+        blockbusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetesim_graph::stats::stats;
+
+    #[test]
+    fn deterministic_and_counts() {
+        let cfg = MoviesConfig::tiny(5);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(stats(&a.hin), stats(&b.hin));
+        assert_eq!(a.hin.node_count(a.users), cfg.users);
+        assert_eq!(a.hin.node_count(a.movies), cfg.movies);
+        assert_eq!(a.hin.node_count(a.demographics), 4);
+        assert_eq!(a.user_demographic.len(), cfg.users);
+    }
+
+    #[test]
+    fn ratings_are_weighted_one_to_five() {
+        let d = generate(&MoviesConfig::tiny(6));
+        let rates = d.hin.adjacency(d.rates);
+        assert!(rates.nnz() > 0);
+        for (_, _, w) in rates.iter() {
+            assert!((1.0..=5.0).contains(&w), "rating {w} out of range");
+        }
+    }
+
+    #[test]
+    fn every_user_has_one_demographic() {
+        let d = generate(&MoviesConfig::tiny(7));
+        let bel = d.hin.adjacency(d.belongs_to);
+        for u in 0..d.hin.node_count(d.users) {
+            assert_eq!(bel.row_nnz(u), 1);
+        }
+    }
+
+    #[test]
+    fn blockbusters_skew_to_their_demographic() {
+        let d = generate(&MoviesConfig::tiny(8));
+        let rates_t = d.hin.adjacency_t(d.rates); // movie x user
+        for (demo, name) in d.blockbusters.iter().enumerate() {
+            let m = d.movie_id(name) as usize;
+            let raters = rates_t.row_indices(m);
+            if raters.len() < 5 {
+                continue; // too few ratings to be meaningful in tiny nets
+            }
+            let own = raters
+                .iter()
+                .filter(|&&u| d.user_demographic[u as usize] == demo)
+                .count() as f64;
+            let frac = own / raters.len() as f64;
+            assert!(
+                frac > 0.4,
+                "{name}: only {frac:.2} of raters are {}",
+                DEMOGRAPHICS[demo]
+            );
+        }
+    }
+
+    #[test]
+    fn movies_have_genres_and_cast() {
+        let d = generate(&MoviesConfig::tiny(9));
+        let mg = d.hin.adjacency(d.has_genre);
+        let mc = d.hin.adjacency(d.features);
+        for m in 0..d.hin.node_count(d.movies) {
+            assert!(mg.row_nnz(m) >= 1);
+            assert_eq!(mc.row_nnz(m), d.config.actors_per_movie);
+        }
+    }
+}

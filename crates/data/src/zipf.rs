@@ -1,0 +1,176 @@
+//! Power-law and weighted sampling.
+//!
+//! Author productivity and term frequency in bibliographic networks are
+//! heavy-tailed; the generators sample both from a Zipf distribution. The
+//! samplers precompute a cumulative table and draw by binary search, so a
+//! sample is `O(log n)` and the whole generator stays fast at full ACM
+//! scale.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n`: `P(k) ∝ 1 / (k + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false — the constructor rejects `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// A general discrete sampler over arbitrary non-negative weights.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    cdf: Vec<f64>,
+}
+
+impl WeightedSampler {
+    /// Builds from a weight vector.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> WeightedSampler {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        WeightedSampler { cdf }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false — the constructor rejects empty weights.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = Zipf::new(50, 1.0);
+        for k in 1..50 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_head_heaviness() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) < 10).count() as f64 / n as f64;
+        // Analytically the top-10 ranks carry a large share of mass.
+        let expected: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((head - expected).abs() < 0.02);
+        assert!(expected > 0.3);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn weighted_sampler_respects_weights() {
+        let w = WeightedSampler::new(&[0.0, 3.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_sampler_rejects_empty() {
+        WeightedSampler::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn weighted_sampler_rejects_zero_mass() {
+        WeightedSampler::new(&[0.0, 0.0]);
+    }
+}

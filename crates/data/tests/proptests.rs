@@ -1,0 +1,122 @@
+//! Property-based tests of the dataset generators: for arbitrary small
+//! configurations, generation never panics and the structural invariants
+//! every experiment relies on hold.
+
+use hetesim_data::{acm, dblp, movies, zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn acm_invariants_for_arbitrary_configs(
+        seed in 0u64..1000,
+        papers in 30..200usize,
+        authors in 20..150usize,
+        venues in 1..4usize,
+    ) {
+        let cfg = acm::AcmConfig {
+            seed,
+            papers,
+            authors: authors + 20, // room for the planted authors
+            affiliations: 20,
+            terms: 40,
+            subjects: 12,
+            venues_per_conference: venues,
+            ..acm::AcmConfig::default()
+        };
+        let d = acm::generate(&cfg);
+        prop_assert_eq!(d.hin.node_count(d.papers), papers);
+        prop_assert_eq!(d.hin.node_count(d.conferences), 14);
+        // Every paper: exactly one venue, >= 1 author.
+        let pv = d.hin.adjacency(d.published_in);
+        let pa = d.hin.adjacency_t(d.writes);
+        for p in 0..papers {
+            prop_assert_eq!(pv.row_nnz(p), 1);
+            prop_assert!(pa.row_nnz(p) >= 1);
+        }
+        // Every author has exactly one affiliation.
+        let af = d.hin.adjacency(d.affiliated_with);
+        for a in 0..d.hin.node_count(d.authors) {
+            prop_assert_eq!(af.row_nnz(a), 1);
+        }
+        // Every venue belongs to exactly one conference.
+        let vc = d.hin.adjacency(d.part_of);
+        for v in 0..d.hin.node_count(d.venues) {
+            prop_assert_eq!(vc.row_nnz(v), 1);
+        }
+    }
+
+    #[test]
+    fn dblp_invariants_for_arbitrary_configs(
+        seed in 0u64..1000,
+        papers in 30..200usize,
+        authors in 10..150usize,
+    ) {
+        let cfg = dblp::DblpConfig {
+            seed,
+            papers,
+            authors,
+            terms: 60,
+            labeled_authors: authors / 2,
+            labeled_papers: papers / 4,
+            ..dblp::DblpConfig::default()
+        };
+        let d = dblp::generate(&cfg);
+        prop_assert_eq!(d.hin.node_count(d.conferences), 20);
+        prop_assert_eq!(d.author_area.len(), authors);
+        prop_assert_eq!(d.paper_area.len(), papers);
+        prop_assert_eq!(d.labeled_authors.len(), authors / 2);
+        // Paper areas agree with the publishing conference's area.
+        let pc = d.hin.adjacency(d.published_in);
+        for p in 0..papers {
+            prop_assert_eq!(pc.row_nnz(p), 1);
+            let conf = pc.row_indices(p)[0] as usize;
+            prop_assert_eq!(d.paper_area[p], d.conference_area[conf]);
+        }
+        // Labels are valid node indices.
+        for &a in &d.labeled_authors {
+            prop_assert!((a as usize) < authors);
+        }
+    }
+
+    #[test]
+    fn movies_invariants_for_arbitrary_configs(
+        seed in 0u64..1000,
+        users in 10..120usize,
+        n_movies in 10..100usize,
+    ) {
+        let cfg = movies::MoviesConfig {
+            seed,
+            users,
+            movies: n_movies,
+            genres: 8,
+            actors: 30,
+            ratings_per_user: 5,
+            ..movies::MoviesConfig::default()
+        };
+        let d = movies::generate(&cfg);
+        prop_assert_eq!(d.hin.node_count(d.users), users);
+        prop_assert_eq!(d.user_demographic.len(), users);
+        let rates = d.hin.adjacency(d.rates);
+        for (_, _, w) in rates.iter() {
+            prop_assert!((1.0..=5.0).contains(&w));
+        }
+        for u in 0..users {
+            prop_assert_eq!(rates.row_nnz(u), 5.min(n_movies));
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_never_escapes_range(n in 1..500usize, s in 0.0..3.0f64, seed in 0u64..100) {
+        let z = zipf::Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

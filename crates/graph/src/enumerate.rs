@@ -1,0 +1,170 @@
+//! Relevance-path enumeration over a schema.
+//!
+//! Section 5.1 of the paper discusses how to choose relevance paths: by
+//! domain knowledge, by trying multiple paths, or by supervised learning
+//! over a candidate set. This module produces that candidate set — all
+//! meta-paths between two types up to a length bound — by walking the
+//! schema graph. Candidates feed `hetesim_core::learning`, which fits
+//! per-path weights from labeled pairs.
+
+use crate::{MetaPath, Schema, Step, TypeId};
+
+/// All meta-paths from `from` to `to` whose length (step count) is in
+/// `1..=max_len`, in order of increasing length, deterministic within a
+/// length (relation registration order, forward before backward).
+///
+/// The walk may revisit types and relations — `A-P-A` backtracks over
+/// `writes` and is a perfectly meaningful relevance path — so the number
+/// of candidates grows exponentially in `max_len`; keep the bound small
+/// (the paper never uses paths longer than 7 steps).
+///
+/// ```
+/// use hetesim_graph::{enumerate::enumerate_paths, Schema};
+/// let mut s = Schema::new();
+/// let a = s.add_type("author").unwrap();
+/// let p = s.add_type("paper").unwrap();
+/// s.add_relation("writes", a, p).unwrap();
+/// let paths = enumerate_paths(&s, a, a, 4);
+/// let rendered: Vec<String> = paths.iter().map(|p| p.display(&s)).collect();
+/// assert_eq!(rendered, ["A-P-A", "A-P-A-P-A"]);
+/// ```
+pub fn enumerate_paths(schema: &Schema, from: TypeId, to: TypeId, max_len: usize) -> Vec<MetaPath> {
+    let mut out = Vec::new();
+    let mut stack: Vec<Step> = Vec::new();
+    walk(schema, from, to, max_len, &mut stack, &mut out);
+    out.sort_by_key(|p| p.len());
+    out
+}
+
+/// Candidate steps departing from a type: every relation with `ty` as its
+/// source, traversed forward, plus every relation with `ty` as its target,
+/// traversed backward.
+fn departures(schema: &Schema, ty: TypeId) -> Vec<Step> {
+    let mut steps = Vec::new();
+    for rel in schema.relation_ids() {
+        if schema.relation_src(rel) == ty {
+            steps.push(Step::forward(rel));
+        }
+        if schema.relation_dst(rel) == ty {
+            steps.push(Step::backward(rel));
+        }
+    }
+    steps
+}
+
+fn walk(
+    schema: &Schema,
+    at: TypeId,
+    to: TypeId,
+    budget: usize,
+    stack: &mut Vec<Step>,
+    out: &mut Vec<MetaPath>,
+) {
+    if budget == 0 {
+        return;
+    }
+    for step in departures(schema, at) {
+        stack.push(step);
+        let next = step.to_type(schema);
+        if next == to {
+            out.push(
+                MetaPath::from_steps(schema, stack.clone()).expect("enumerated steps always chain"),
+            );
+        }
+        walk(schema, next, to, budget - 1, stack, out);
+        stack.pop();
+    }
+}
+
+/// Only the symmetric paths from `enumerate_paths` — the candidate set for
+/// PathSim and for same-type clustering tasks.
+pub fn enumerate_symmetric_paths(schema: &Schema, ty: TypeId, max_len: usize) -> Vec<MetaPath> {
+    enumerate_paths(schema, ty, ty, max_len)
+        .into_iter()
+        .filter(MetaPath::is_symmetric)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acm_like() -> Schema {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let v = s.add_type("venue").unwrap();
+        let c = s.add_type("conference").unwrap();
+        s.add_relation("writes", a, p).unwrap();
+        s.add_relation("published_in", p, v).unwrap();
+        s.add_relation("part_of", v, c).unwrap();
+        s
+    }
+
+    #[test]
+    fn finds_the_canonical_author_conference_path() {
+        let s = acm_like();
+        let a = s.type_id("author").unwrap();
+        let c = s.type_id("conference").unwrap();
+        let paths = enumerate_paths(&s, a, c, 3);
+        // Exactly one length-3 path exists: A-P-V-C.
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].display(&s), "A-P-V-C");
+    }
+
+    #[test]
+    fn longer_budget_adds_detours() {
+        let s = acm_like();
+        let a = s.type_id("author").unwrap();
+        let c = s.type_id("conference").unwrap();
+        let short = enumerate_paths(&s, a, c, 3);
+        let long = enumerate_paths(&s, a, c, 5);
+        assert!(long.len() > short.len());
+        // The detour through co-authors shows up: A-P-A-P-V-C.
+        assert!(long.iter().any(|p| p.display(&s) == "A-P-A-P-V-C"));
+        // Sorted by length.
+        for w in long.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    fn every_enumerated_path_has_right_endpoints() {
+        let s = acm_like();
+        let a = s.type_id("author").unwrap();
+        let v = s.type_id("venue").unwrap();
+        for p in enumerate_paths(&s, a, v, 4) {
+            assert_eq!(p.source_type(), a);
+            assert_eq!(p.target_type(), v);
+            assert!(p.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn symmetric_enumeration_filters() {
+        let s = acm_like();
+        let a = s.type_id("author").unwrap();
+        let sym = enumerate_symmetric_paths(&s, a, 4);
+        assert!(!sym.is_empty());
+        for p in &sym {
+            assert!(p.is_symmetric());
+        }
+        // A-P-A is the shortest symmetric author path.
+        assert_eq!(sym[0].display(&s), "A-P-A");
+    }
+
+    #[test]
+    fn zero_budget_yields_nothing() {
+        let s = acm_like();
+        let a = s.type_id("author").unwrap();
+        assert!(enumerate_paths(&s, a, a, 0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_types_yield_nothing() {
+        let mut s = acm_like();
+        let iso = s.add_type_with_abbrev("island", 'I').unwrap();
+        let a = s.type_id("author").unwrap();
+        assert!(enumerate_paths(&s, a, iso, 6).is_empty());
+    }
+}

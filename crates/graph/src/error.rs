@@ -1,0 +1,131 @@
+use crate::{RelId, TypeId};
+use hetesim_sparse::SparseError;
+use std::fmt;
+
+/// Errors produced while defining schemas, building networks, or parsing
+/// meta-paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A type name or abbreviation was registered twice.
+    DuplicateType(String),
+    /// A relation name was registered twice.
+    DuplicateRelation(String),
+    /// Lookup by name failed.
+    UnknownType(String),
+    /// Lookup by abbreviation failed.
+    UnknownAbbrev(char),
+    /// Lookup by name failed.
+    UnknownRelation(String),
+    /// A `TypeId`/`RelId` does not belong to this schema.
+    InvalidId(String),
+    /// An edge's endpoint type does not match the relation's signature.
+    TypeMismatch {
+        /// Relation being populated.
+        rel: RelId,
+        /// Expected endpoint type.
+        expected: TypeId,
+        /// Provided endpoint type.
+        got: TypeId,
+    },
+    /// More than one relation connects two consecutive path types, so the
+    /// compact type-sequence notation is ambiguous.
+    AmbiguousStep {
+        /// Source type of the step.
+        from: TypeId,
+        /// Target type of the step.
+        to: TypeId,
+    },
+    /// No relation (in either direction) connects two consecutive types.
+    NoStep {
+        /// Source type of the step.
+        from: TypeId,
+        /// Target type of the step.
+        to: TypeId,
+    },
+    /// A meta-path string or step sequence is malformed.
+    InvalidPath(String),
+    /// Two paths cannot be concatenated (end/start types differ).
+    NotConcatenable,
+    /// Propagated linear-algebra error.
+    Sparse(SparseError),
+    /// Propagated I/O error (stringified to keep the error `Clone + Eq`-ish).
+    Io(String),
+    /// A persisted network file is malformed.
+    Format(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateType(n) => write!(f, "duplicate type {n:?}"),
+            GraphError::DuplicateRelation(n) => write!(f, "duplicate relation {n:?}"),
+            GraphError::UnknownType(n) => write!(f, "unknown type {n:?}"),
+            GraphError::UnknownAbbrev(c) => write!(f, "unknown type abbreviation {c:?}"),
+            GraphError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
+            GraphError::InvalidId(what) => write!(f, "id not valid for this schema: {what}"),
+            GraphError::TypeMismatch { rel, expected, got } => write!(
+                f,
+                "edge endpoint type mismatch on relation #{}: expected type #{}, got #{}",
+                rel.index(),
+                expected.index(),
+                got.index()
+            ),
+            GraphError::AmbiguousStep { from, to } => write!(
+                f,
+                "more than one relation connects type #{} and type #{}; \
+                 use explicit relation steps instead of type-sequence notation",
+                from.index(),
+                to.index()
+            ),
+            GraphError::NoStep { from, to } => write!(
+                f,
+                "no relation connects type #{} and type #{}",
+                from.index(),
+                to.index()
+            ),
+            GraphError::InvalidPath(msg) => write!(f, "invalid meta-path: {msg}"),
+            GraphError::NotConcatenable => {
+                write!(f, "paths are not concatenable (end type != start type)")
+            }
+            GraphError::Sparse(e) => write!(f, "linear algebra error: {e}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::Format(msg) => write!(f, "malformed network file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<SparseError> for GraphError {
+    fn from(e: SparseError) -> Self {
+        GraphError::Sparse(e)
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_mention_payload() {
+        assert!(GraphError::UnknownType("author".into())
+            .to_string()
+            .contains("author"));
+        assert!(GraphError::UnknownAbbrev('Q').to_string().contains('Q'));
+        assert!(GraphError::InvalidPath("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn sparse_error_converts() {
+        let e: GraphError = SparseError::EmptyChain.into();
+        assert!(matches!(e, GraphError::Sparse(_)));
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Heterogeneous information network (HIN) storage, schema, and meta-path
+//! machinery.
+//!
+//! This crate implements Definitions 1 and 2 of Shi et al. (EDBT 2012):
+//!
+//! * [`Schema`] — the network template: a set of object *types* and a set of
+//!   directed *relations* between types (Definition 1's `S = (A, R)`).
+//! * [`Hin`] — a concrete network instance: per-type node registries and one
+//!   sparse adjacency matrix per relation, with transposes cached so that a
+//!   relation can be traversed in either direction at no extra cost.
+//! * [`MetaPath`] — a *relevance path* (Definition 2): a chainable sequence
+//!   of relation traversals, each forward (`A → B` along `R`) or backward
+//!   (`B → A` along `R⁻¹`). Paths can be parsed from the compact type-name
+//!   notation used throughout the paper (`"APVC"`, `"A-P-V-C"`), reversed,
+//!   concatenated, and tested for symmetry.
+//!
+//! # Example
+//!
+//! ```
+//! use hetesim_graph::{HinBuilder, MetaPath, Schema};
+//!
+//! let mut schema = Schema::new();
+//! let author = schema.add_type("author").unwrap();
+//! let paper = schema.add_type("paper").unwrap();
+//! let conf = schema.add_type("conference").unwrap();
+//! let writes = schema.add_relation("writes", author, paper).unwrap();
+//! let published = schema.add_relation("published_in", paper, conf).unwrap();
+//!
+//! let mut b = HinBuilder::new(schema);
+//! b.add_edge_by_name(writes, "Tom", "P1", 1.0).unwrap();
+//! b.add_edge_by_name(writes, "Tom", "P2", 1.0).unwrap();
+//! b.add_edge_by_name(published, "P1", "KDD", 1.0).unwrap();
+//! b.add_edge_by_name(published, "P2", "KDD", 1.0).unwrap();
+//! let hin = b.build();
+//!
+//! let apc = MetaPath::parse(hin.schema(), "A-P-C").unwrap();
+//! assert_eq!(apc.len(), 2);
+//! assert_eq!(apc.source_type(), author);
+//! assert_eq!(apc.target_type(), conf);
+//! assert!(!apc.is_symmetric());
+//! assert!(MetaPath::parse(hin.schema(), "A-P-A").unwrap().is_symmetric());
+//! ```
+
+mod error;
+mod metapath;
+mod network;
+mod schema;
+
+pub mod enumerate;
+pub mod io;
+pub mod stats;
+
+pub use error::GraphError;
+pub use metapath::{Direction, MetaPath, Step};
+pub use network::{Hin, HinBuilder, NodeRef};
+pub use schema::{RelId, Schema, TypeId};
+
+/// Convenience alias used by fallible entry points of this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

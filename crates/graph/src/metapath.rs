@@ -1,0 +1,399 @@
+use crate::{GraphError, RelId, Result, Schema, TypeId};
+
+/// Traversal direction of one meta-path step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Traverse the relation from its source type to its target type.
+    Forward,
+    /// Traverse the inverse relation `R⁻¹` (target type to source type).
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flipped(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// One step of a meta-path: a relation plus the direction it is traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The schema relation being traversed.
+    pub rel: RelId,
+    /// Whether the relation is followed forwards or backwards.
+    pub dir: Direction,
+}
+
+impl Step {
+    /// A forward step over `rel`.
+    pub fn forward(rel: RelId) -> Step {
+        Step {
+            rel,
+            dir: Direction::Forward,
+        }
+    }
+
+    /// A backward (inverse-relation) step over `rel`.
+    pub fn backward(rel: RelId) -> Step {
+        Step {
+            rel,
+            dir: Direction::Backward,
+        }
+    }
+
+    /// Type this step departs from.
+    pub fn from_type(&self, schema: &Schema) -> TypeId {
+        match self.dir {
+            Direction::Forward => schema.relation_src(self.rel),
+            Direction::Backward => schema.relation_dst(self.rel),
+        }
+    }
+
+    /// Type this step arrives at.
+    pub fn to_type(&self, schema: &Schema) -> TypeId {
+        match self.dir {
+            Direction::Forward => schema.relation_dst(self.rel),
+            Direction::Backward => schema.relation_src(self.rel),
+        }
+    }
+
+    /// The same relation traversed the other way.
+    pub fn reversed(self) -> Step {
+        Step {
+            rel: self.rel,
+            dir: self.dir.flipped(),
+        }
+    }
+}
+
+/// A relevance path (Definition 2): a composite relation
+/// `A1 → A2 → … → A(l+1)` expressed as a chain of directed relation steps.
+///
+/// The paper writes paths as type sequences (`APVC`) when at most one
+/// relation connects each consecutive type pair; [`MetaPath::parse`]
+/// implements exactly that notation, resolving each consecutive pair to the
+/// unique forward or backward relation and reporting ambiguity otherwise.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MetaPath {
+    steps: Vec<Step>,
+    /// Type sequence; `types.len() == steps.len() + 1`.
+    types: Vec<TypeId>,
+}
+
+impl MetaPath {
+    /// Builds a path from explicit steps, validating that consecutive steps
+    /// chain (each step departs from the type the previous one arrived at).
+    pub fn from_steps(schema: &Schema, steps: Vec<Step>) -> Result<MetaPath> {
+        if steps.is_empty() {
+            return Err(GraphError::InvalidPath("a path needs >= 1 step".into()));
+        }
+        for s in &steps {
+            schema.check_relation(s.rel)?;
+        }
+        let mut types = Vec::with_capacity(steps.len() + 1);
+        types.push(steps[0].from_type(schema));
+        for (i, s) in steps.iter().enumerate() {
+            let from = s.from_type(schema);
+            if from != *types.last().expect("non-empty") {
+                return Err(GraphError::InvalidPath(format!(
+                    "step {i} departs from type {:?} but previous step arrived at {:?}",
+                    schema.type_name(from),
+                    schema.type_name(*types.last().unwrap()),
+                )));
+            }
+            types.push(s.to_type(schema));
+        }
+        Ok(MetaPath { steps, types })
+    }
+
+    /// Parses the compact type-sequence notation: `"APVC"`, `"A-P-V-C"`,
+    /// or full type names separated by dashes (`"author-paper"`).
+    ///
+    /// Each consecutive type pair must be connected by exactly one schema
+    /// relation (in either direction); otherwise the notation is ambiguous
+    /// and [`GraphError::AmbiguousStep`] is returned — use
+    /// [`MetaPath::from_steps`] with explicit relations in that case.
+    pub fn parse(schema: &Schema, text: &str) -> Result<MetaPath> {
+        let types = Self::parse_type_sequence(schema, text)?;
+        if types.len() < 2 {
+            return Err(GraphError::InvalidPath(format!(
+                "path {text:?} must name at least two types"
+            )));
+        }
+        let mut steps = Vec::with_capacity(types.len() - 1);
+        for w in types.windows(2) {
+            steps.push(Self::step_between(schema, w[0], w[1])?);
+        }
+        MetaPath::from_steps(schema, steps)
+    }
+
+    fn parse_type_sequence(schema: &Schema, text: &str) -> Result<Vec<TypeId>> {
+        let text = text.trim();
+        if text.contains('-') {
+            text.split('-')
+                .map(|tok| {
+                    let tok = tok.trim();
+                    let mut chars = tok.chars();
+                    match (chars.next(), chars.next()) {
+                        (Some(c), None) => schema.type_by_abbrev(c),
+                        _ => schema.type_id(tok),
+                    }
+                })
+                .collect()
+        } else {
+            text.chars().map(|c| schema.type_by_abbrev(c)).collect()
+        }
+    }
+
+    /// Resolves the unique step between two types, preferring nothing:
+    /// exactly one candidate must exist among forward and backward
+    /// traversals of the relations touching the pair.
+    pub fn step_between(schema: &Schema, from: TypeId, to: TypeId) -> Result<Step> {
+        let mut candidates = Vec::new();
+        for &rel in schema.relations_between(from, to) {
+            if schema.relation_src(rel) == from && schema.relation_dst(rel) == to {
+                candidates.push(Step::forward(rel));
+            }
+            if schema.relation_src(rel) == to && schema.relation_dst(rel) == from {
+                candidates.push(Step::backward(rel));
+            }
+        }
+        match candidates.len() {
+            0 => Err(GraphError::NoStep { from, to }),
+            1 => Ok(candidates[0]),
+            _ => Err(GraphError::AmbiguousStep { from, to }),
+        }
+    }
+
+    /// Number of steps (the path length `l` of Definition 2).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Paths are never empty; provided for clippy-compliant symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The steps in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The visited type sequence `A1 … A(l+1)`.
+    pub fn type_sequence(&self) -> &[TypeId] {
+        &self.types
+    }
+
+    /// First type (`A1`; the source side of relevance queries).
+    pub fn source_type(&self) -> TypeId {
+        self.types[0]
+    }
+
+    /// Last type (`A(l+1)`; the target side of relevance queries).
+    pub fn target_type(&self) -> TypeId {
+        *self.types.last().expect("non-empty")
+    }
+
+    /// The reverse path `P⁻¹`: steps reversed with flipped directions.
+    pub fn reversed(&self) -> MetaPath {
+        let steps: Vec<Step> = self.steps.iter().rev().map(|s| s.reversed()).collect();
+        let types: Vec<TypeId> = self.types.iter().rev().copied().collect();
+        MetaPath { steps, types }
+    }
+
+    /// True when `P == P⁻¹` — the symmetric-path condition under which
+    /// PathSim is defined and under which `HeteSim(a, a | P) = 1`.
+    pub fn is_symmetric(&self) -> bool {
+        *self == self.reversed()
+    }
+
+    /// Concatenates `self` with `other` (Definition 2's concatenable
+    /// paths); fails unless `self` ends at the type `other` starts from.
+    pub fn concat(&self, other: &MetaPath) -> Result<MetaPath> {
+        if self.target_type() != other.source_type() {
+            return Err(GraphError::NotConcatenable);
+        }
+        let mut steps = self.steps.clone();
+        steps.extend_from_slice(&other.steps);
+        let mut types = self.types.clone();
+        types.extend_from_slice(&other.types[1..]);
+        Ok(MetaPath { steps, types })
+    }
+
+    /// Renders the path in dashed abbreviation form, e.g. `"A-P-V-C"`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let mut s = String::new();
+        for (i, ty) in self.types.iter().enumerate() {
+            if i > 0 {
+                s.push('-');
+            }
+            s.push(schema.type_abbrev(*ty));
+        }
+        s
+    }
+
+    /// A stable cache key uniquely identifying the step sequence (unlike
+    /// [`MetaPath::display`], which collapses parallel relations).
+    pub fn cache_key(&self) -> String {
+        let mut s = String::new();
+        for step in &self.steps {
+            s.push(match step.dir {
+                Direction::Forward => '+',
+                Direction::Backward => '-',
+            });
+            s.push_str(&step.rel.index().to_string());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn acm_like_schema() -> Schema {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let v = s.add_type("venue").unwrap();
+        let c = s.add_type("conference").unwrap();
+        let t = s.add_type("term").unwrap();
+        s.add_relation("writes", a, p).unwrap();
+        s.add_relation("published_in", p, v).unwrap();
+        s.add_relation("part_of", v, c).unwrap();
+        s.add_relation("has_term", p, t).unwrap();
+        s
+    }
+
+    #[test]
+    fn parse_compact_and_dashed() {
+        let s = acm_like_schema();
+        let p1 = MetaPath::parse(&s, "APVC").unwrap();
+        let p2 = MetaPath::parse(&s, "A-P-V-C").unwrap();
+        let p3 = MetaPath::parse(&s, "author-paper-venue-conference").unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1, p3);
+        assert_eq!(p1.len(), 3);
+        assert_eq!(p1.display(&s), "A-P-V-C");
+    }
+
+    #[test]
+    fn parse_resolves_directions() {
+        let s = acm_like_schema();
+        let cvpa = MetaPath::parse(&s, "CVPA").unwrap();
+        // C→V is backward over part_of, V→P backward over published_in,
+        // P→A backward over writes.
+        assert!(cvpa.steps().iter().all(|st| st.dir == Direction::Backward));
+        let apvc = MetaPath::parse(&s, "APVC").unwrap();
+        assert!(apvc.steps().iter().all(|st| st.dir == Direction::Forward));
+    }
+
+    #[test]
+    fn reverse_of_parse_is_parse_of_reverse() {
+        let s = acm_like_schema();
+        let apvc = MetaPath::parse(&s, "APVC").unwrap();
+        let cvpa = MetaPath::parse(&s, "CVPA").unwrap();
+        assert_eq!(apvc.reversed(), cvpa);
+        assert_eq!(cvpa.reversed(), apvc);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let s = acm_like_schema();
+        assert!(MetaPath::parse(&s, "APA").unwrap().is_symmetric());
+        assert!(MetaPath::parse(&s, "APVCVPA").unwrap().is_symmetric());
+        assert!(!MetaPath::parse(&s, "APVC").unwrap().is_symmetric());
+        assert!(!MetaPath::parse(&s, "APT").unwrap().is_symmetric());
+    }
+
+    #[test]
+    fn concat_checks_types() {
+        let s = acm_like_schema();
+        let ap = MetaPath::parse(&s, "AP").unwrap();
+        let pv = MetaPath::parse(&s, "PV").unwrap();
+        let apv = ap.concat(&pv).unwrap();
+        assert_eq!(apv, MetaPath::parse(&s, "APV").unwrap());
+        assert!(matches!(pv.concat(&pv), Err(GraphError::NotConcatenable)));
+    }
+
+    #[test]
+    fn unknown_abbrev_is_error() {
+        let s = acm_like_schema();
+        assert!(matches!(
+            MetaPath::parse(&s, "APX"),
+            Err(GraphError::UnknownAbbrev('X'))
+        ));
+    }
+
+    #[test]
+    fn no_step_between_disconnected_types() {
+        let s = acm_like_schema();
+        assert!(matches!(
+            MetaPath::parse(&s, "AC"),
+            Err(GraphError::NoStep { .. })
+        ));
+    }
+
+    #[test]
+    fn ambiguous_pair_is_rejected() {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        s.add_relation("writes", a, p).unwrap();
+        s.add_relation("reviews", a, p).unwrap();
+        assert!(matches!(
+            MetaPath::parse(&s, "AP"),
+            Err(GraphError::AmbiguousStep { .. })
+        ));
+        // Explicit steps still work.
+        let w = s.relation_id("writes").unwrap();
+        let path = MetaPath::from_steps(&s, vec![Step::forward(w)]).unwrap();
+        assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    fn from_steps_rejects_broken_chain() {
+        let s = acm_like_schema();
+        let w = s.relation_id("writes").unwrap();
+        let t = s.relation_id("has_term").unwrap();
+        // writes: A→P then has_term backward: T→P — does not chain.
+        assert!(MetaPath::from_steps(&s, vec![Step::forward(w), Step::backward(t)]).is_err());
+        assert!(MetaPath::from_steps(&s, vec![]).is_err());
+    }
+
+    #[test]
+    fn single_step_path_too_short_to_parse_one_type() {
+        let s = acm_like_schema();
+        assert!(MetaPath::parse(&s, "A").is_err());
+        assert!(MetaPath::parse(&s, "").is_err());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_direction() {
+        let s = acm_like_schema();
+        let ap = MetaPath::parse(&s, "AP").unwrap();
+        let pa = MetaPath::parse(&s, "PA").unwrap();
+        assert_ne!(ap.cache_key(), pa.cache_key());
+    }
+
+    #[test]
+    fn self_relation_path() {
+        let mut s = Schema::new();
+        let u = s.add_type("user").unwrap();
+        let f = s.add_relation("follows", u, u).unwrap();
+        // u-u is ambiguous through type notation (forward and backward both
+        // exist), so explicit steps are required.
+        assert!(matches!(
+            MetaPath::parse(&s, "UU"),
+            Err(GraphError::AmbiguousStep { .. })
+        ));
+        let p = MetaPath::from_steps(&s, vec![Step::forward(f), Step::backward(f)]).unwrap();
+        assert!(p.is_symmetric());
+    }
+}

@@ -1,0 +1,312 @@
+use crate::{GraphError, Result};
+use std::collections::HashMap;
+
+/// Identifier of an object type within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(u16);
+
+impl TypeId {
+    /// Positional index of the type within its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a relation within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(u16);
+
+impl RelId {
+    /// Positional index of the relation within its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TypeDef {
+    name: String,
+    abbrev: char,
+}
+
+#[derive(Debug, Clone)]
+struct RelDef {
+    name: String,
+    src: TypeId,
+    dst: TypeId,
+}
+
+/// A network schema `S = (A, R)` (Definition 1): object types plus directed
+/// relations between them.
+///
+/// Each type carries a single-character abbreviation (defaulting to the
+/// upper-cased first letter of its name) so that meta-paths can be written
+/// in the compact notation used throughout the paper: `"APVC"` for
+/// Author–Paper–Venue–Conference.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    types: Vec<TypeDef>,
+    relations: Vec<RelDef>,
+    by_type_name: HashMap<String, TypeId>,
+    by_abbrev: HashMap<char, TypeId>,
+    by_rel_name: HashMap<String, RelId>,
+    /// For each unordered type pair, the relations connecting them (used by
+    /// compact path parsing).
+    between: HashMap<(TypeId, TypeId), Vec<RelId>>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Registers a type, deriving the abbreviation from the upper-cased
+    /// first character of `name`.
+    pub fn add_type(&mut self, name: &str) -> Result<TypeId> {
+        let abbrev = name
+            .chars()
+            .next()
+            .ok_or_else(|| GraphError::DuplicateType("<empty>".into()))?
+            .to_ascii_uppercase();
+        self.add_type_with_abbrev(name, abbrev)
+    }
+
+    /// Registers a type with an explicit abbreviation character. Both the
+    /// name and the abbreviation must be unique within the schema.
+    pub fn add_type_with_abbrev(&mut self, name: &str, abbrev: char) -> Result<TypeId> {
+        if self.by_type_name.contains_key(name) {
+            return Err(GraphError::DuplicateType(name.to_string()));
+        }
+        if self.by_abbrev.contains_key(&abbrev) {
+            return Err(GraphError::DuplicateType(format!(
+                "{name} (abbreviation {abbrev:?} already taken)"
+            )));
+        }
+        let id = TypeId(u16::try_from(self.types.len()).expect("too many types"));
+        self.types.push(TypeDef {
+            name: name.to_string(),
+            abbrev,
+        });
+        self.by_type_name.insert(name.to_string(), id);
+        self.by_abbrev.insert(abbrev, id);
+        Ok(id)
+    }
+
+    /// Registers a directed relation `src → dst`.
+    pub fn add_relation(&mut self, name: &str, src: TypeId, dst: TypeId) -> Result<RelId> {
+        if self.by_rel_name.contains_key(name) {
+            return Err(GraphError::DuplicateRelation(name.to_string()));
+        }
+        self.check_type(src)?;
+        self.check_type(dst)?;
+        let id = RelId(u16::try_from(self.relations.len()).expect("too many relations"));
+        self.relations.push(RelDef {
+            name: name.to_string(),
+            src,
+            dst,
+        });
+        self.by_rel_name.insert(name.to_string(), id);
+        self.between.entry((src, dst)).or_default().push(id);
+        if src != dst {
+            self.between.entry((dst, src)).or_default().push(id);
+        }
+        Ok(id)
+    }
+
+    fn check_type(&self, ty: TypeId) -> Result<()> {
+        if ty.index() < self.types.len() {
+            Ok(())
+        } else {
+            Err(GraphError::InvalidId(format!("type #{}", ty.index())))
+        }
+    }
+
+    /// Validates a relation id against this schema.
+    pub fn check_relation(&self, rel: RelId) -> Result<()> {
+        if rel.index() < self.relations.len() {
+            Ok(())
+        } else {
+            Err(GraphError::InvalidId(format!("relation #{}", rel.index())))
+        }
+    }
+
+    /// Number of registered types (`|A|`).
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of registered relations (`|R|`).
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the schema is heterogeneous per Definition 1
+    /// (`|A| > 1 || |R| > 1`).
+    pub fn is_heterogeneous(&self) -> bool {
+        self.type_count() > 1 || self.relation_count() > 1
+    }
+
+    /// Name of a type.
+    pub fn type_name(&self, ty: TypeId) -> &str {
+        &self.types[ty.index()].name
+    }
+
+    /// Abbreviation character of a type.
+    pub fn type_abbrev(&self, ty: TypeId) -> char {
+        self.types[ty.index()].abbrev
+    }
+
+    /// Looks up a type by name.
+    pub fn type_id(&self, name: &str) -> Result<TypeId> {
+        self.by_type_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| GraphError::UnknownType(name.to_string()))
+    }
+
+    /// Looks up a type by abbreviation character.
+    pub fn type_by_abbrev(&self, abbrev: char) -> Result<TypeId> {
+        self.by_abbrev
+            .get(&abbrev)
+            .copied()
+            .ok_or(GraphError::UnknownAbbrev(abbrev))
+    }
+
+    /// All type ids in registration order.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.types.len()).map(|i| TypeId(i as u16))
+    }
+
+    /// Name of a relation.
+    pub fn relation_name(&self, rel: RelId) -> &str {
+        &self.relations[rel.index()].name
+    }
+
+    /// Source type of a relation (`R.S` in the paper).
+    pub fn relation_src(&self, rel: RelId) -> TypeId {
+        self.relations[rel.index()].src
+    }
+
+    /// Target type of a relation (`R.T` in the paper).
+    pub fn relation_dst(&self, rel: RelId) -> TypeId {
+        self.relations[rel.index()].dst
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation_id(&self, name: &str) -> Result<RelId> {
+        self.by_rel_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| GraphError::UnknownRelation(name.to_string()))
+    }
+
+    /// All relation ids in registration order.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len()).map(|i| RelId(i as u16))
+    }
+
+    /// Relations touching the (ordered) pair of types in either direction.
+    pub fn relations_between(&self, a: TypeId, b: TypeId) -> &[RelId] {
+        self.between.get(&(a, b)).map_or(&[], |v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bib_schema() -> Schema {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let c = s.add_type("conference").unwrap();
+        s.add_relation("writes", a, p).unwrap();
+        s.add_relation("published_in", p, c).unwrap();
+        s
+    }
+
+    #[test]
+    fn lookup_by_name_and_abbrev() {
+        let s = bib_schema();
+        let a = s.type_id("author").unwrap();
+        assert_eq!(s.type_abbrev(a), 'A');
+        assert_eq!(s.type_by_abbrev('A').unwrap(), a);
+        assert_eq!(s.type_name(a), "author");
+        assert!(s.type_id("venue").is_err());
+        assert!(s.type_by_abbrev('V').is_err());
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let mut s = bib_schema();
+        assert!(matches!(
+            s.add_type("author"),
+            Err(GraphError::DuplicateType(_))
+        ));
+        // Abbreviation collision: "affiliation" also starts with 'a'.
+        assert!(s.add_type("affiliation").is_err());
+        assert!(s.add_type_with_abbrev("affiliation", 'F').is_ok());
+    }
+
+    #[test]
+    fn relation_endpoints() {
+        let s = bib_schema();
+        let w = s.relation_id("writes").unwrap();
+        assert_eq!(s.relation_src(w), s.type_id("author").unwrap());
+        assert_eq!(s.relation_dst(w), s.type_id("paper").unwrap());
+        assert_eq!(s.relation_name(w), "writes");
+        assert!(s.relation_id("cites").is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut s = bib_schema();
+        let a = s.type_id("author").unwrap();
+        let p = s.type_id("paper").unwrap();
+        assert!(matches!(
+            s.add_relation("writes", a, p),
+            Err(GraphError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn relations_between_is_direction_agnostic() {
+        let s = bib_schema();
+        let a = s.type_id("author").unwrap();
+        let p = s.type_id("paper").unwrap();
+        let w = s.relation_id("writes").unwrap();
+        assert_eq!(s.relations_between(a, p), &[w]);
+        assert_eq!(s.relations_between(p, a), &[w]);
+        let c = s.type_id("conference").unwrap();
+        assert!(s.relations_between(a, c).is_empty());
+    }
+
+    #[test]
+    fn heterogeneity_per_definition_1() {
+        let mut s = Schema::new();
+        assert!(!s.is_heterogeneous());
+        let u = s.add_type("user").unwrap();
+        s.add_relation("follows", u, u).unwrap();
+        assert!(!s.is_heterogeneous()); // 1 type, 1 relation: homogeneous
+        s.add_relation("blocks", u, u).unwrap();
+        assert!(s.is_heterogeneous()); // 2 relation types
+    }
+
+    #[test]
+    fn counts_and_iterators() {
+        let s = bib_schema();
+        assert_eq!(s.type_count(), 3);
+        assert_eq!(s.relation_count(), 2);
+        assert_eq!(s.type_ids().count(), 3);
+        assert_eq!(s.relation_ids().count(), 2);
+    }
+
+    #[test]
+    fn self_relation_registered_once_in_between() {
+        let mut s = Schema::new();
+        let u = s.add_type("user").unwrap();
+        let f = s.add_relation("follows", u, u).unwrap();
+        assert_eq!(s.relations_between(u, u), &[f]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Summary statistics of a heterogeneous network.
+//!
+//! Used by the dataset generators to verify that the synthetic ACM/DBLP
+//! networks match the entity counts reported in Section 5.1 of the paper,
+//! and by the benchmark harness to print dataset headers.
+
+use crate::Hin;
+use std::fmt;
+
+/// Per-type node count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeStat {
+    /// Type name.
+    pub name: String,
+    /// Abbreviation character.
+    pub abbrev: char,
+    /// Number of nodes of this type.
+    pub count: usize,
+}
+
+/// Per-relation edge statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStat {
+    /// Relation name.
+    pub name: String,
+    /// Source type name.
+    pub src: String,
+    /// Target type name.
+    pub dst: String,
+    /// Number of distinct stored edges.
+    pub edges: usize,
+    /// Mean out-degree over source nodes (0 when the source side is empty).
+    pub avg_out_degree: f64,
+    /// Fraction of source nodes with no out-edges.
+    pub isolated_sources: f64,
+}
+
+/// A full statistical snapshot of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HinStats {
+    /// One entry per object type.
+    pub types: Vec<TypeStat>,
+    /// One entry per relation.
+    pub relations: Vec<RelationStat>,
+    /// Total nodes across all types.
+    pub total_nodes: usize,
+    /// Total edges across all relations.
+    pub total_edges: usize,
+}
+
+/// Computes the snapshot.
+pub fn stats(hin: &Hin) -> HinStats {
+    let schema = hin.schema();
+    let types = schema
+        .type_ids()
+        .map(|ty| TypeStat {
+            name: schema.type_name(ty).to_string(),
+            abbrev: schema.type_abbrev(ty),
+            count: hin.node_count(ty),
+        })
+        .collect();
+    let relations = schema
+        .relation_ids()
+        .map(|rel| {
+            let adj = hin.adjacency(rel);
+            let n = adj.nrows();
+            let isolated = (0..n).filter(|&r| adj.row_nnz(r) == 0).count();
+            RelationStat {
+                name: schema.relation_name(rel).to_string(),
+                src: schema.type_name(schema.relation_src(rel)).to_string(),
+                dst: schema.type_name(schema.relation_dst(rel)).to_string(),
+                edges: adj.nnz(),
+                avg_out_degree: if n == 0 {
+                    0.0
+                } else {
+                    adj.nnz() as f64 / n as f64
+                },
+                isolated_sources: if n == 0 {
+                    0.0
+                } else {
+                    isolated as f64 / n as f64
+                },
+            }
+        })
+        .collect();
+    HinStats {
+        types,
+        relations,
+        total_nodes: hin.total_nodes(),
+        total_edges: hin.total_edges(),
+    }
+}
+
+impl fmt::Display for HinStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "network: {} nodes, {} edges",
+            self.total_nodes, self.total_edges
+        )?;
+        for t in &self.types {
+            writeln!(
+                f,
+                "  type {:>2} {:<14} {:>8} nodes",
+                t.abbrev, t.name, t.count
+            )?;
+        }
+        for r in &self.relations {
+            writeln!(
+                f,
+                "  rel  {:<20} {:>10} -> {:<12} {:>8} edges (avg out-deg {:.2}, {:.1}% isolated)",
+                r.name,
+                r.src,
+                r.dst,
+                r.edges,
+                r.avg_out_degree,
+                r.isolated_sources * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HinBuilder, Schema};
+
+    #[test]
+    fn stats_of_small_network() {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let w = s.add_relation("writes", a, p).unwrap();
+        let mut b = HinBuilder::new(s);
+        b.add_edge_by_name(w, "Tom", "P1", 1.0).unwrap();
+        b.add_edge_by_name(w, "Tom", "P2", 1.0).unwrap();
+        b.add_node(a, "Idle");
+        let hin = b.build();
+        let st = stats(&hin);
+        assert_eq!(st.total_nodes, 4);
+        assert_eq!(st.total_edges, 2);
+        assert_eq!(st.types[0].count, 2);
+        let rel = &st.relations[0];
+        assert_eq!(rel.edges, 2);
+        assert!((rel.avg_out_degree - 1.0).abs() < 1e-12);
+        assert!((rel.isolated_sources - 0.5).abs() < 1e-12);
+        let rendered = st.to_string();
+        assert!(rendered.contains("writes"));
+        assert!(rendered.contains("author"));
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Learning-task substrate for the HeteSim experiments.
+//!
+//! Section 5 of the paper evaluates HeteSim inside two machine-learning
+//! tasks — ranking-based query search (AUC, Table 5) and Normalized-Cut
+//! spectral clustering (NMI, Table 6) — and ranks experts by comparing
+//! relatedness scores against a paper-count ground truth (rank difference,
+//! Figure 6). None of these components are available in the allowed
+//! dependency set, so this crate implements them from scratch:
+//!
+//! * [`eigen`] — a cyclic Jacobi eigensolver for small dense symmetric
+//!   matrices, and subspace (orthogonal) iteration for the top-k
+//!   eigenpairs of large sparse symmetric operators;
+//! * [`spectral`] — Shi–Malik Normalized Cut: normalized affinity, spectral
+//!   embedding, row normalization, k-means;
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and restarts;
+//! * [`metrics`] — NMI, ROC AUC, mean rank difference, precision@k.
+
+pub mod eigen;
+pub mod kmeans;
+pub mod metrics;
+pub mod spectral;

@@ -1,0 +1,276 @@
+//! Evaluation metrics used in Section 5 of the paper.
+//!
+//! * [`nmi`] — Normalized Mutual Information between two labelings
+//!   (clustering quality, Table 6);
+//! * [`auc`] — area under the ROC curve of a score vector against binary
+//!   relevance labels (query quality, Table 5);
+//! * [`mean_rank_difference`] — average absolute displacement between a
+//!   ranking and a ground-truth ranking (expert finding, Figure 6);
+//! * [`precision_at_k`] — fraction of the top-k that is relevant.
+
+use std::collections::HashMap;
+
+/// Normalized Mutual Information between two labelings of the same items,
+/// `NMI(a, b) = I(a; b) / sqrt(H(a) · H(b))`, in `[0, 1]`. Returns 1.0 for
+/// two identical single-cluster labelings (both entropies zero).
+///
+/// # Panics
+/// Panics if the labelings differ in length or are empty.
+///
+/// ```
+/// use hetesim_ml::metrics::nmi;
+/// let truth = [0, 0, 1, 1];
+/// assert!((nmi(&truth, &[7, 7, 3, 3]) - 1.0).abs() < 1e-12); // relabeled
+/// assert!(nmi(&truth, &[0, 1, 0, 1]) < 1e-9); // independent
+/// ```
+pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must align");
+    assert!(!a.is_empty(), "labelings must be non-empty");
+    let n = a.len() as f64;
+    let mut ca: HashMap<usize, f64> = HashMap::new();
+    let mut cb: HashMap<usize, f64> = HashMap::new();
+    let mut joint: HashMap<(usize, usize), f64> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *ca.entry(x).or_insert(0.0) += 1.0;
+        *cb.entry(y).or_insert(0.0) += 1.0;
+        *joint.entry((x, y)).or_insert(0.0) += 1.0;
+    }
+    let h = |counts: &HashMap<usize, f64>| -> f64 {
+        counts
+            .values()
+            .map(|&c| {
+                let p = c / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&ca);
+    let hb = h(&cb);
+    let mut mi = 0.0;
+    for (&(x, y), &c) in &joint {
+        let pxy = c / n;
+        let px = ca[&x] / n;
+        let py = cb[&y] / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    if ha == 0.0 && hb == 0.0 {
+        // Both labelings are a single cluster: identical partitions.
+        1.0
+    } else if ha == 0.0 || hb == 0.0 {
+        0.0
+    } else {
+        (mi / (ha * hb).sqrt()).clamp(0.0, 1.0)
+    }
+}
+
+/// Area under the ROC curve via the Mann–Whitney statistic, with tie
+/// correction (tied scores contribute half wins). Returns `None` when
+/// either class is empty (AUC is undefined).
+///
+/// # Panics
+/// Panics if `scores` and `labels` differ in length.
+///
+/// ```
+/// use hetesim_ml::metrics::auc;
+/// let scores = [0.9, 0.8, 0.2, 0.1];
+/// assert_eq!(auc(&scores, &[true, true, false, false]), Some(1.0));
+/// assert_eq!(auc(&scores, &[true; 4]), None); // one class only
+/// ```
+pub fn auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels must align");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    // Rank-based computation: sort by score ascending, assign mid-ranks to
+    // ties, sum positive ranks.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| {
+        scores[i]
+            .partial_cmp(&scores[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Items order[i..=j] share a tie; mid-rank (1-based).
+        let mid_rank = (i + j + 2) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += mid_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos_f = n_pos as f64;
+    let n_neg_f = n_neg as f64;
+    let u = rank_sum_pos - n_pos_f * (n_pos_f + 1.0) / 2.0;
+    Some(u / (n_pos_f * n_neg_f))
+}
+
+/// Positions (0-based rank) each item receives under descending `scores`,
+/// with ties broken by ascending index for determinism.
+pub fn ranking_positions(scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| {
+        scores[j]
+            .partial_cmp(&scores[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| i.cmp(&j))
+    });
+    let mut pos = vec![0usize; scores.len()];
+    for (rank, &item) in order.iter().enumerate() {
+        pos[item] = rank;
+    }
+    pos
+}
+
+/// Mean absolute rank displacement between a measure's scores and a
+/// ground-truth score vector, evaluated over the `top_n` items of the
+/// ground-truth ranking (Figure 6's "average rank difference on the top
+/// 200 authors in ground truth"). Lower is better.
+///
+/// # Panics
+/// Panics if the vectors differ in length.
+pub fn mean_rank_difference(measure: &[f64], ground_truth: &[f64], top_n: usize) -> f64 {
+    assert_eq!(measure.len(), ground_truth.len(), "vectors must align");
+    let m_pos = ranking_positions(measure);
+    let g_pos = ranking_positions(ground_truth);
+    let mut order: Vec<usize> = (0..ground_truth.len()).collect();
+    order.sort_by_key(|&i| g_pos[i]);
+    let take = top_n.min(order.len());
+    if take == 0 {
+        return 0.0;
+    }
+    order[..take]
+        .iter()
+        .map(|&i| (m_pos[i] as f64 - g_pos[i] as f64).abs())
+        .sum::<f64>()
+        / take as f64
+}
+
+/// Fraction of the `k` highest-scoring items that are labeled relevant.
+/// Returns `None` when `k == 0` or there are no items.
+pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels must align");
+    if k == 0 || scores.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| {
+        scores[j]
+            .partial_cmp(&scores[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let take = k.min(order.len());
+    let hits = order[..take].iter().filter(|&&i| labels[i]).count();
+    Some(hits as f64 / take as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmi_identical_labelings() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        // Permuted label names keep NMI at 1.
+        let b = vec![5, 5, 9, 9, 7, 7];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_independent_labelings_near_zero() {
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn nmi_partial_agreement_between_zero_and_one() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let v = nmi(&a, &b);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn nmi_single_cluster_cases() {
+        let a = vec![0, 0, 0];
+        assert_eq!(nmi(&a, &a), 1.0);
+        let b = vec![0, 1, 2];
+        assert_eq!(nmi(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        let labels = vec![true, true, false, false];
+        assert_eq!(auc(&scores, &labels), Some(1.0));
+        let inv: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        assert_eq!(auc(&scores, &inv), Some(0.0));
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let scores = vec![0.5; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let v = auc(&scores, &labels).unwrap();
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs won: (0.8>0.6),
+        // (0.8>0.2), (0.4<0.6 loses), (0.4>0.2) => 3/4.
+        let scores = vec![0.8, 0.4, 0.6, 0.2];
+        let labels = vec![true, true, false, false];
+        assert!((auc(&scores, &labels).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_undefined_for_single_class() {
+        assert_eq!(auc(&[0.1, 0.2], &[true, true]), None);
+        assert_eq!(auc(&[0.1, 0.2], &[false, false]), None);
+    }
+
+    #[test]
+    fn rank_positions_descending() {
+        let pos = ranking_positions(&[0.1, 0.9, 0.5]);
+        assert_eq!(pos, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn rank_difference_zero_for_identical_ranking() {
+        let gt = vec![5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(mean_rank_difference(&gt, &gt, 5), 0.0);
+    }
+
+    #[test]
+    fn rank_difference_detects_swap() {
+        let gt = vec![5.0, 4.0, 3.0];
+        let measure = vec![4.0, 5.0, 3.0]; // top two swapped
+        let d = mean_rank_difference(&measure, &gt, 3);
+        assert!((d - 2.0 / 3.0).abs() < 1e-12);
+        // Restricting to top-1 of ground truth sees displacement 1.
+        let d1 = mean_rank_difference(&measure, &gt, 1);
+        assert!((d1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_basics() {
+        let scores = vec![0.9, 0.8, 0.7, 0.1];
+        let labels = vec![true, false, true, true];
+        assert_eq!(precision_at_k(&scores, &labels, 1), Some(1.0));
+        assert_eq!(precision_at_k(&scores, &labels, 2), Some(0.5));
+        assert_eq!(precision_at_k(&scores, &labels, 0), None);
+        // k beyond length clamps.
+        assert_eq!(precision_at_k(&scores, &labels, 10), Some(0.75));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the metric and clustering substrate.
+
+use hetesim_ml::eigen::{jacobi, subspace_iteration};
+use hetesim_ml::kmeans::{kmeans, KMeansConfig};
+use hetesim_ml::metrics::{auc, mean_rank_difference, nmi, precision_at_k, ranking_positions};
+use hetesim_sparse::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    /// NMI is symmetric in its arguments and invariant to relabeling.
+    #[test]
+    fn nmi_symmetric_and_relabel_invariant(
+        labels in proptest::collection::vec(0..4usize, 2..40),
+        other in proptest::collection::vec(0..4usize, 2..40),
+    ) {
+        let n = labels.len().min(other.len());
+        let a = &labels[..n];
+        let b = &other[..n];
+        prop_assert!((nmi(a, b) - nmi(b, a)).abs() < 1e-12);
+        // Relabel a by an offset permutation: NMI unchanged.
+        let relabeled: Vec<usize> = a.iter().map(|&x| (x + 7) * 13).collect();
+        prop_assert!((nmi(a, b) - nmi(&relabeled, b)).abs() < 1e-12);
+        let v = nmi(a, b);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((nmi(a, a) - 1.0).abs() < 1e-12 || v == 0.0 && a.iter().all(|&x| x == a[0]));
+    }
+
+    /// AUC is invariant under strictly monotone score transforms and
+    /// flips to 1 - AUC when labels are inverted.
+    #[test]
+    fn auc_monotone_invariant_and_complement(
+        scores in proptest::collection::vec(0.0..1.0f64, 4..40),
+        labels in proptest::collection::vec(any::<bool>(), 4..40),
+    ) {
+        let n = scores.len().min(labels.len());
+        let s = &scores[..n];
+        let l = &labels[..n];
+        let n_pos = l.iter().filter(|&&x| x).count();
+        prop_assume!(n_pos > 0 && n_pos < n);
+        let base = auc(s, l).unwrap();
+        prop_assert!((0.0..=1.0).contains(&base));
+        // Monotone transform (affine with positive slope + exp).
+        let transformed: Vec<f64> = s.iter().map(|&x| (3.0 * x + 1.0).exp()).collect();
+        prop_assert!((auc(&transformed, l).unwrap() - base).abs() < 1e-9);
+        // Label complement.
+        let inv: Vec<bool> = l.iter().map(|&x| !x).collect();
+        prop_assert!((auc(s, &inv).unwrap() - (1.0 - base)).abs() < 1e-9);
+    }
+
+    /// Rank positions form a permutation; rank difference of a vector with
+    /// itself is zero and the metric is symmetric in its two rankings.
+    #[test]
+    fn rank_difference_properties(
+        scores in proptest::collection::vec(0.0..1.0f64, 2..30),
+        other in proptest::collection::vec(0.0..1.0f64, 2..30),
+    ) {
+        let n = scores.len().min(other.len());
+        let a = &scores[..n];
+        let b = &other[..n];
+        let pos = ranking_positions(a);
+        let mut sorted = pos.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(mean_rank_difference(a, a, n), 0.0);
+        let d = mean_rank_difference(a, b, n);
+        prop_assert!(d >= 0.0 && d <= (n - 1) as f64);
+    }
+
+    /// precision@k is within [0, 1] and monotone relationship with label
+    /// density holds at k = n.
+    #[test]
+    fn precision_at_k_bounds(
+        scores in proptest::collection::vec(0.0..1.0f64, 1..30),
+        labels in proptest::collection::vec(any::<bool>(), 1..30),
+        k in 1..10usize,
+    ) {
+        let n = scores.len().min(labels.len());
+        let s = &scores[..n];
+        let l = &labels[..n];
+        let p = precision_at_k(s, l, k).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+        // At k = n, precision is exactly the label density.
+        let density = l.iter().filter(|&&x| x).count() as f64 / n as f64;
+        prop_assert!((precision_at_k(s, l, n).unwrap() - density).abs() < 1e-12);
+    }
+
+    /// k-means always returns k or fewer distinct labels, each in range,
+    /// and zero inertia when every point is a centroid candidate (k = n).
+    #[test]
+    fn kmeans_label_invariants(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-5.0..5.0f64, 2), 3..20),
+        k in 1..4usize,
+    ) {
+        prop_assume!(k <= data.len());
+        let refs: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        let m = DenseMatrix::from_rows(&refs);
+        let res = kmeans(&m, k, KMeansConfig { restarts: 2, ..KMeansConfig::default() });
+        prop_assert_eq!(res.labels.len(), data.len());
+        prop_assert!(res.labels.iter().all(|&l| l < k));
+        prop_assert!(res.inertia >= 0.0);
+    }
+
+    /// Jacobi eigendecomposition reconstructs the matrix: A ≈ V Λ Vᵀ, and
+    /// the eigenvalue sum matches the trace.
+    #[test]
+    fn jacobi_reconstructs(seed_vals in proptest::collection::vec(-3.0..3.0f64, 6)) {
+        // Build a 3x3 symmetric matrix from 6 free entries.
+        let a = DenseMatrix::from_rows(&[
+            &[seed_vals[0], seed_vals[1], seed_vals[2]],
+            &[seed_vals[1], seed_vals[3], seed_vals[4]],
+            &[seed_vals[2], seed_vals[4], seed_vals[5]],
+        ]);
+        let (vals, vecs) = jacobi(&a, 100, 1e-13);
+        // Trace preservation.
+        let trace = seed_vals[0] + seed_vals[3] + seed_vals[5];
+        prop_assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-8);
+        // Reconstruction.
+        let mut lambda = DenseMatrix::zeros(3, 3);
+        for (i, &val) in vals.iter().enumerate().take(3) {
+            lambda.set(i, i, val);
+        }
+        let recon = vecs.matmul(&lambda).unwrap().matmul(&vecs.transpose()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a).unwrap() < 1e-7);
+    }
+
+    /// Subspace iteration's top eigenvalue matches Jacobi's on random
+    /// diagonally-dominant symmetric matrices.
+    #[test]
+    fn subspace_top_eigenvalue_matches(seed_vals in proptest::collection::vec(0.0..2.0f64, 10)) {
+        let n = 4;
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut idx = 0;
+        for i in 0..n {
+            for j in i..n {
+                let v = seed_vals[idx % seed_vals.len()] + if i == j { 4.0 } else { 0.0 };
+                a.set(i, j, v);
+                a.set(j, i, v);
+                idx += 1;
+            }
+        }
+        let (jv, _) = jacobi(&a, 200, 1e-13);
+        let sparse = CsrMatrix::from_dense(&a);
+        let (sv, _) = subspace_iteration(&sparse, 2, 600, 1e-12, 1);
+        prop_assert!((jv[0] - sv[0]).abs() < 1e-5, "jacobi {} vs subspace {}", jv[0], sv[0]);
+    }
+}

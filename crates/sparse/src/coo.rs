@@ -1,0 +1,193 @@
+use crate::CsrMatrix;
+
+/// A coordinate-format (triplet) sparse matrix builder.
+///
+/// `CooMatrix` is the write-optimized entry point: callers push `(row, col,
+/// value)` triplets in any order (duplicates allowed — they are summed on
+/// conversion) and then convert to [`CsrMatrix`] for all read-side work.
+/// This mirrors how heterogeneous networks are ingested: edges arrive in
+/// file order, one triplet per relation instance.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty builder with the given shape.
+    ///
+    /// # Panics
+    /// Panics if either dimension exceeds `u32::MAX` (indices are stored as
+    /// `u32` to halve the memory footprint of large adjacency matrices).
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(
+            nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "matrix dimensions must fit in u32"
+        );
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-reserved triplet capacity.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut m = CooMatrix::new(nrows, ncols);
+        m.rows.reserve(cap);
+        m.cols.reserve(cap);
+        m.vals.reserve(cap);
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Appends a triplet. Duplicate `(row, col)` pairs are summed when the
+    /// matrix is converted to CSR.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds — COO is the ingestion
+    /// boundary and silently clamping edges would corrupt the network.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        assert!(col < self.ncols, "col {col} out of bounds ({})", self.ncols);
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+    }
+
+    /// Converts to CSR, sorting triplets and summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row gives O(nnz + nrows); a comparison sort of
+        // the whole triplet list would be O(nnz log nnz) and dominates graph
+        // load time for the larger synthetic networks.
+        let nnz = self.vals.len();
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr_unmerged = counts.clone();
+        let mut cols = vec![0u32; nnz];
+        let mut vals = vec![0f64; nnz];
+        let mut cursor = counts;
+        for i in 0..nnz {
+            let r = self.rows[i] as usize;
+            let dst = cursor[r];
+            cols[dst] = self.cols[i];
+            vals[dst] = self.vals[i];
+            cursor[r] += 1;
+        }
+        // Sort within each row and merge duplicates in place.
+        let mut out_indptr = vec![0usize; self.nrows + 1];
+        let mut out_cols: Vec<u32> = Vec::with_capacity(nnz);
+        let mut out_vals: Vec<f64> = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            let lo = indptr_unmerged[r];
+            let hi = indptr_unmerged[r + 1];
+            scratch.clear();
+            scratch.extend(
+                cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+                i = j;
+            }
+            out_indptr[r + 1] = out_cols.len();
+        }
+        CsrMatrix::from_raw(self.nrows, self.ncols, out_indptr, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_roundtrip() {
+        let coo = CooMatrix::new(3, 4);
+        assert!(coo.is_empty());
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.ncols(), 4);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, 4.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), 3.5);
+        assert_eq!(csr.get(1, 0), 4.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let mut coo = CooMatrix::new(1, 5);
+        coo.push(0, 4, 4.0);
+        coo.push(0, 0, 0.5);
+        coo.push(0, 2, 2.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_indices(0), &[0, 2, 4]);
+        assert_eq!(csr.row_values(0), &[0.5, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut coo = CooMatrix::with_capacity(2, 2, 10);
+        coo.push(1, 1, 7.0);
+        assert_eq!(coo.len(), 1);
+        assert_eq!(coo.to_csr().get(1, 1), 7.0);
+    }
+}

@@ -1,0 +1,610 @@
+use crate::{CooMatrix, DenseMatrix, Result, SparseError, SparseVec};
+
+/// Compressed sparse row matrix with `f64` values and `u32` column indices.
+///
+/// This is the workhorse representation: every adjacency matrix, transition
+/// probability matrix and reachable-probability matrix in the workspace is a
+/// `CsrMatrix`. Within each row, column indices are strictly increasing and
+/// values are finite; `from_raw` enforces the structural invariants in debug
+/// builds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Panics
+    /// Panics (in all builds) if the arrays are structurally inconsistent:
+    /// `indptr` must have `nrows + 1` monotone entries ending at
+    /// `indices.len()`, and `indices`/`values` must have equal length. Debug
+    /// builds additionally verify per-row column ordering and bounds.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows + 1");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr end mismatch"
+        );
+        debug_assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr not monotone"
+        );
+        debug_assert!(
+            (0..nrows).all(|r| {
+                let s = &indices[indptr[r]..indptr[r + 1]];
+                s.windows(2).all(|w| w[0] < w[1]) && s.iter().all(|&c| (c as usize) < ncols)
+            }),
+            "row indices not strictly increasing / out of bounds"
+        );
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// An `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix::from_raw(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n as u32).collect(),
+            vec![1.0; n],
+        )
+    }
+
+    /// A matrix of the given shape with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix::from_raw(nrows, ncols, vec![0; nrows + 1], Vec::new(), Vec::new())
+    }
+
+    /// Builds from a dense row-major slice, storing only non-zero entries.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut coo = CooMatrix::new(dense.nrows(), dense.ncols());
+        for r in 0..dense.nrows() {
+            for c in 0..dense.ncols() {
+                let v = dense.get(r, c);
+                if v != 0.0 {
+                    coo.push(r, c, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of cells that are stored (`nnz / (nrows * ncols)`).
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+        }
+    }
+
+    /// Raw row-pointer array (`nrows + 1` entries).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices of row `r`.
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Values of row `r`, parallel to [`CsrMatrix::row_indices`].
+    pub fn row_values(&self, r: usize) -> &[f64] {
+        &self.values[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Number of stored entries in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Iterator over `(row, col, value)` of all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            self.row_indices(r)
+                .iter()
+                .zip(self.row_values(r))
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Value at `(r, c)`, `0.0` if not stored. Binary-searches the row.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.nrows && c < self.ncols, "index out of bounds");
+        match self.row_indices(r).binary_search(&(c as u32)) {
+            Ok(pos) => self.row_values(r)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Extracts row `r` as a sparse vector of dimension `ncols`.
+    pub fn row(&self, r: usize) -> SparseVec {
+        SparseVec::from_parts(
+            self.ncols,
+            self.row_indices(r).to_vec(),
+            self.row_values(r).to_vec(),
+        )
+    }
+
+    /// Transposed copy (CSC of `self` reinterpreted as CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0f64; nnz];
+        let mut cursor = counts;
+        for r in 0..self.nrows {
+            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                let dst = cursor[c as usize];
+                indices[dst] = r as u32;
+                values[dst] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        // Rows of the transpose are filled in increasing source-row order,
+        // so per-row indices are already sorted.
+        CsrMatrix::from_raw(self.ncols, self.nrows, indptr, indices, values)
+    }
+
+    /// Sparse general matrix-matrix product `self * rhs`.
+    ///
+    /// Gustavson's algorithm with a dense accumulator sized to `rhs.ncols()`.
+    ///
+    /// ```
+    /// use hetesim_sparse::CsrMatrix;
+    /// let i = CsrMatrix::identity(3);
+    /// let twice = i.scaled(2.0);
+    /// assert_eq!(i.matmul(&twice).unwrap(), twice);
+    /// assert!(i.matmul(&CsrMatrix::identity(4)).is_err()); // shape checked
+    /// ```
+    pub fn matmul(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.ncols != rhs.nrows {
+            return Err(SparseError::DimensionMismatch {
+                op: "spgemm",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let n = rhs.ncols;
+        let mut acc = vec![0f64; n];
+        let mut mark = vec![false; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        for r in 0..self.nrows {
+            touched.clear();
+            for (&k, &a) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                let k = k as usize;
+                for (&c, &b) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+                    let ci = c as usize;
+                    if !mark[ci] {
+                        mark[ci] = true;
+                        touched.push(c);
+                        acc[ci] = 0.0;
+                    }
+                    acc[ci] += a * b;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let v = acc[c as usize];
+                mark[c as usize] = false;
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix::from_raw(
+            self.nrows, rhs.ncols, indptr, indices, values,
+        ))
+    }
+
+    /// Dense product `self * rhs` where `rhs` is dense; returns dense.
+    pub fn matmul_dense(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols != rhs.nrows() {
+            return Err(SparseError::DimensionMismatch {
+                op: "csr * dense",
+                left: self.shape(),
+                right: (rhs.nrows(), rhs.ncols()),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, rhs.ncols());
+        for r in 0..self.nrows {
+            for (&k, &a) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                let rhs_row = rhs.row(k as usize);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x` for a dense vector.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        let y = (0..self.nrows)
+            .map(|r| {
+                self.row_indices(r)
+                    .iter()
+                    .zip(self.row_values(r))
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
+            })
+            .collect();
+        Ok(y)
+    }
+
+    /// Vector-matrix product `x^T * self` for a sparse vector; returns a
+    /// sparse vector of dimension `ncols`. This is the single-source kernel:
+    /// propagating one object's probability mass across one relation.
+    pub fn vecmat(&self, x: &SparseVec) -> Result<SparseVec> {
+        if x.dim() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                op: "vecmat",
+                left: (1, x.dim()),
+                right: self.shape(),
+            });
+        }
+        let mut acc = std::collections::BTreeMap::<u32, f64>::new();
+        for (r, xv) in x.iter() {
+            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                *acc.entry(c).or_insert(0.0) += xv * v;
+            }
+        }
+        let (indices, values): (Vec<u32>, Vec<f64>) =
+            acc.into_iter().filter(|&(_, v)| v != 0.0).unzip();
+        Ok(SparseVec::from_parts(self.ncols, indices, values))
+    }
+
+    /// Row-stochastic normalization: each non-empty row is scaled to sum to
+    /// one (the `U_{AB}` transition matrix of Definition 8). Empty rows stay
+    /// empty — an object with no out-neighbors contributes zero relatedness,
+    /// matching the paper's convention.
+    pub fn row_normalized(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..out.nrows {
+            let (lo, hi) = (out.indptr[r], out.indptr[r + 1]);
+            let s: f64 = out.values[lo..hi].iter().sum();
+            if s != 0.0 {
+                for v in &mut out.values[lo..hi] {
+                    *v /= s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Column-stochastic normalization (the `V_{AB}` matrix of Definition
+    /// 8): each non-empty column is scaled to sum to one.
+    pub fn col_normalized(&self) -> CsrMatrix {
+        let mut colsum = vec![0f64; self.ncols];
+        for (&c, &v) in self.indices.iter().zip(&self.values) {
+            colsum[c as usize] += v;
+        }
+        let mut out = self.clone();
+        for (c, v) in out.indices.iter().zip(out.values.iter_mut()) {
+            let s = colsum[*c as usize];
+            if s != 0.0 {
+                *v /= s;
+            }
+        }
+        out
+    }
+
+    /// Per-row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| self.row_values(r).iter().sum())
+            .collect()
+    }
+
+    /// Per-row Euclidean norms (used to normalize HeteSim, Definition 10).
+    pub fn row_l2_norms(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| self.row_values(r).iter().map(|v| v * v).sum::<f64>().sqrt())
+            .collect()
+    }
+
+    /// Multiplies every value by `s`.
+    pub fn scaled(&self, s: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Entry-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.shape() != rhs.shape() {
+            return Err(SparseError::DimensionMismatch {
+                op: "add",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz() + rhs.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v);
+        }
+        for (r, c, v) in rhs.iter() {
+            coo.push(r, c, v);
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// Densifies. Intended for small matrices (tests, eigensolvers, final
+    /// relevance tables); asserts the result stays under 256 MiB.
+    pub fn to_dense(&self) -> DenseMatrix {
+        assert!(
+            self.nrows.saturating_mul(self.ncols) <= (1 << 25),
+            "refusing to densify a {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            d.set(r, c, v);
+        }
+        d
+    }
+
+    /// Drops stored entries with `|value| <= eps`, preserving structure.
+    pub fn pruned(&self, eps: f64) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.nrows {
+            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                if v.abs() > eps {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw(self.nrows, self.ncols, indptr, indices, values)
+    }
+
+    /// Maximum absolute difference between two equally-shaped matrices,
+    /// counting entries stored in either.
+    pub fn max_abs_diff(&self, rhs: &CsrMatrix) -> Result<f64> {
+        if self.shape() != rhs.shape() {
+            return Err(SparseError::DimensionMismatch {
+                op: "max_abs_diff",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let neg = rhs.scaled(-1.0);
+        let diff = self.add(&neg)?;
+        Ok(diff
+            .values
+            .iter()
+            .fold(0f64, |m, v| if v.abs() > m { v.abs() } else { m }))
+    }
+
+    /// Verifies every stored value is finite.
+    pub fn check_finite(&self, op: &'static str) -> Result<()> {
+        if self.values.iter().all(|v| v.is_finite()) {
+            Ok(())
+        } else {
+            Err(SparseError::NotFinite { op })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = small();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.row_nnz(0), 2);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = small();
+        let i3 = CsrMatrix::identity(3);
+        assert_eq!(m.matmul(&i3).unwrap(), m);
+        let i2 = CsrMatrix::identity(2);
+        assert_eq!(i2.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2] [5 6]   [19 22]
+        // [3 4] [7 8] = [43 50]
+        let a = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let m = small();
+        let err = m.matmul(&small()).unwrap_err();
+        assert!(matches!(err, SparseError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn row_normalization_is_stochastic() {
+        let m = small().row_normalized();
+        let sums = m.row_sums();
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_normalization_keeps_empty_rows() {
+        let coo = CooMatrix::new(2, 2);
+        let m = coo.to_csr().row_normalized();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn col_normalization_is_stochastic() {
+        let m = small().col_normalized();
+        let t = m.transpose();
+        for r in 0..t.nrows() {
+            if t.row_nnz(r) > 0 {
+                let s: f64 = t.row_values(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = small();
+        let y = m.matvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn vecmat_single_source() {
+        let m = small();
+        let x = SparseVec::from_parts(2, vec![0], vec![2.0]);
+        let y = m.vecmat(&x).unwrap();
+        assert_eq!(y.dim(), 3);
+        assert_eq!(y.get(0), 2.0);
+        assert_eq!(y.get(2), 4.0);
+        assert_eq!(y.get(1), 0.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let m = small();
+        let twice = m.add(&m).unwrap();
+        assert_eq!(twice, m.scaled(2.0));
+    }
+
+    #[test]
+    fn pruned_drops_small_entries() {
+        let m = small().pruned(1.5);
+        assert_eq!(m.nnz(), 2); // 1.0 dropped, 2.0 and 3.0 kept
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_self() {
+        let m = small();
+        assert_eq!(m.max_abs_diff(&m).unwrap(), 0.0);
+        assert_eq!(m.max_abs_diff(&m.scaled(2.0)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = small();
+        assert_eq!(CsrMatrix::from_dense(&m.to_dense()), m);
+    }
+
+    #[test]
+    fn row_l2_norms_match_manual() {
+        let m = small();
+        let n = m.row_l2_norms();
+        assert!((n[0] - (5f64).sqrt()).abs() < 1e-12);
+        assert!((n[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_finite_detects_nan() {
+        let m = CsrMatrix::from_raw(1, 1, vec![0, 1], vec![0], vec![f64::NAN]);
+        assert!(m.check_finite("test").is_err());
+        assert!(small().check_finite("test").is_ok());
+    }
+}

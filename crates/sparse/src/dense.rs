@@ -1,0 +1,287 @@
+use crate::{Result, SparseError};
+
+/// A row-major dense matrix of `f64`.
+///
+/// Used for small outputs (relevance tables over a handful of conferences),
+/// the spectral-clustering embedding, and the eigensolvers — places where
+/// the data is genuinely dense and CSR overhead would only hurt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An all-zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds from row slices (all rows must have equal length).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        DenseMatrix { nrows, ncols, data }
+    }
+
+    /// Builds from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "flat data length mismatch");
+        DenseMatrix { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Value at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c]
+    }
+
+    /// Sets the value at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.ncols, self.nrows);
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Dense product `self * rhs`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols != rhs.nrows {
+            return Err(SparseError::DimensionMismatch {
+                op: "dense matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, rhs.ncols);
+        // ikj loop order: streams over rhs rows, cache-friendly for
+        // row-major storage.
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                op: "dense matvec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        Ok((0..self.nrows)
+            .map(|r| self.row(r).iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect())
+    }
+
+    /// Entry-wise sum.
+    pub fn add(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.shape() != rhs.shape() {
+            return Err(SparseError::DimensionMismatch {
+                op: "dense add",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Ok(DenseMatrix::from_vec(self.nrows, self.ncols, data))
+    }
+
+    /// Scaled copy.
+    pub fn scaled(&self, s: f64) -> DenseMatrix {
+        let data = self.data.iter().map(|&v| v * s).collect();
+        DenseMatrix::from_vec(self.nrows, self.ncols, data)
+    }
+
+    /// Maximum absolute entry difference from `rhs`.
+    pub fn max_abs_diff(&self, rhs: &DenseMatrix) -> Result<f64> {
+        if self.shape() != rhs.shape() {
+            return Err(SparseError::DimensionMismatch {
+                op: "dense max_abs_diff",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// True if `|self - selfᵀ|` stays within `eps` everywhere.
+    pub fn is_symmetric(&self, eps: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            for c in (r + 1)..self.ncols {
+                if (self.get(r, c) - self.get(c, r)).abs() > eps {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Indices that would sort row `r` descending by value (stable on ties).
+    pub fn row_ranking(&self, r: usize) -> Vec<usize> {
+        let row = self.row(r);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| {
+            row[b]
+                .partial_cmp(&row[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_get_set() {
+        let mut m = DenseMatrix::identity(3);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        m.set(0, 2, 5.0);
+        assert_eq!(m.get(0, 2), 5.0);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let s = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(s.is_symmetric(0.0));
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]);
+        assert!(!a.is_symmetric(1e-9));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn add_scale_diff() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0]]);
+        let twice = a.add(&a).unwrap();
+        assert_eq!(twice, a.scaled(2.0));
+        assert_eq!(a.max_abs_diff(&twice).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn row_ranking_descending() {
+        let a = DenseMatrix::from_rows(&[&[0.1, 0.9, 0.5]]);
+        assert_eq!(a.row_ranking(0), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matvec(&[0.0; 2]).is_err());
+        assert!(a.add(&DenseMatrix::zeros(3, 2)).is_err());
+    }
+}

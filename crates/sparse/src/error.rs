@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+///
+/// The kernels are dimension-checked at every boundary: a mismatch anywhere
+/// in a meta-path product pipeline is a logic error in the caller, and we
+/// want it surfaced as a typed error rather than a panic deep inside a
+/// multiply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Two operands disagree on a shared dimension, e.g. `A * B` with
+    /// `A.ncols() != B.nrows()`.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// A row or column index is outside the matrix shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Extent of the dimension being indexed.
+        bound: usize,
+    },
+    /// The operation requires a non-empty chain of matrices.
+    EmptyChain,
+    /// A numeric invariant was violated (NaN or infinite entry where a
+    /// finite value is required).
+    NotFinite {
+        /// Operation that detected the bad value.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (dimension extent {bound})")
+            }
+            SparseError::EmptyChain => write!(f, "matrix chain product requires >= 1 matrix"),
+            SparseError::NotFinite { op } => {
+                write!(f, "non-finite value encountered in {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = SparseError::DimensionMismatch {
+            op: "spgemm",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("spgemm"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = SparseError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SparseError::EmptyChain);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! Relevance matrices are the deliverable of an off-line HeteSim run
+//! (Section 4.6: "for frequently-used relevance paths, the relatedness
+//! matrix can be calculated off-line"); MatrixMarket (`%%MatrixMarket
+//! matrix coordinate real general`) is the lingua franca for handing such
+//! matrices to scipy/Julia/MATLAB tooling, so the engine's outputs can be
+//! analyzed outside this workspace.
+
+use crate::{CooMatrix, CsrMatrix, Result, SparseError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes a matrix in MatrixMarket coordinate format (1-based indices).
+pub fn write_matrix_market<W: Write>(m: &CsrMatrix, out: W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    let io_err = |_| SparseError::NotFinite {
+        op: "matrix market write (io)",
+    };
+    writeln!(w, "%%MatrixMarket matrix coordinate real general").map_err(io_err)?;
+    writeln!(w, "% written by hetesim-sparse").map_err(io_err)?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz()).map_err(io_err)?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Reads a MatrixMarket coordinate file written by [`write_matrix_market`]
+/// (or any `coordinate real general` file with 1-based indices; duplicate
+/// entries are summed).
+pub fn read_matrix_market<R: Read>(input: R) -> Result<CsrMatrix> {
+    let reader = BufReader::new(input);
+    let malformed = |what: &str| SparseError::NotFinite {
+        op: match what {
+            "header" => "matrix market read (bad header)",
+            "size" => "matrix market read (bad size line)",
+            _ => "matrix market read (bad entry)",
+        },
+    };
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed("header"))?
+        .map_err(|_| malformed("header"))?;
+    if !header.starts_with("%%MatrixMarket matrix coordinate real") {
+        return Err(malformed("header"));
+    }
+    let mut coo: Option<CooMatrix> = None;
+    for line in lines {
+        let line = line.map_err(|_| malformed("entry"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match &mut coo {
+            None => {
+                let [nr, nc, _nnz] = fields.as_slice() else {
+                    return Err(malformed("size"));
+                };
+                let nr: usize = nr.parse().map_err(|_| malformed("size"))?;
+                let nc: usize = nc.parse().map_err(|_| malformed("size"))?;
+                coo = Some(CooMatrix::new(nr, nc));
+            }
+            Some(coo) => {
+                let [r, c, v] = fields.as_slice() else {
+                    return Err(malformed("entry"));
+                };
+                let r: usize = r.parse().map_err(|_| malformed("entry"))?;
+                let c: usize = c.parse().map_err(|_| malformed("entry"))?;
+                let v: f64 = v.parse().map_err(|_| malformed("entry"))?;
+                if r == 0 || c == 0 || r > coo.nrows() || c > coo.ncols() {
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: r.max(c),
+                        bound: coo.nrows().max(coo.ncols()),
+                    });
+                }
+                coo.push(r - 1, c - 1, v);
+            }
+        }
+    }
+    let coo = coo.ok_or_else(|| malformed("size"))?;
+    Ok(coo.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.5);
+        coo.push(1, 3, -2.0);
+        coo.push(2, 1, 0.25);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate real general"));
+        assert!(text.contains("3 4 3"));
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn duplicates_summed_and_comments_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    2 2 3\n\
+                    1 1 1.0\n\
+                    % inline comment\n\
+                    1 1 2.0\n\
+                    2 2 5.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_matrix_market("not a matrix".as_bytes()).is_err());
+        let bad_size = "%%MatrixMarket matrix coordinate real general\n1 2\n";
+        assert!(read_matrix_market(bad_size.as_bytes()).is_err());
+        let out_of_range = "%%MatrixMarket matrix coordinate real general\n1 1 1\n2 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(out_of_range.as_bytes()),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        let zero_index = "%%MatrixMarket matrix coordinate real general\n1 1 1\n0 1 1.0\n";
+        assert!(read_matrix_market(zero_index.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let m = CsrMatrix::zeros(2, 5);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,181 @@
+//! Row-blocked parallel SpGEMM on crossbeam scoped threads.
+//!
+//! Full-matrix HeteSim on the synthetic ACM network multiplies matrices with
+//! tens of thousands of rows; the product decomposes perfectly by output
+//! row, so we split the row range into contiguous blocks, give each worker
+//! its own dense accumulator, and stitch the per-block CSR pieces back
+//! together. The serial kernel ([`CsrMatrix::matmul`]) remains the reference
+//! implementation; `matmul_parallel` must agree with it bit-for-bit up to
+//! floating-point associativity within a row (which is identical here, since
+//! each output row is computed by exactly one worker using the same loop).
+
+use crate::{CsrMatrix, Result, SparseError};
+
+/// Default number of worker threads: available parallelism capped at 8
+/// (beyond that, memory bandwidth dominates for these kernels).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Computes one block of output rows `[lo, hi)` of `lhs * rhs` as raw CSR
+/// pieces (local indptr is relative to the block).
+/// Raw CSR pieces of one row block: (block-relative indptr, indices, values).
+type CsrBlock = (Vec<usize>, Vec<u32>, Vec<f64>);
+
+fn block(lhs: &CsrMatrix, rhs: &CsrMatrix, lo: usize, hi: usize) -> CsrBlock {
+    let n = rhs.ncols();
+    let mut acc = vec![0f64; n];
+    let mut mark = vec![false; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut indptr = Vec::with_capacity(hi - lo + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for r in lo..hi {
+        touched.clear();
+        for (&k, &a) in lhs.row_indices(r).iter().zip(lhs.row_values(r)) {
+            let k = k as usize;
+            for (&c, &b) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+                let ci = c as usize;
+                if !mark[ci] {
+                    mark[ci] = true;
+                    touched.push(c);
+                    acc[ci] = 0.0;
+                }
+                acc[ci] += a * b;
+            }
+        }
+        touched.sort_unstable();
+        for &c in &touched {
+            let v = acc[c as usize];
+            mark[c as usize] = false;
+            if v != 0.0 {
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    (indptr, indices, values)
+}
+
+/// Parallel sparse product `lhs * rhs` using `threads` workers.
+///
+/// Falls back to the serial kernel when `threads <= 1` or the matrix is
+/// small enough that thread startup would dominate.
+pub fn matmul_parallel(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Result<CsrMatrix> {
+    if lhs.ncols() != rhs.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "parallel spgemm",
+            left: lhs.shape(),
+            right: rhs.shape(),
+        });
+    }
+    let nrows = lhs.nrows();
+    if threads <= 1 || nrows < 256 {
+        return lhs.matmul(rhs);
+    }
+    let threads = threads.min(nrows);
+    let chunk = nrows.div_ceil(threads);
+    let mut pieces: Vec<Option<CsrBlock>> = Vec::new();
+    pieces.resize_with(threads, || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(nrows);
+            handles.push(scope.spawn(move |_| block(lhs, rhs, lo, hi)));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            pieces[t] = Some(h.join().expect("spgemm worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let total_nnz: usize = pieces
+        .iter()
+        .map(|p| p.as_ref().expect("piece filled").1.len())
+        .sum();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::with_capacity(total_nnz);
+    let mut values = Vec::with_capacity(total_nnz);
+    for piece in pieces {
+        let (p_indptr, p_indices, p_values) = piece.expect("piece filled");
+        let base = indices.len();
+        // Skip the leading 0 of each block-relative indptr.
+        for &off in &p_indptr[1..] {
+            indptr.push(base + off);
+        }
+        indices.extend_from_slice(&p_indices);
+        values.extend_from_slice(&p_values);
+    }
+    Ok(CsrMatrix::from_raw(
+        nrows,
+        rhs.ncols(),
+        indptr,
+        indices,
+        values,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn pseudo_random(nrows: usize, ncols: usize, per_row: usize, seed: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        let mut x = seed.wrapping_mul(2654435761).wrapping_add(1);
+        for r in 0..nrows {
+            for _ in 0..per_row {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                coo.push(r, (x >> 33) % ncols, (((x >> 20) % 9) + 1) as f64);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        let a = pseudo_random(700, 300, 4, 7);
+        let b = pseudo_random(300, 500, 4, 11);
+        let serial = a.matmul(&b).unwrap();
+        for threads in [2, 3, 8] {
+            let par = matmul_parallel(&a, &b, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_matrices_fall_back_to_serial() {
+        let a = pseudo_random(10, 10, 2, 1);
+        let b = pseudo_random(10, 10, 2, 2);
+        assert_eq!(matmul_parallel(&a, &b, 4).unwrap(), a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = pseudo_random(10, 10, 2, 1);
+        let b = pseudo_random(11, 10, 2, 2);
+        assert!(matmul_parallel(&a, &b, 4).is_err());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let a = pseudo_random(300, 50, 3, 5);
+        let b = pseudo_random(50, 40, 3, 6);
+        let par = matmul_parallel(&a, &b, 512).unwrap();
+        assert_eq!(par, a.matmul(&b).unwrap());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use hetesim_sparse::{chain, parallel, CooMatrix, CsrMatrix, SparseVec};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary sparse matrix of bounded shape with
+/// small positive integer-ish values (keeps products exactly representable).
+fn arb_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec((0..r, 0..c, 1u8..=9), 0..=max_nnz).prop_map(move |triples| {
+            let mut coo = CooMatrix::new(r, c);
+            for (i, j, v) in triples {
+                coo.push(i, j, v as f64);
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// A pair of matrices with compatible inner dimension.
+fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (1..=12usize, 1..=12usize, 1..=12usize).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec((0..m, 0..k, 1u8..=9), 0..=30).prop_map(move |triples| {
+            let mut coo = CooMatrix::new(m, k);
+            for (i, j, v) in triples {
+                coo.push(i, j, v as f64);
+            }
+            coo.to_csr()
+        });
+        let b = proptest::collection::vec((0..k, 0..n, 1u8..=9), 0..=30).prop_map(move |triples| {
+            let mut coo = CooMatrix::new(k, n);
+            for (i, j, v) in triples {
+                coo.push(i, j, v as f64);
+            }
+            coo.to_csr()
+        });
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in arb_matrix(15, 40)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_preserves_nnz(m in arb_matrix(15, 40)) {
+        prop_assert_eq!(m.transpose().nnz(), m.nnz());
+    }
+
+    #[test]
+    fn product_transpose_identity((a, b) in arb_pair()) {
+        // (AB)^T == B^T A^T
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(ab_t.max_abs_diff(&bt_at).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_matches_dense((a, b) in arb_pair()) {
+        let sparse = a.matmul(&b).unwrap().to_dense();
+        let dense = a.to_dense().matmul(&b.to_dense()).unwrap();
+        prop_assert!(sparse.max_abs_diff(&dense).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_serial((a, b) in arb_pair()) {
+        let serial = a.matmul(&b).unwrap();
+        let par = parallel::matmul_parallel(&a, &b, 4).unwrap();
+        prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero(m in arb_matrix(15, 40)) {
+        let n = m.row_normalized();
+        for r in 0..n.nrows() {
+            let s: f64 = n.row_values(r).iter().sum();
+            if m.row_nnz(r) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(s, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn col_normalized_cols_sum_to_one_or_zero(m in arb_matrix(15, 40)) {
+        let n = m.col_normalized().transpose();
+        for r in 0..n.nrows() {
+            let s: f64 = n.row_values(r).iter().sum();
+            if n.row_nnz(r) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_orders_agree(
+        (a, b) in arb_pair(),
+        extra_cols in 1..10usize,
+    ) {
+        // Build a third compatible matrix to have a genuine chain.
+        let mut coo = CooMatrix::new(b.ncols(), extra_cols);
+        for r in 0..b.ncols().min(extra_cols) {
+            coo.push(r, r % extra_cols, 1.0);
+        }
+        let c = coo.to_csr();
+        let opt = chain::multiply_chain(&[&a, &b, &c]).unwrap();
+        let naive = chain::multiply_chain_left_to_right(&[&a, &b, &c]).unwrap();
+        prop_assert!(opt.max_abs_diff(&naive).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_dot_symmetric(xs in proptest::collection::vec(-5.0..5.0f64, 1..20),
+                            ys in proptest::collection::vec(-5.0..5.0f64, 1..20)) {
+        let n = xs.len().min(ys.len());
+        let a = SparseVec::from_dense(&xs[..n]);
+        let b = SparseVec::from_dense(&ys[..n]);
+        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+        let c = a.cosine(&b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn csr_row_extraction_matches_get(m in arb_matrix(10, 30)) {
+        for r in 0..m.nrows() {
+            let row = m.row(r);
+            for c in 0..m.ncols() {
+                prop_assert_eq!(row.get(c), m.get(r, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Clustering with HeteSim similarity matrices (the paper's Section 5.4,
+//! Table 6).
+//!
+//! Because HeteSim is symmetric and semi-metric, its relevance matrix can
+//! feed a clustering algorithm directly. This example clusters the 20
+//! conferences of the synthetic DBLP-like network with Normalized Cut over
+//! the `C-P-A-P-C` HeteSim matrix and scores the result against the four
+//! planted research areas with NMI, comparing against PathSim.
+//!
+//! Run with: `cargo run --release --example clustering`
+
+use hetesim::data::dblp::{generate, DblpConfig, AREAS, CONFERENCES};
+use hetesim::ml::metrics::nmi;
+use hetesim::ml::spectral::{normalized_cut, SpectralConfig};
+use hetesim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dblp = generate(&DblpConfig::default());
+    let hin = &dblp.hin;
+    let cpapc = MetaPath::parse(hin.schema(), "CPAPC")?;
+    let k = AREAS.len();
+    let cfg = SpectralConfig::default();
+
+    let engine = HeteSimEngine::with_threads(hin, 4);
+    let hs_matrix = engine.matrix(&cpapc)?;
+    let hs_labels = normalized_cut(&hs_matrix, k, &cfg);
+    let hs_nmi = nmi(&hs_labels, &dblp.conference_area);
+
+    let pathsim = PathSim::new(hin);
+    let ps_matrix = pathsim.relevance_matrix(&cpapc)?;
+    let ps_labels = normalized_cut(&ps_matrix, k, &cfg);
+    let ps_nmi = nmi(&ps_labels, &dblp.conference_area);
+
+    println!("Conference clustering over C-P-A-P-C (4 planted areas):\n");
+    println!(
+        "{:<10} {:<16} {:>8} {:>8}",
+        "conference", "planted area", "HeteSim", "PathSim"
+    );
+    for (ci, (name, _)) in CONFERENCES.iter().enumerate() {
+        println!(
+            "{:<10} {:<16} {:>8} {:>8}",
+            name, AREAS[dblp.conference_area[ci]], hs_labels[ci], ps_labels[ci]
+        );
+    }
+    println!("\nNMI vs planted areas:  HeteSim {hs_nmi:.4}   PathSim {ps_nmi:.4}");
+    println!("(paper, real DBLP:     HeteSim 0.7683   PathSim 0.8162 — both high)");
+    assert!(hs_nmi > 0.5, "HeteSim clustering should recover the areas");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Recommendation with relevance search — the introduction's motivating
+//! scenario: "in a recommendation system, we need to know the relatedness
+//! between users and movies", and "a teenager may like *Harry Potter* more
+//! than *The Shawshank Redemption*".
+//!
+//! Builds a synthetic user–movie–genre–actor–demographic network with
+//! weighted (star-rating) edges and recommends movies to a teen user along
+//! three paths with different semantics:
+//!
+//! * `U-D-U-M`   — what people in my demographic watch,
+//! * `U-M-G-M`   — movies sharing genres with what I rated,
+//! * `U-M-C-M`   — movies sharing cast with what I rated.
+//!
+//! Run with: `cargo run --release --example recommendation`
+
+use hetesim::data::movies::{generate, MoviesConfig, DEMOGRAPHICS};
+use hetesim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = generate(&MoviesConfig::default());
+    let hin = &data.hin;
+    let engine = HeteSimEngine::with_threads(hin, 4);
+
+    // Pick the first teen user.
+    let teen_idx = data
+        .user_demographic
+        .iter()
+        .position(|&d| DEMOGRAPHICS[d] == "teen")
+        .expect("some teen exists") as u32;
+    let teen = hin.node_name(data.users, teen_idx).to_string();
+    println!("recommending for {teen} (demographic: teen)\n");
+
+    for (path_text, meaning) in [
+        ("U-D-U-M", "what people in my demographic watch"),
+        ("U-M-G-M", "movies sharing genres with my ratings"),
+        ("U-M-C-M", "movies sharing cast with my ratings"),
+    ] {
+        let path = MetaPath::parse(hin.schema(), path_text)?;
+        let recs = engine.top_k(&path, teen_idx, 5)?;
+        println!("top 5 along {path_text} ({meaning}):");
+        for (i, r) in recs.iter().enumerate() {
+            println!(
+                "  {}. {:<24} {:.4}",
+                i + 1,
+                hin.node_name(data.movies, r.index),
+                r.score
+            );
+        }
+        println!();
+    }
+
+    // The intro's claim, quantified: the teen blockbuster ranks above the
+    // senior blockbuster for this teen along the demographic path.
+    let udum = MetaPath::parse(hin.schema(), "U-D-U-M")?;
+    let teen_hit = data.movie_id(&data.blockbusters[0]);
+    let senior_hit = data.movie_id(&data.blockbusters[3]);
+    let s_teen = engine.pair(&udum, teen_idx, teen_hit)?;
+    let s_senior = engine.pair(&udum, teen_idx, senior_hit)?;
+    println!(
+        "HeteSim({teen}, {} | UDUM) = {s_teen:.4}  >  HeteSim({teen}, {} | UDUM) = {s_senior:.4}",
+        data.blockbusters[0], data.blockbusters[3]
+    );
+    assert!(
+        s_teen > s_senior,
+        "the teen blockbuster should outrank the senior one"
+    );
+    println!("— the teenager indeed relates more to their blockbuster.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # HeteSim — relevance search in heterogeneous information networks
+//!
+//! A from-scratch Rust implementation of *"Relevance Search in
+//! Heterogeneous Networks"* (Shi, Kong, Yu, Xie, Wu — EDBT 2012), including
+//! every substrate the paper's evaluation needs: sparse linear algebra, a
+//! heterogeneous network store with meta-path machinery, the HeteSim
+//! measure itself, the baseline measures it is compared against (PCRW,
+//! PathSim, SimRank, RWR), spectral clustering and ranking metrics, and
+//! synthetic ACM/DBLP-like dataset generators.
+//!
+//! This facade crate re-exports the workspace members under stable names;
+//! downstream users depend on `hetesim` alone.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hetesim::prelude::*;
+//!
+//! // Build the paper's Figure 4 toy network: Tom's papers are all in KDD.
+//! let fig4 = hetesim::data::fixtures::fig4();
+//! let hin = &fig4.hin;
+//!
+//! let engine = HeteSimEngine::new(hin);
+//! let apc = MetaPath::parse(hin.schema(), "A-P-C").unwrap();
+//! let authors = hin.schema().type_id("author").unwrap();
+//! let confs = hin.schema().type_id("conference").unwrap();
+//! let tom = hin.node_id(authors, "Tom").unwrap();
+//! let kdd = hin.node_id(confs, "KDD").unwrap();
+//!
+//! // Example 2 of the paper: the raw meeting probability is 0.5 …
+//! assert!((engine.pair_unnormalized(&apc, tom, kdd).unwrap() - 0.5).abs() < 1e-12);
+//! // … and relevance is symmetric: HeteSim(t, c | P) == HeteSim(c, t | P⁻¹).
+//! let cpa = apc.reversed();
+//! assert_eq!(
+//!     engine.pair(&apc, tom, kdd).unwrap(),
+//!     engine.pair(&cpa, kdd, tom).unwrap(),
+//! );
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Contents |
+//! |-----------|----------|
+//! | [`sparse`] | CSR/COO/dense matrices, SpGEMM, chain products |
+//! | [`graph`] | schema, network store, meta-path parsing |
+//! | [`core`] | the HeteSim engine, decomposition, top-k search |
+//! | [`baselines`] | PCRW, PathSim, SimRank, random walk with restart |
+//! | [`ml`] | eigensolvers, Normalized Cut, k-means, NMI/AUC |
+//! | [`data`] | synthetic ACM/DBLP generators and paper fixtures |
+
+pub use hetesim_baselines as baselines;
+pub use hetesim_core as core;
+pub use hetesim_data as data;
+pub use hetesim_graph as graph;
+pub use hetesim_ml as ml;
+pub use hetesim_sparse as sparse;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use hetesim_baselines::{PathSim, Pcrw};
+    pub use hetesim_core::{HeteSimEngine, PathMeasure, Ranked};
+    pub use hetesim_graph::{Hin, HinBuilder, MetaPath, Schema};
+    pub use hetesim_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+}

@@ -1,0 +1,211 @@
+//! Oracle tests: every concrete number the paper works out by hand must
+//! reproduce exactly.
+
+use hetesim::core::decompose::{decompose, edge_split};
+use hetesim::data::fixtures::{fig4, fig5};
+use hetesim::prelude::*;
+
+#[test]
+fn example_2_meeting_probability_is_half() {
+    let f = fig4();
+    let hin = &f.hin;
+    let engine = HeteSimEngine::new(hin);
+    let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+    let a = hin.schema().type_id("author").unwrap();
+    let c = hin.schema().type_id("conference").unwrap();
+    let tom = hin.node_id(a, "Tom").unwrap();
+    let kdd = hin.node_id(c, "KDD").unwrap();
+    let raw = engine.pair_unnormalized(&apc, tom, kdd).unwrap();
+    assert!((raw - 0.5).abs() < 1e-15, "Example 2 expects exactly 0.5");
+}
+
+#[test]
+fn figure_4_tom_is_most_relevant_to_kdd() {
+    let f = fig4();
+    let hin = &f.hin;
+    let engine = HeteSimEngine::new(hin);
+    let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+    let a = hin.schema().type_id("author").unwrap();
+    let c = hin.schema().type_id("conference").unwrap();
+    let tom = hin.node_id(a, "Tom").unwrap();
+    let kdd = hin.node_id(c, "KDD").unwrap();
+    let sigmod = hin.node_id(c, "SIGMOD").unwrap();
+    // "Tom is more relevant to KDD than other conferences, since all of
+    // his papers are published in KDD."
+    let to_kdd = engine.pair(&apc, tom, kdd).unwrap();
+    let to_sigmod = engine.pair(&apc, tom, sigmod).unwrap();
+    assert!(to_kdd > to_sigmod);
+    assert_eq!(to_sigmod, 0.0);
+}
+
+#[test]
+fn figure_4_apapc_connects_tom_to_sigmod() {
+    // "Tom is not related to SIGMOD based on APC … however, he is related
+    // to SIGMOD based on APAPC" (co-authors' conferences).
+    let f = fig4();
+    let hin = &f.hin;
+    let engine = HeteSimEngine::new(hin);
+    let apapc = MetaPath::parse(hin.schema(), "APAPC").unwrap();
+    let a = hin.schema().type_id("author").unwrap();
+    let c = hin.schema().type_id("conference").unwrap();
+    let tom = hin.node_id(a, "Tom").unwrap();
+    let sigmod = hin.node_id(c, "SIGMOD").unwrap();
+    assert!(engine.pair(&apapc, tom, sigmod).unwrap() > 0.0);
+}
+
+#[test]
+fn figure_5_unnormalized_row_matches_paper() {
+    let f = fig5();
+    let engine = HeteSimEngine::new(&f.hin);
+    let ab = MetaPath::parse(f.hin.schema(), "A-B").unwrap();
+    for (b, &expected) in f.expected_a2_row.iter().enumerate() {
+        let raw = engine.pair_unnormalized(&ab, 1, b as u32).unwrap();
+        assert!(
+            (raw - expected).abs() < 1e-15,
+            "a2~b{}: got {raw}, paper says {expected}",
+            b + 1
+        );
+    }
+}
+
+#[test]
+fn figure_5_normalization_fixes_self_comparison() {
+    // "the relatedness of a2 and itself is 0.33 … obviously unreasonable"
+    // — after normalization b3 (exclusive neighbor) still ranks first
+    // among a2's related objects, and every value lands in [0, 1].
+    let f = fig5();
+    let engine = HeteSimEngine::new(&f.hin);
+    let ab = MetaPath::parse(f.hin.schema(), "A-B").unwrap();
+    let row: Vec<f64> = (0..4).map(|b| engine.pair(&ab, 1, b).unwrap()).collect();
+    assert!(row[2] > row[1] && row[2] > row[3], "b3 is a2's closest");
+    assert_eq!(row[0], 0.0);
+    for v in row {
+        assert!((0.0..=1.0).contains(&v));
+    }
+}
+
+#[test]
+fn property_1_decomposition_exact_and_unique() {
+    let f = fig5();
+    let ab = f.hin.schema().relation_id("ab").unwrap();
+    let w = f.hin.adjacency(ab);
+    let (ae, eb) = edge_split(w);
+    // R = RO ∘ RI exactly.
+    let product = ae.matmul(&eb).unwrap();
+    assert!(product.max_abs_diff(w).unwrap() < 1e-15);
+    // Uniqueness: the construction is deterministic — re-running produces
+    // identical matrices.
+    let (ae2, eb2) = edge_split(w);
+    assert_eq!(ae, ae2);
+    assert_eq!(eb, eb2);
+}
+
+#[test]
+fn definition_5_even_and_odd_paths_meet_in_the_middle() {
+    let f = fig4();
+    let hin = &f.hin;
+    // Even path APC: middle is the paper type.
+    let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
+    let d = decompose(hin, &apc).unwrap();
+    assert!(!d.used_edge_objects);
+    let p = hin.schema().type_id("paper").unwrap();
+    assert_eq!(d.middle_dim, hin.node_count(p));
+    // Odd path AP: middle is the edge-object set of `writes`.
+    let ap = MetaPath::parse(hin.schema(), "AP").unwrap();
+    let d = decompose(hin, &ap).unwrap();
+    assert!(d.used_edge_objects);
+    let writes = hin.schema().relation_id("writes").unwrap();
+    assert_eq!(d.middle_dim, hin.adjacency(writes).nnz());
+}
+
+#[test]
+fn apspvc_the_papers_odd_path_example() {
+    // Section 4.3 works through APSPVC: a 5-step path whose walkers meet
+    // inside the S-P relation, requiring the edge-object insertion
+    // ("the path becomes APSEPVC, which is even-length now").
+    use hetesim::core::decompose::decompose;
+    use hetesim::data::acm::{generate, AcmConfig};
+    let acm = generate(&AcmConfig::tiny(31));
+    let hin = &acm.hin;
+    let apspvc = MetaPath::parse(hin.schema(), "A-P-S-P-V-C").unwrap();
+    assert_eq!(apspvc.len(), 5);
+    let d = decompose(hin, &apspvc).unwrap();
+    assert!(d.used_edge_objects);
+    // The middle is the S-P relation's instance set (= has_subject edges).
+    assert_eq!(d.middle_dim, hin.adjacency(acm.has_subject).nnz());
+
+    // The path is fully queryable and symmetric per Property 3.
+    let engine = HeteSimEngine::new(hin);
+    let rev = apspvc.reversed();
+    let star = acm.author_id(&acm.star_concentrated);
+    for c in 0..14u32 {
+        let fwd = engine.pair(&apspvc, star, c).unwrap();
+        let bwd = engine.pair(&rev, c, star).unwrap();
+        assert!((fwd - bwd).abs() < 1e-10);
+        assert!((0.0..=1.0 + 1e-12).contains(&fwd));
+    }
+
+    // Semantics: APVC (where the author publishes) and APSPVC (where
+    // papers on the author's subjects are published) rank conferences
+    // differently — the paper's motivating contrast in Section 3.
+    let apvc = MetaPath::parse(hin.schema(), "APVC").unwrap();
+    let direct = engine.single_source(&apvc, star).unwrap();
+    let topical = engine.single_source(&apspvc, star).unwrap();
+    let order = |v: &[f64]| {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap());
+        idx
+    };
+    assert_ne!(order(&direct), order(&topical));
+    // The star publishes almost only in KDD, so APVC's support is narrow;
+    // the subject path reaches far more conferences.
+    let support = |v: &[f64]| v.iter().filter(|&&x| x > 1e-12).count();
+    assert!(support(&topical) > support(&direct));
+}
+
+#[test]
+fn weighted_relations_shape_relevance() {
+    // Ratings are weights: a user who rates m1 five stars and m2 one star
+    // must be more relevant to m1's neighborhood than m2's along U-M-U-M.
+    let mut schema = Schema::new();
+    let u = schema.add_type("user").unwrap();
+    let m = schema.add_type("movie").unwrap();
+    let rates = schema.add_relation("rates", u, m).unwrap();
+    let mut b = HinBuilder::new(schema);
+    b.add_edge_by_name(rates, "alice", "m1", 5.0).unwrap();
+    b.add_edge_by_name(rates, "alice", "m2", 1.0).unwrap();
+    b.add_edge_by_name(rates, "fan1", "m1", 5.0).unwrap();
+    b.add_edge_by_name(rates, "fan2", "m2", 5.0).unwrap();
+    let hin = b.build();
+    let engine = HeteSimEngine::new(&hin);
+    let um = MetaPath::parse(hin.schema(), "U-M").unwrap();
+    let alice = hin.node_id(u, "alice").unwrap();
+    let m1 = hin.node_id(m, "m1").unwrap();
+    let m2 = hin.node_id(m, "m2").unwrap();
+    let to_m1 = engine.pair_unnormalized(&um, alice, m1).unwrap();
+    let to_m2 = engine.pair_unnormalized(&um, alice, m2).unwrap();
+    assert!(
+        to_m1 > to_m2,
+        "five-star edge should dominate: {to_m1} vs {to_m2}"
+    );
+}
+
+#[test]
+fn definition_4_self_relation_identity() {
+    // HeteSim(s, t | I) = δ(s, t): on a symmetric round-trip path of
+    // length 0 there is nothing to compute, but the atomic self-property
+    // manifests as HeteSim(a, a | P) = 1 on symmetric paths and the
+    // diagonal dominating every row.
+    let f = fig4();
+    let hin = &f.hin;
+    let engine = HeteSimEngine::new(hin);
+    let apa = MetaPath::parse(hin.schema(), "APA").unwrap();
+    let m = engine.matrix(&apa).unwrap();
+    for a in 0..3 {
+        let diag = m.get(a, a);
+        assert!((diag - 1.0).abs() < 1e-12);
+        for b in 0..3 {
+            assert!(m.get(a, b) <= diag + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of HeteSim's semi-metric properties (Section 4.5)
+//! on random heterogeneous networks.
+
+use hetesim::prelude::*;
+use proptest::prelude::*;
+
+/// A random small bibliographic network: authors, papers, conferences with
+/// random `writes` and `published_in` edges.
+fn arb_hin() -> impl Strategy<Value = Hin> {
+    (2..6usize, 3..9usize, 2..5usize).prop_flat_map(|(na, np, nc)| {
+        let writes_edges = proptest::collection::vec((0..na, 0..np), 1..25);
+        let pub_edges = proptest::collection::vec((0..np, 0..nc), 1..25);
+        (writes_edges, pub_edges).prop_map(move |(we, pe)| {
+            let mut schema = Schema::new();
+            let a = schema.add_type("author").unwrap();
+            let p = schema.add_type("paper").unwrap();
+            let c = schema.add_type("conference").unwrap();
+            let writes = schema.add_relation("writes", a, p).unwrap();
+            let published = schema.add_relation("published_in", p, c).unwrap();
+            let mut b = HinBuilder::new(schema);
+            for i in 0..na {
+                b.add_node(a, &format!("a{i}"));
+            }
+            for i in 0..np {
+                b.add_node(p, &format!("p{i}"));
+            }
+            for i in 0..nc {
+                b.add_node(c, &format!("c{i}"));
+            }
+            for (x, y) in we {
+                b.add_edge(writes, x as u32, y as u32, 1.0).unwrap();
+            }
+            for (x, y) in pe {
+                b.add_edge(published, x as u32, y as u32, 1.0).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+const PATHS: [&str; 6] = ["APC", "AP", "APA", "APAPC", "CPA", "PAP"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 3: HeteSim(a, b | P) == HeteSim(b, a | P⁻¹) for arbitrary
+    /// (including asymmetric, odd-length) paths.
+    #[test]
+    fn symmetry_holds_on_random_networks(hin in arb_hin(), path_idx in 0..PATHS.len()) {
+        let engine = HeteSimEngine::new(&hin);
+        let path = MetaPath::parse(hin.schema(), PATHS[path_idx]).unwrap();
+        let rev = path.reversed();
+        let ns = hin.node_count(path.source_type());
+        let nt = hin.node_count(path.target_type());
+        for a in 0..ns as u32 {
+            for b in 0..nt as u32 {
+                let fwd = engine.pair(&path, a, b).unwrap();
+                let bwd = engine.pair(&rev, b, a).unwrap();
+                prop_assert!((fwd - bwd).abs() < 1e-10,
+                    "pair ({a},{b}) along {}: {fwd} vs {bwd}", PATHS[path_idx]);
+            }
+        }
+    }
+
+    /// Property 4: all scores lie in [0, 1].
+    #[test]
+    fn self_maximum_range(hin in arb_hin(), path_idx in 0..PATHS.len()) {
+        let engine = HeteSimEngine::new(&hin);
+        let path = MetaPath::parse(hin.schema(), PATHS[path_idx]).unwrap();
+        let m = engine.matrix(&path).unwrap();
+        for (_, _, v) in m.iter() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "score {v} out of range");
+        }
+    }
+
+    /// Property 4 (identity of indiscernibles): on a symmetric path, the
+    /// self-relevance of any object with support is exactly 1, and no
+    /// cross score exceeds it.
+    #[test]
+    fn identity_of_indiscernibles(hin in arb_hin()) {
+        let engine = HeteSimEngine::new(&hin);
+        for text in ["APA", "PAP"] {
+            let path = MetaPath::parse(hin.schema(), text).unwrap();
+            prop_assert!(path.is_symmetric());
+            let m = engine.matrix(&path).unwrap();
+            let n = hin.node_count(path.source_type());
+            for i in 0..n {
+                let diag = m.get(i, i);
+                // Objects with no incident edges score 0 by convention.
+                prop_assert!(diag == 0.0 || (diag - 1.0).abs() < 1e-10);
+                for j in 0..n {
+                    prop_assert!(m.get(i, j) <= 1.0 + 1e-10);
+                }
+            }
+        }
+    }
+
+    /// The three query APIs (full matrix, single pair, single-source row)
+    /// agree everywhere, and top-k returns the best-k of single_source.
+    #[test]
+    fn query_apis_agree(hin in arb_hin(), path_idx in 0..PATHS.len()) {
+        let engine = HeteSimEngine::new(&hin);
+        let path = MetaPath::parse(hin.schema(), PATHS[path_idx]).unwrap();
+        let m = engine.matrix(&path).unwrap();
+        let ns = hin.node_count(path.source_type());
+        let nt = hin.node_count(path.target_type());
+        for a in 0..ns as u32 {
+            let row = engine.single_source(&path, a).unwrap();
+            prop_assert_eq!(row.len(), nt);
+            for b in 0..nt as u32 {
+                let pair = engine.pair(&path, a, b).unwrap();
+                prop_assert!((pair - m.get(a as usize, b as usize)).abs() < 1e-10);
+                prop_assert!((pair - row[b as usize]).abs() < 1e-10);
+            }
+            // Top-k = the k largest entries of the row (positive only).
+            let k = 3usize;
+            let ranked = engine.top_k(&path, a, k).unwrap();
+            let mut expect: Vec<(u32, f64)> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > 0.0)
+                .map(|(i, &v)| (i as u32, v))
+                .collect();
+            expect.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap()
+                .then_with(|| x.0.cmp(&y.0)));
+            expect.truncate(k);
+            prop_assert_eq!(ranked.len(), expect.len());
+            for (r, (ei, ev)) in ranked.iter().zip(expect) {
+                prop_assert!((r.score - ev).abs() < 1e-10);
+                // Indices may differ only on exact ties.
+                if (r.score - ev).abs() > 0.0 {
+                    prop_assert_eq!(r.index, ei);
+                }
+            }
+        }
+    }
+
+    /// PCRW rows remain probability (sub-)distributions, and HeteSim's
+    /// normalized score equals the cosine of the two PCRW half-walks.
+    #[test]
+    fn pcrw_rows_are_substochastic(hin in arb_hin(), path_idx in 0..PATHS.len()) {
+        let pcrw = Pcrw::new(&hin);
+        let path = MetaPath::parse(hin.schema(), PATHS[path_idx]).unwrap();
+        let m = pcrw.relevance_matrix(&path).unwrap();
+        for r in 0..m.nrows() {
+            let s: f64 = m.row_values(r).iter().sum();
+            prop_assert!(s <= 1.0 + 1e-9, "row {r} sums to {s}");
+        }
+    }
+
+    /// PathSim on symmetric paths: symmetric, unit diagonal (for supported
+    /// objects), bounded by 1.
+    #[test]
+    fn pathsim_semi_metric_on_symmetric_paths(hin in arb_hin()) {
+        let ps = PathSim::new(&hin);
+        let path = MetaPath::parse(hin.schema(), "APA").unwrap();
+        let m = ps.relevance_matrix(&path).unwrap();
+        let n = m.nrows();
+        for i in 0..n {
+            let d = m.get(i, i);
+            prop_assert!(d == 0.0 || (d - 1.0).abs() < 1e-12);
+            for j in 0..n {
+                prop_assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
+                prop_assert!(m.get(i, j) <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

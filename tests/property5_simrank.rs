@@ -1,0 +1,149 @@
+//! Property 5: the connection between HeteSim and SimRank.
+//!
+//! On a bipartite graph `A →R B` with decay `C = 1`, the k-th term of the
+//! naive SimRank recursion equals the *unnormalized* HeteSim over the
+//! self-path `(R R⁻¹)^k`, and SimRank is the limit of the partial sums.
+//! We verify the term-by-term equality against the real `HeteSimEngine`
+//! on random bipartite graphs, and the analogous B-side statement.
+
+use hetesim::baselines::simrank::{bipartite_hop_terms, bipartite_hop_terms_reverse};
+use hetesim::graph::Step;
+use hetesim::prelude::*;
+use proptest::prelude::*;
+
+fn bipartite_hin(na: usize, nb: usize, edges: &[(usize, usize)]) -> Hin {
+    let mut schema = Schema::new();
+    let a = schema.add_type("A").unwrap();
+    let b_ty = schema.add_type("B").unwrap();
+    let r = schema.add_relation("r", a, b_ty).unwrap();
+    let mut b = HinBuilder::new(schema);
+    for i in 0..na {
+        b.add_node(a, &format!("a{i}"));
+    }
+    for i in 0..nb {
+        b.add_node(b_ty, &format!("b{i}"));
+    }
+    for &(x, y) in edges {
+        b.add_edge(r, x as u32, y as u32, 1.0).unwrap();
+    }
+    b.build()
+}
+
+/// Builds the self-path `(R R⁻¹)^k` on the A side.
+fn round_trip_path(hin: &Hin, k: usize) -> MetaPath {
+    let r = hin.schema().relation_id("r").unwrap();
+    let mut steps = Vec::with_capacity(2 * k);
+    for _ in 0..k {
+        steps.push(Step::forward(r));
+        steps.push(Step::backward(r));
+    }
+    MetaPath::from_steps(hin.schema(), steps).unwrap()
+}
+
+/// Builds the self-path `(R⁻¹ R)^k` on the B side.
+fn reverse_round_trip_path(hin: &Hin, k: usize) -> MetaPath {
+    let r = hin.schema().relation_id("r").unwrap();
+    let mut steps = Vec::with_capacity(2 * k);
+    for _ in 0..k {
+        steps.push(Step::backward(r));
+        steps.push(Step::forward(r));
+    }
+    MetaPath::from_steps(hin.schema(), steps).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hop_terms_equal_unnormalized_hetesim(
+        na in 2..5usize,
+        nb in 2..5usize,
+        edges in proptest::collection::vec((0..5usize, 0..5usize), 1..15),
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(x, y)| (x % na, y % nb))
+            .collect();
+        let hin = bipartite_hin(na, nb, &edges);
+        let r = hin.schema().relation_id("r").unwrap();
+        let w = hin.adjacency(r).clone();
+        let engine = HeteSimEngine::new(&hin);
+
+        let hops = 3;
+        let terms = bipartite_hop_terms(&w, hops).unwrap();
+        for (k, term) in terms.iter().enumerate() {
+            let path = round_trip_path(&hin, k + 1);
+            let hs = engine.matrix_unnormalized(&path).unwrap();
+            for a1 in 0..na {
+                for a2 in 0..na {
+                    let lhs = term.get(a1, a2);
+                    let rhs = hs.get(a1, a2);
+                    prop_assert!(
+                        (lhs - rhs).abs() < 1e-10,
+                        "hop {k}: SimRank term ({a1},{a2}) = {lhs} vs HeteSim {rhs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn b_side_terms_equal_reverse_path(
+        na in 2..4usize,
+        nb in 2..4usize,
+        edges in proptest::collection::vec((0..4usize, 0..4usize), 1..12),
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(x, y)| (x % na, y % nb))
+            .collect();
+        let hin = bipartite_hin(na, nb, &edges);
+        let r = hin.schema().relation_id("r").unwrap();
+        let w = hin.adjacency(r).clone();
+        let engine = HeteSimEngine::new(&hin);
+
+        let terms = bipartite_hop_terms_reverse(&w, 2).unwrap();
+        for (k, term) in terms.iter().enumerate() {
+            let path = reverse_round_trip_path(&hin, k + 1);
+            let hs = engine.matrix_unnormalized(&path).unwrap();
+            for b1 in 0..nb {
+                for b2 in 0..nb {
+                    prop_assert!(
+                        (term.get(b1, b2) - hs.get(b1, b2)).abs() < 1e-10,
+                        "reverse hop {k}: ({b1},{b2})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The partial sums of the hop terms are monotone and converge (each
+    /// term is a meeting probability after MORE forced steps, so terms
+    /// stay bounded and the series is summable on connected components).
+    #[test]
+    fn partial_sums_monotone(
+        na in 2..4usize,
+        nb in 2..4usize,
+        edges in proptest::collection::vec((0..4usize, 0..4usize), 2..12),
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(x, y)| (x % na, y % nb))
+            .collect();
+        let hin = bipartite_hin(na, nb, &edges);
+        let r = hin.schema().relation_id("r").unwrap();
+        let w = hin.adjacency(r).clone();
+        let terms = bipartite_hop_terms(&w, 4).unwrap();
+        for a1 in 0..na {
+            for a2 in 0..na {
+                let mut acc = 0.0;
+                for t in &terms {
+                    let v = t.get(a1, a2);
+                    prop_assert!(v >= -1e-12);
+                    acc += v;
+                }
+                prop_assert!(acc.is_finite());
+            }
+        }
+    }
+}
