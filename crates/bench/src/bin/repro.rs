@@ -1,13 +1,18 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro [--scale tiny|default|paper] [table1..table7|fig6|fig7|truncation|
-//!        scaling|all]
+//! repro [--scale tiny|default|paper] [--metrics-out FILE]
+//!       [table1..table7|fig6|fig7|truncation|scaling|all]
 //! ```
 //!
 //! Absolute numbers differ from the paper (synthetic network), but every
 //! structural claim — symmetry, who ranks first, which measure wins — is
 //! expected to hold and is additionally asserted by `tests/`.
+//!
+//! Observability is enabled for the whole run; the metrics snapshot (span
+//! timings per experiment stage, sparse-kernel counters, cache hit/miss) is
+//! written to `BENCH_metrics.json` in the working directory, or wherever
+//! `--metrics-out` points.
 
 use hetesim_bench::datasets::{acm_dataset, dblp_dataset, Scale, REPRO_SEED};
 use hetesim_bench::{approx, clustering, expert, profiling, query, scaling, semantics};
@@ -16,11 +21,13 @@ use std::process::ExitCode;
 struct Args {
     scale: Scale,
     which: Vec<String>,
+    metrics_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Default;
     let mut which = Vec::new();
+    let mut metrics_out = "BENCH_metrics.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,16 +35,24 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--scale needs a value")?;
                 scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
             }
-            "--help" | "-h" => {
-                return Err("usage: repro [--scale tiny|default|paper] [experiments...]".into())
+            "--metrics-out" => {
+                metrics_out = args.next().ok_or("--metrics-out needs a value")?;
             }
+            "--help" | "-h" => return Err(
+                "usage: repro [--scale tiny|default|paper] [--metrics-out FILE] [experiments...]"
+                    .into(),
+            ),
             other => which.push(other.to_string()),
         }
     }
     if which.is_empty() {
         which.push("all".to_string());
     }
-    Ok(Args { scale, which })
+    Ok(Args {
+        scale,
+        which,
+        metrics_out,
+    })
 }
 
 fn wants(args: &Args, name: &str) -> bool {
@@ -69,6 +84,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     });
 
     if wants(args, "table1") {
+        let _span = hetesim_obs::span("bench.repro.table1");
         let acm = acm.as_ref().expect("built above");
         for t in profiling::render(
             &format!("Table 1 — profile of {}", acm.star_concentrated),
@@ -78,17 +94,20 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if wants(args, "table2") {
+        let _span = hetesim_obs::span("bench.repro.table2");
         let acm = acm.as_ref().expect("built above");
         for t in profiling::render("Table 2 — profile of KDD", &profiling::table2(acm, 5)?) {
             println!("{t}");
         }
     }
     if wants(args, "table3") {
+        let _span = hetesim_obs::span("bench.repro.table3");
         let acm = acm.as_ref().expect("built above");
         let rows = expert::table3(acm, &["KDD", "SIGIR", "SIGMOD", "SODA", "SIGCOMM", "VLDB"])?;
         println!("{}", expert::render_table3(&rows));
     }
     if wants(args, "table4") {
+        let _span = hetesim_obs::span("bench.repro.table4");
         let acm = acm.as_ref().expect("built above");
         let rankings = semantics::table4(acm, 10)?;
         println!(
@@ -103,10 +122,12 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if wants(args, "table5") {
+        let _span = hetesim_obs::span("bench.repro.table5");
         let dblp = dblp.as_ref().expect("built above");
         println!("{}", query::render_table5(&query::table5(dblp)?));
     }
     if wants(args, "table6") {
+        let _span = hetesim_obs::span("bench.repro.table6");
         let dblp = dblp.as_ref().expect("built above");
         println!(
             "{}",
@@ -114,6 +135,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if wants(args, "table7") {
+        let _span = hetesim_obs::span("bench.repro.table7");
         let acm = acm.as_ref().expect("built above");
         let rankings = semantics::table7(acm, "KDD", 10)?;
         println!(
@@ -122,6 +144,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if wants(args, "fig6") {
+        let _span = hetesim_obs::span("bench.repro.fig6");
         let acm = acm.as_ref().expect("built above");
         let top_n = match args.scale {
             Scale::Tiny => 50,
@@ -130,15 +153,18 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", expert::render_fig6(&expert::fig6(acm, top_n)?));
     }
     if wants(args, "fig7") {
+        let _span = hetesim_obs::span("bench.repro.fig7");
         let acm = acm.as_ref().expect("built above");
         println!("{}", semantics::render_fig7(&semantics::fig7(acm, &[])?));
     }
     if wants(args, "truncation") {
+        let _span = hetesim_obs::span("bench.repro.truncation");
         let acm = acm.as_ref().expect("built above");
         let rows = approx::truncation_sweep(acm, &[1, 2, 4, 8, 16, 32])?;
         println!("{}", approx::render_truncation(&rows));
     }
     if wants(args, "scaling") {
+        let _span = hetesim_obs::span("bench.repro.scaling");
         let sizes: &[usize] = match args.scale {
             Scale::Tiny => &[100, 200, 400],
             Scale::Default => &[200, 400, 800, 1600],
@@ -152,6 +178,14 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn write_metrics(path: &str) {
+    let snap = hetesim_obs::snapshot();
+    match std::fs::write(path, snap.to_json()) {
+        Ok(()) => eprintln!("wrote metrics snapshot to {path}"),
+        Err(e) => eprintln!("warning: cannot write metrics to {path:?}: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -160,7 +194,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
+    hetesim_obs::enable();
+    let result = run(&args);
+    // Written even on failure: partial timings locate the failing stage.
+    write_metrics(&args.metrics_out);
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

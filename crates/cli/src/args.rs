@@ -1,10 +1,16 @@
 //! Dependency-free argument parsing for the CLI.
 //!
 //! The grammar is `hetesim-cli <command> [positional] [--flag value]...`;
-//! commands own their flag sets and validate them eagerly so the user gets
-//! one precise error instead of a failed query minutes into a run.
+//! `--flag=value` is accepted everywhere, and the flags in [`VALUELESS`]
+//! may appear bare (`--metrics`). Commands own their flag sets and validate
+//! them eagerly so the user gets one precise error instead of a failed
+//! query minutes into a run.
 
 use std::collections::HashMap;
+
+/// Flags that do not consume a following value; an explicit value still
+/// works via `--flag=value`.
+const VALUELESS: &[&str] = &["metrics"];
 
 /// A parsed invocation: command, positional arguments, `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,11 +33,18 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     while let Some(arg) = it.next() {
-        if let Some(key) = arg.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
-            if flags.insert(key.to_string(), value.clone()).is_some() {
+        if let Some(body) = arg.strip_prefix("--") {
+            let (key, value) = match body.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None if VALUELESS.contains(&body) => (body.to_string(), String::new()),
+                None => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{body} needs a value"))?;
+                    (body.to_string(), value.clone())
+                }
+            };
+            if flags.insert(key.clone(), value).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
         } else {
@@ -46,6 +59,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
 }
 
 impl Parsed {
+    /// Whether the flag was given at all (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
     /// Required flag lookup.
     pub fn require(&self, key: &str) -> Result<&str, String> {
         self.flags
@@ -121,6 +139,29 @@ mod tests {
     #[test]
     fn duplicate_flags_rejected() {
         assert!(parse(&s(&["q", "--k", "1", "--k", "2"])).is_err());
+        assert!(parse(&s(&["q", "--k=1", "--k", "2"])).is_err());
+    }
+
+    #[test]
+    fn equals_form_and_valueless_metrics() {
+        let p = parse(&s(&[
+            "query",
+            "dir",
+            "--k=5",
+            "--metrics",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(p.get_usize("k", 10).unwrap(), 5);
+        assert!(p.has("metrics"));
+        assert_eq!(p.get_or("metrics", "tree"), "");
+        assert_eq!(p.require("metrics-out").unwrap(), "m.json");
+        assert_eq!(p.one_positional("dir").unwrap(), "dir");
+
+        let p = parse(&s(&["query", "--metrics=json"])).unwrap();
+        assert_eq!(p.get_or("metrics", "tree"), "json");
+        assert!(!parse(&s(&["query", "--metrics-out"])).is_ok());
     }
 
     #[test]

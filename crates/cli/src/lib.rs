@@ -1,0 +1,374 @@
+//! `hetesim-cli` — relevance search over heterogeneous networks from the
+//! shell.
+//!
+//! ```text
+//! hetesim-cli generate --dataset acm|dblp [--seed N] [--scale tiny|default|paper] --out DIR
+//! hetesim-cli stats   DIR
+//! hetesim-cli paths   DIR --from A --to C [--max-len 4]
+//! hetesim-cli query   DIR --path APVC --source NAME [--k 10] [--measure hetesim|pcrw|pathsim]
+//! hetesim-cli top-k   DIR --path APVC --source NAME [--k 10] [--repeat N]
+//! hetesim-cli pair    DIR --path APVC --source NAME --target NAME [--explain K]
+//! hetesim-cli join    DIR --path APA [--k 10]
+//! hetesim-cli help
+//! ```
+//!
+//! Every subcommand additionally accepts `--metrics[=tree|json]` to print
+//! an observability snapshot (span timings, kernel counters, cache
+//! hit/miss) after the command, and `--metrics-out FILE` to write the JSON
+//! snapshot to a file. See `hetesim-obs` for the `crate.component.op`
+//! naming convention of the emitted metrics.
+//!
+//! Networks are directories in the TSV format of `hetesim_graph::io`, so
+//! generated datasets can be inspected, edited, and re-queried.
+//!
+//! The binary is a thin wrapper over [`run`], so the workspace root can
+//! expose the same interface as `cargo run -- <command> …`.
+
+mod args;
+
+use args::Parsed;
+use hetesim_baselines::{PathSim, Pcrw};
+use hetesim_core::{HeteSimEngine, PathMeasure};
+use hetesim_data::{acm, dblp};
+use hetesim_graph::{enumerate, io, stats, Hin, MetaPath};
+use std::path::Path;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+hetesim-cli — relevance search in heterogeneous networks (HeteSim, EDBT 2012)
+
+commands:
+  generate --dataset acm|dblp [--seed N] [--scale tiny|default|paper] --out DIR
+      Generate a synthetic bibliographic network and save it as TSV files.
+  stats DIR
+      Print node/edge statistics of a saved network.
+  paths DIR --from A --to C [--max-len 4]
+      Enumerate meta-paths between two type abbreviations.
+  query DIR --path APVC --source NAME [--k 10] [--measure hetesim|pcrw|pathsim]
+      Rank the objects most relevant to SOURCE along PATH.
+      (`top-k` is an alias; `--repeat N` re-runs the query N times against
+      one engine, exercising the half-path cache.)
+  pair DIR --path APVC --source NAME --target NAME
+      Score one object pair; --explain K lists the K biggest meeting points.
+  join DIR --path APA [--k 10]
+      The k most relevant object pairs across the whole matrix.
+  help
+      This text.
+
+every command also accepts:
+  --metrics[=tree|json]   print span timings / counters / histograms after
+                          the command (default format: tree)
+  --metrics-out FILE      write the JSON metrics snapshot to FILE";
+
+fn load(dir: &str) -> Result<Hin, String> {
+    io::load(Path::new(dir)).map_err(|e| format!("cannot load network from {dir:?}: {e}"))
+}
+
+/// Publishes gauge-style cache readings so they appear in the snapshot
+/// alongside the hit/miss counters the cache records itself.
+fn record_cache_gauges(engine: &HeteSimEngine) {
+    let s = engine.cache_stats();
+    hetesim_obs::set("core.cache.prefix_cache.entries", s.entries);
+    hetesim_obs::set("core.cache.prefix_cache.bytes", s.bytes);
+}
+
+fn cmd_generate(p: &Parsed) -> Result<(), String> {
+    let out = p.require("out")?;
+    let seed = p.get_u64("seed", 42)?;
+    let scale = p.get_or("scale", "default");
+    let hin = match p.require("dataset")? {
+        "acm" => {
+            let cfg = match scale {
+                "tiny" => acm::AcmConfig::tiny(seed),
+                "default" => acm::AcmConfig {
+                    seed,
+                    ..acm::AcmConfig::default()
+                },
+                "paper" => acm::AcmConfig::paper_scale(seed),
+                other => return Err(format!("unknown scale {other:?}")),
+            };
+            acm::generate(&cfg).hin
+        }
+        "dblp" => {
+            let cfg = match scale {
+                "tiny" => dblp::DblpConfig::tiny(seed),
+                "default" => dblp::DblpConfig {
+                    seed,
+                    ..dblp::DblpConfig::default()
+                },
+                "paper" => dblp::DblpConfig::paper_scale(seed),
+                other => return Err(format!("unknown scale {other:?}")),
+            };
+            dblp::generate(&cfg).hin
+        }
+        other => return Err(format!("unknown dataset {other:?} (acm|dblp)")),
+    };
+    io::save(&hin, Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {out}/{{schema,nodes,edges}}.tsv");
+    println!("{}", stats::stats(&hin));
+    Ok(())
+}
+
+fn cmd_stats(p: &Parsed) -> Result<(), String> {
+    let hin = load(p.one_positional("network directory")?)?;
+    print!("{}", stats::stats(&hin));
+    Ok(())
+}
+
+fn cmd_paths(p: &Parsed) -> Result<(), String> {
+    let hin = load(p.one_positional("network directory")?)?;
+    let schema = hin.schema();
+    let from = schema
+        .type_by_abbrev(p.require("from")?.chars().next().unwrap_or(' '))
+        .map_err(|e| e.to_string())?;
+    let to = schema
+        .type_by_abbrev(p.require("to")?.chars().next().unwrap_or(' '))
+        .map_err(|e| e.to_string())?;
+    let max_len = p.get_usize("max-len", 4)?;
+    let paths = enumerate::enumerate_paths(schema, from, to, max_len);
+    println!(
+        "{} meta-paths from {} to {} (max length {max_len}):",
+        paths.len(),
+        schema.type_name(from),
+        schema.type_name(to)
+    );
+    for path in paths {
+        let tag = if path.is_symmetric() {
+            "  (symmetric)"
+        } else {
+            ""
+        };
+        println!("  {}{tag}", path.display(schema));
+    }
+    Ok(())
+}
+
+fn parse_path(hin: &Hin, text: &str) -> Result<MetaPath, String> {
+    MetaPath::parse(hin.schema(), text).map_err(|e| e.to_string())
+}
+
+fn cmd_query(p: &Parsed) -> Result<(), String> {
+    let hin = load(p.one_positional("network directory")?)?;
+    let path = parse_path(&hin, p.require("path")?)?;
+    let source_name = p.require("source")?;
+    let source = hin
+        .node_id(path.source_type(), source_name)
+        .map_err(|e| e.to_string())?;
+    let k = p.get_usize("k", 10)?;
+    let repeat = p.get_usize("repeat", 1)?.max(1);
+    let measure = p.get_or("measure", "hetesim");
+    let engine = HeteSimEngine::new(&hin);
+    let pcrw = Pcrw::new(&hin);
+    let pathsim = PathSim::new(&hin);
+    let mut ranked = Vec::new();
+    // Repeats run against the same engine, so runs after the first are
+    // served by the half-path cache (visible in --metrics output).
+    for _ in 0..repeat {
+        ranked = match measure {
+            "hetesim" => engine.top_k(&path, source, k).map_err(|e| e.to_string())?,
+            "pcrw" => {
+                let mut r = pcrw
+                    .rank_targets(&path, source)
+                    .map_err(|e| e.to_string())?;
+                r.truncate(k);
+                r
+            }
+            "pathsim" => {
+                let mut r = pathsim
+                    .rank_targets(&path, source)
+                    .map_err(|e| e.to_string())?;
+                r.truncate(k);
+                r
+            }
+            other => return Err(format!("unknown measure {other:?} (hetesim|pcrw|pathsim)")),
+        };
+    }
+    record_cache_gauges(&engine);
+    println!(
+        "top {} {} for {source_name} along {} ({measure}):",
+        ranked.len(),
+        hin.schema().type_name(path.target_type()),
+        path.display(hin.schema()),
+    );
+    for (i, r) in ranked.iter().enumerate() {
+        println!(
+            "  {:>3}. {:<28} {:.6}",
+            i + 1,
+            hin.node_name(path.target_type(), r.index),
+            r.score
+        );
+    }
+    Ok(())
+}
+
+fn cmd_pair(p: &Parsed) -> Result<(), String> {
+    let hin = load(p.one_positional("network directory")?)?;
+    let path = parse_path(&hin, p.require("path")?)?;
+    let a = hin
+        .node_id(path.source_type(), p.require("source")?)
+        .map_err(|e| e.to_string())?;
+    let b = hin
+        .node_id(path.target_type(), p.require("target")?)
+        .map_err(|e| e.to_string())?;
+    let engine = HeteSimEngine::new(&hin);
+    let norm = engine.pair(&path, a, b).map_err(|e| e.to_string())?;
+    let raw = engine
+        .pair_unnormalized(&path, a, b)
+        .map_err(|e| e.to_string())?;
+    println!("HeteSim  (normalized):        {norm:.6}");
+    println!("HeteSim  (meeting prob.):     {raw:.6}");
+    let pcrw = Pcrw::new(&hin);
+    let walk = pcrw.score(&path, a, b).map_err(|e| e.to_string())?;
+    println!("PCRW     (walk probability):  {walk:.6}");
+
+    let explain_k = p.get_usize("explain", 0)?;
+    if explain_k > 0 {
+        use hetesim_core::explain::MiddleKind;
+        let ex = engine
+            .explain(&path, a, b, explain_k)
+            .map_err(|e| e.to_string())?;
+        println!("\nmeeting points (largest contribution first):");
+        for m in &ex.meetings {
+            let label = match ex.middle {
+                MiddleKind::Type(ty) => hin.node_name(ty, m.middle).to_string(),
+                MiddleKind::EdgeObjects { relation } => {
+                    // Resolve the e-th stored instance of the relation.
+                    let adj = hin.adjacency(relation);
+                    let (mut src, mut dst, mut seen) = (0usize, 0usize, 0u32);
+                    'outer: for r in 0..adj.nrows() {
+                        for &c in adj.row_indices(r) {
+                            if seen == m.middle {
+                                src = r;
+                                dst = c as usize;
+                                break 'outer;
+                            }
+                            seen += 1;
+                        }
+                    }
+                    let sty = hin.schema().relation_src(relation);
+                    let dty = hin.schema().relation_dst(relation);
+                    format!(
+                        "{} —[{}]→ {}",
+                        hin.node_name(sty, src as u32),
+                        hin.schema().relation_name(relation),
+                        hin.node_name(dty, dst as u32)
+                    )
+                }
+            };
+            println!("  {label:<40} {:.6}", m.contribution);
+        }
+    }
+    record_cache_gauges(&engine);
+    Ok(())
+}
+
+fn cmd_join(p: &Parsed) -> Result<(), String> {
+    let hin = load(p.one_positional("network directory")?)?;
+    let path = parse_path(&hin, p.require("path")?)?;
+    let k = p.get_usize("k", 10)?;
+    let engine = HeteSimEngine::new(&hin);
+    let pairs = engine.top_k_pairs(&path, k).map_err(|e| e.to_string())?;
+    record_cache_gauges(&engine);
+    println!(
+        "top {} pairs along {}:",
+        pairs.len(),
+        path.display(hin.schema())
+    );
+    for (i, pair) in pairs.iter().enumerate() {
+        println!(
+            "  {:>3}. {:<24} ~ {:<24} {:.6}",
+            i + 1,
+            hin.node_name(path.source_type(), pair.source),
+            hin.node_name(path.target_type(), pair.target),
+            pair.score
+        );
+    }
+    Ok(())
+}
+
+/// Whether this invocation asked for metrics; enables recording if so.
+fn metrics_requested(p: &Parsed) -> bool {
+    p.has("metrics") || p.has("metrics-out")
+}
+
+/// Rejects `--metrics=<bad>` before any work happens.
+fn validate_metrics_format(p: &Parsed) -> Result<(), String> {
+    match p.get_or("metrics", "tree") {
+        "" | "tree" | "json" => Ok(()),
+        other => Err(format!("unknown metrics format {other:?} (tree|json)")),
+    }
+}
+
+/// Prints and/or writes the metrics snapshot per the `--metrics` /
+/// `--metrics-out` flags. The human tree goes to stderr so stdout stays
+/// machine-consumable; the JSON form goes to stdout, since it *is* the
+/// machine-consumable output.
+fn emit_metrics(p: &Parsed) -> Result<(), String> {
+    if !metrics_requested(p) {
+        return Ok(());
+    }
+    let snap = hetesim_obs::snapshot();
+    if p.has("metrics") {
+        match p.get_or("metrics", "tree") {
+            "json" => print!("{}", snap.to_json()),
+            _ => eprint!("{}", snap.render_tree()),
+        }
+    }
+    if let Some(file) = p.flags.get("metrics-out") {
+        std::fs::write(file, snap.to_json())
+            .map_err(|e| format!("cannot write metrics to {file:?}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Runs the CLI against explicit arguments (no program name). Returns an
+/// error message to print on failure.
+pub fn run_with_args(raw: &[String]) -> Result<(), String> {
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let parsed = args::parse(raw)?;
+    validate_metrics_format(&parsed)?;
+    if metrics_requested(&parsed) {
+        hetesim_obs::enable();
+    }
+    let command = parsed.command.as_str();
+    let result = {
+        let _span = hetesim_obs::span(match command {
+            "generate" => "cli.generate",
+            "stats" => "cli.stats",
+            "paths" => "cli.paths",
+            "query" | "top-k" => "cli.query",
+            "pair" => "cli.pair",
+            "join" => "cli.join",
+            _ => "cli.unknown",
+        });
+        match command {
+            "generate" => cmd_generate(&parsed),
+            "stats" => cmd_stats(&parsed),
+            "paths" => cmd_paths(&parsed),
+            "query" | "top-k" => cmd_query(&parsed),
+            "pair" => cmd_pair(&parsed),
+            "join" => cmd_join(&parsed),
+            other => Err(format!("unknown command {other:?}; try `hetesim-cli help`")),
+        }
+    };
+    // Emit metrics even after a failed command — partial timings are often
+    // exactly what's needed to diagnose the failure.
+    let metrics_result = emit_metrics(&parsed);
+    result.and(metrics_result)
+}
+
+/// Binary entry point shared by `hetesim-cli` and the workspace-root
+/// `hetesim` binary.
+pub fn run() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run_with_args(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,281 +1,3 @@
-//! `hetesim-cli` — relevance search over heterogeneous networks from the
-//! shell.
-//!
-//! ```text
-//! hetesim-cli generate --dataset acm|dblp [--seed N] [--scale tiny|default|paper] --out DIR
-//! hetesim-cli stats   DIR
-//! hetesim-cli paths   DIR --from A --to C [--max-len 4]
-//! hetesim-cli query   DIR --path APVC --source NAME [--k 10] [--measure hetesim|pcrw|pathsim]
-//! hetesim-cli pair    DIR --path APVC --source NAME --target NAME [--explain K]
-//! hetesim-cli join    DIR --path APA [--k 10]
-//! hetesim-cli help
-//! ```
-//!
-//! Networks are directories in the TSV format of `hetesim_graph::io`, so
-//! generated datasets can be inspected, edited, and re-queried.
-
-mod args;
-
-use args::Parsed;
-use hetesim_baselines::{PathSim, Pcrw};
-use hetesim_core::{HeteSimEngine, PathMeasure};
-use hetesim_data::{acm, dblp};
-use hetesim_graph::{enumerate, io, stats, Hin, MetaPath};
-use std::path::Path;
-use std::process::ExitCode;
-
-const HELP: &str = "\
-hetesim-cli — relevance search in heterogeneous networks (HeteSim, EDBT 2012)
-
-commands:
-  generate --dataset acm|dblp [--seed N] [--scale tiny|default|paper] --out DIR
-      Generate a synthetic bibliographic network and save it as TSV files.
-  stats DIR
-      Print node/edge statistics of a saved network.
-  paths DIR --from A --to C [--max-len 4]
-      Enumerate meta-paths between two type abbreviations.
-  query DIR --path APVC --source NAME [--k 10] [--measure hetesim|pcrw|pathsim]
-      Rank the objects most relevant to SOURCE along PATH.
-  pair DIR --path APVC --source NAME --target NAME
-      Score one object pair; --explain K lists the K biggest meeting points.
-  join DIR --path APA [--k 10]
-      The k most relevant object pairs across the whole matrix.
-  help
-      This text.";
-
-fn load(dir: &str) -> Result<Hin, String> {
-    io::load(Path::new(dir)).map_err(|e| format!("cannot load network from {dir:?}: {e}"))
-}
-
-fn cmd_generate(p: &Parsed) -> Result<(), String> {
-    let out = p.require("out")?;
-    let seed = p.get_u64("seed", 42)?;
-    let scale = p.get_or("scale", "default");
-    let hin = match p.require("dataset")? {
-        "acm" => {
-            let cfg = match scale {
-                "tiny" => acm::AcmConfig::tiny(seed),
-                "default" => acm::AcmConfig {
-                    seed,
-                    ..acm::AcmConfig::default()
-                },
-                "paper" => acm::AcmConfig::paper_scale(seed),
-                other => return Err(format!("unknown scale {other:?}")),
-            };
-            acm::generate(&cfg).hin
-        }
-        "dblp" => {
-            let cfg = match scale {
-                "tiny" => dblp::DblpConfig::tiny(seed),
-                "default" => dblp::DblpConfig {
-                    seed,
-                    ..dblp::DblpConfig::default()
-                },
-                "paper" => dblp::DblpConfig::paper_scale(seed),
-                other => return Err(format!("unknown scale {other:?}")),
-            };
-            dblp::generate(&cfg).hin
-        }
-        other => return Err(format!("unknown dataset {other:?} (acm|dblp)")),
-    };
-    io::save(&hin, Path::new(out)).map_err(|e| e.to_string())?;
-    println!("wrote {out}/{{schema,nodes,edges}}.tsv");
-    println!("{}", stats::stats(&hin));
-    Ok(())
-}
-
-fn cmd_stats(p: &Parsed) -> Result<(), String> {
-    let hin = load(p.one_positional("network directory")?)?;
-    print!("{}", stats::stats(&hin));
-    Ok(())
-}
-
-fn cmd_paths(p: &Parsed) -> Result<(), String> {
-    let hin = load(p.one_positional("network directory")?)?;
-    let schema = hin.schema();
-    let from = schema
-        .type_by_abbrev(p.require("from")?.chars().next().unwrap_or(' '))
-        .map_err(|e| e.to_string())?;
-    let to = schema
-        .type_by_abbrev(p.require("to")?.chars().next().unwrap_or(' '))
-        .map_err(|e| e.to_string())?;
-    let max_len = p.get_usize("max-len", 4)?;
-    let paths = enumerate::enumerate_paths(schema, from, to, max_len);
-    println!(
-        "{} meta-paths from {} to {} (max length {max_len}):",
-        paths.len(),
-        schema.type_name(from),
-        schema.type_name(to)
-    );
-    for path in paths {
-        let tag = if path.is_symmetric() {
-            "  (symmetric)"
-        } else {
-            ""
-        };
-        println!("  {}{tag}", path.display(schema));
-    }
-    Ok(())
-}
-
-fn parse_path(hin: &Hin, text: &str) -> Result<MetaPath, String> {
-    MetaPath::parse(hin.schema(), text).map_err(|e| e.to_string())
-}
-
-fn cmd_query(p: &Parsed) -> Result<(), String> {
-    let hin = load(p.one_positional("network directory")?)?;
-    let path = parse_path(&hin, p.require("path")?)?;
-    let source_name = p.require("source")?;
-    let source = hin
-        .node_id(path.source_type(), source_name)
-        .map_err(|e| e.to_string())?;
-    let k = p.get_usize("k", 10)?;
-    let measure = p.get_or("measure", "hetesim");
-    let engine = HeteSimEngine::new(&hin);
-    let pcrw = Pcrw::new(&hin);
-    let pathsim = PathSim::new(&hin);
-    let ranked = match measure {
-        "hetesim" => engine.top_k(&path, source, k).map_err(|e| e.to_string())?,
-        "pcrw" => {
-            let mut r = pcrw
-                .rank_targets(&path, source)
-                .map_err(|e| e.to_string())?;
-            r.truncate(k);
-            r
-        }
-        "pathsim" => {
-            let mut r = pathsim
-                .rank_targets(&path, source)
-                .map_err(|e| e.to_string())?;
-            r.truncate(k);
-            r
-        }
-        other => return Err(format!("unknown measure {other:?} (hetesim|pcrw|pathsim)")),
-    };
-    println!(
-        "top {} {} for {source_name} along {} ({measure}):",
-        ranked.len(),
-        hin.schema().type_name(path.target_type()),
-        path.display(hin.schema()),
-    );
-    for (i, r) in ranked.iter().enumerate() {
-        println!(
-            "  {:>3}. {:<28} {:.6}",
-            i + 1,
-            hin.node_name(path.target_type(), r.index),
-            r.score
-        );
-    }
-    Ok(())
-}
-
-fn cmd_pair(p: &Parsed) -> Result<(), String> {
-    let hin = load(p.one_positional("network directory")?)?;
-    let path = parse_path(&hin, p.require("path")?)?;
-    let a = hin
-        .node_id(path.source_type(), p.require("source")?)
-        .map_err(|e| e.to_string())?;
-    let b = hin
-        .node_id(path.target_type(), p.require("target")?)
-        .map_err(|e| e.to_string())?;
-    let engine = HeteSimEngine::new(&hin);
-    let norm = engine.pair(&path, a, b).map_err(|e| e.to_string())?;
-    let raw = engine
-        .pair_unnormalized(&path, a, b)
-        .map_err(|e| e.to_string())?;
-    println!("HeteSim  (normalized):        {norm:.6}");
-    println!("HeteSim  (meeting prob.):     {raw:.6}");
-    let pcrw = Pcrw::new(&hin);
-    let walk = pcrw.score(&path, a, b).map_err(|e| e.to_string())?;
-    println!("PCRW     (walk probability):  {walk:.6}");
-
-    let explain_k = p.get_usize("explain", 0)?;
-    if explain_k > 0 {
-        use hetesim_core::explain::MiddleKind;
-        let ex = engine
-            .explain(&path, a, b, explain_k)
-            .map_err(|e| e.to_string())?;
-        println!("\nmeeting points (largest contribution first):");
-        for m in &ex.meetings {
-            let label = match ex.middle {
-                MiddleKind::Type(ty) => hin.node_name(ty, m.middle).to_string(),
-                MiddleKind::EdgeObjects { relation } => {
-                    // Resolve the e-th stored instance of the relation.
-                    let adj = hin.adjacency(relation);
-                    let (mut src, mut dst, mut seen) = (0usize, 0usize, 0u32);
-                    'outer: for r in 0..adj.nrows() {
-                        for &c in adj.row_indices(r) {
-                            if seen == m.middle {
-                                src = r;
-                                dst = c as usize;
-                                break 'outer;
-                            }
-                            seen += 1;
-                        }
-                    }
-                    let sty = hin.schema().relation_src(relation);
-                    let dty = hin.schema().relation_dst(relation);
-                    format!(
-                        "{} —[{}]→ {}",
-                        hin.node_name(sty, src as u32),
-                        hin.schema().relation_name(relation),
-                        hin.node_name(dty, dst as u32)
-                    )
-                }
-            };
-            println!("  {label:<40} {:.6}", m.contribution);
-        }
-    }
-    Ok(())
-}
-
-fn cmd_join(p: &Parsed) -> Result<(), String> {
-    let hin = load(p.one_positional("network directory")?)?;
-    let path = parse_path(&hin, p.require("path")?)?;
-    let k = p.get_usize("k", 10)?;
-    let engine = HeteSimEngine::new(&hin);
-    let pairs = engine.top_k_pairs(&path, k).map_err(|e| e.to_string())?;
-    println!(
-        "top {} pairs along {}:",
-        pairs.len(),
-        path.display(hin.schema())
-    );
-    for (i, pair) in pairs.iter().enumerate() {
-        println!(
-            "  {:>3}. {:<24} ~ {:<24} {:.6}",
-            i + 1,
-            hin.node_name(path.source_type(), pair.source),
-            hin.node_name(path.target_type(), pair.target),
-            pair.score
-        );
-    }
-    Ok(())
-}
-
-fn run() -> Result<(), String> {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
-        println!("{HELP}");
-        return Ok(());
-    }
-    let parsed = args::parse(&raw)?;
-    match parsed.command.as_str() {
-        "generate" => cmd_generate(&parsed),
-        "stats" => cmd_stats(&parsed),
-        "paths" => cmd_paths(&parsed),
-        "query" => cmd_query(&parsed),
-        "pair" => cmd_pair(&parsed),
-        "join" => cmd_join(&parsed),
-        other => Err(format!("unknown command {other:?}; try `hetesim-cli help`")),
-    }
-}
-
-fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
-        }
-    }
+fn main() -> std::process::ExitCode {
+    hetesim_cli::run()
 }

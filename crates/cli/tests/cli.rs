@@ -162,6 +162,179 @@ fn measure_selection_works() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Minimal JSON well-formedness check (no serde in the workspace): walks the
+/// document with a recursive-descent scanner and fails on trailing garbage.
+fn assert_parses_as_json(text: &str) {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+        let i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b'{') => seq(b, i, b'}', true),
+            Some(b'[') => seq(b, i, b']', false),
+            Some(b'"') => string(b, i),
+            Some(b't') => lit(b, i, "true"),
+            Some(b'f') => lit(b, i, "false"),
+            Some(b'n') => lit(b, i, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let mut j = i + 1;
+                while j < b.len() && matches!(b[j], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    j += 1;
+                }
+                Ok(j)
+            }
+            other => Err(format!("unexpected {other:?} at byte {i}")),
+        }
+    }
+    fn lit(b: &[u8], i: usize, word: &str) -> Result<usize, String> {
+        b[i..]
+            .starts_with(word.as_bytes())
+            .then(|| i + word.len())
+            .ok_or_else(|| format!("bad literal at byte {i}"))
+    }
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        let mut j = i + 1;
+        while j < b.len() {
+            match b[j] {
+                b'"' => return Ok(j + 1),
+                b'\\' => j += 2,
+                _ => j += 1,
+            }
+        }
+        Err(format!("unterminated string at byte {i}"))
+    }
+    fn seq(b: &[u8], i: usize, close: u8, keyed: bool) -> Result<usize, String> {
+        let mut j = skip_ws(b, i + 1);
+        if b.get(j) == Some(&close) {
+            return Ok(j + 1);
+        }
+        loop {
+            if keyed {
+                j = string(b, skip_ws(b, j))?;
+                j = skip_ws(b, j);
+                if b.get(j) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {j}"));
+                }
+                j += 1;
+            }
+            j = skip_ws(b, value(b, j)?);
+            match b.get(j) {
+                Some(b',') => j = skip_ws(b, j + 1),
+                Some(c) if *c == close => return Ok(j + 1),
+                other => return Err(format!("expected ',' or close, got {other:?} at byte {j}")),
+            }
+        }
+    }
+    let b = text.as_bytes();
+    let end = value(b, 0).unwrap_or_else(|e| panic!("metrics JSON malformed: {e}\n{text}"));
+    assert!(
+        skip_ws(b, end) == b.len(),
+        "trailing garbage after JSON document"
+    );
+}
+
+/// Extracts the integer value of `"key": N` from a flat JSON counters map.
+fn json_counter(text: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("key {key:?} missing from metrics JSON:\n{text}"));
+    text[at + needle.len()..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter value is an integer")
+}
+
+#[test]
+fn metrics_json_reports_cache_hits_on_repeated_query() {
+    let dir = temp_net("metrics");
+    generate(&dir);
+
+    // Two identical top-k queries in one process: the first populates the
+    // half-path cache, the second must hit it.
+    let out = run(&[
+        "top-k",
+        dir.to_str().unwrap(),
+        "--path",
+        "APVC",
+        "--source",
+        "star_concentrated",
+        "--k",
+        "3",
+        "--repeat",
+        "2",
+        "--metrics=json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The snapshot is the last thing printed; it starts at the first '{'
+    // after the human-readable ranking.
+    let json = &stdout[stdout.find('{').expect("JSON snapshot on stdout")..];
+    assert_parses_as_json(json);
+    assert!(
+        json_counter(json, "core.cache.prefix_cache.hits") > 0,
+        "second identical query must hit the half-path cache:\n{json}"
+    );
+    assert_eq!(json_counter(json, "core.cache.prefix_cache.misses"), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_out_writes_snapshot_file_and_tree_goes_to_stderr() {
+    let dir = temp_net("metrics-out");
+    generate(&dir);
+    let file = std::env::temp_dir().join(format!("hetesim-metrics-{}.json", std::process::id()));
+
+    let out = run(&[
+        "query",
+        dir.to_str().unwrap(),
+        "--path",
+        "APVC",
+        "--source",
+        "star_concentrated",
+        "--metrics",
+        "--metrics-out",
+        file.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Default `--metrics` format is the human tree, on stderr, so stdout
+    // stays machine-consumable.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("cli.query"),
+        "tree names the command span: {err}"
+    );
+
+    let written = std::fs::read_to_string(&file).expect("metrics file written");
+    assert_parses_as_json(&written);
+    assert!(written.contains("core.engine.top_k"));
+    std::fs::remove_file(&file).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_rejects_unknown_format() {
+    let out = run(&["paths", "--metrics=xml"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("metrics"));
+}
+
 #[test]
 fn bad_invocations_fail_cleanly() {
     let out = run(&["frobnicate"]);

@@ -1,7 +1,9 @@
 use hetesim_sparse::CsrMatrix;
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+pub use hetesim_obs::CacheStats;
 
 /// The two materialized half-path products of a decomposed relevance path,
 /// plus the derived structures every query needs.
@@ -25,12 +27,25 @@ pub struct Halves {
     pub right_norms: Vec<f64>,
 }
 
+impl Halves {
+    /// Approximate heap residency of the three matrices and two norm
+    /// vectors.
+    pub fn mem_bytes(&self) -> usize {
+        self.left.mem_bytes()
+            + self.right.mem_bytes()
+            + self.right_t.mem_bytes()
+            + (self.left_norms.len() + self.right_norms.len()) * std::mem::size_of::<f64>()
+    }
+}
+
 /// A concurrent memo table from path cache keys to materialized halves.
 ///
-/// Shared by reference inside [`crate::HeteSimEngine`]; `parking_lot`'s
-/// `RwLock` keeps concurrent read-mostly access cheap, matching the
-/// "frequently-used relevance paths are computed off-line, on-line search
-/// only locates rows" usage pattern the paper describes.
+/// Shared by reference inside [`crate::HeteSimEngine`]; a read-mostly
+/// `RwLock` keeps concurrent access cheap, matching the "frequently-used
+/// relevance paths are computed off-line, on-line search only locates rows"
+/// usage pattern the paper describes. Lookups are mirrored into the
+/// `core.cache.prefix_cache.*` observability counters when metrics are
+/// enabled.
 #[derive(Debug, Default)]
 pub struct PathCache {
     inner: RwLock<HashMap<String, Arc<Halves>>>,
@@ -38,8 +53,10 @@ pub struct PathCache {
     /// optimization 2): `C-P-A` is computed once and reused by `C-P-A-P-A`,
     /// `C-P-A-P-C`, … when prefix reuse is enabled on the engine.
     partial: RwLock<HashMap<String, Arc<CsrMatrix>>>,
-    hits: RwLock<u64>,
-    misses: RwLock<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Approximate resident bytes of everything cached.
+    bytes: AtomicU64,
 }
 
 impl PathCache {
@@ -53,44 +70,56 @@ impl PathCache {
     where
         F: FnOnce() -> Result<Halves, E>,
     {
-        if let Some(h) = self.inner.read().get(key) {
-            *self.hits.write() += 1;
+        if let Some(h) = self.inner.read().unwrap().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            hetesim_obs::add("core.cache.prefix_cache.hits", 1);
             return Ok(Arc::clone(h));
         }
         // Build outside the lock; a racing duplicate build is acceptable
         // (both produce identical data, last insert wins).
         let built = Arc::new(build()?);
-        *self.misses.write() += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        hetesim_obs::add("core.cache.prefix_cache.misses", 1);
+        self.bytes
+            .fetch_add(built.mem_bytes() as u64, Ordering::Relaxed);
         self.inner
             .write()
+            .unwrap()
             .insert(key.to_string(), Arc::clone(&built));
         Ok(built)
     }
 
     /// Fetches a materialized step-prefix product, or builds and inserts
-    /// it.
+    /// it. Prefix lookups are tracked separately from half-path lookups
+    /// (`core.cache.prefix.*` counters) so the two reuse mechanisms stay
+    /// distinguishable in metrics output.
     pub fn get_or_build_partial<F, E>(&self, key: &str, build: F) -> Result<Arc<CsrMatrix>, E>
     where
         F: FnOnce() -> Result<CsrMatrix, E>,
     {
-        if let Some(m) = self.partial.read().get(key) {
+        if let Some(m) = self.partial.read().unwrap().get(key) {
+            hetesim_obs::add("core.cache.prefix.hits", 1);
             return Ok(Arc::clone(m));
         }
         let built = Arc::new(build()?);
+        hetesim_obs::add("core.cache.prefix.misses", 1);
+        self.bytes
+            .fetch_add(built.mem_bytes() as u64, Ordering::Relaxed);
         self.partial
             .write()
+            .unwrap()
             .insert(key.to_string(), Arc::clone(&built));
         Ok(built)
     }
 
     /// Number of materialized prefix products.
     pub fn partial_len(&self) -> usize {
-        self.partial.read().len()
+        self.partial.read().unwrap().len()
     }
 
     /// Number of cached paths.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().unwrap().len()
     }
 
     /// True if nothing is cached.
@@ -98,17 +127,29 @@ impl PathCache {
         self.len() == 0
     }
 
-    /// `(hits, misses)` counters since construction or the last clear.
-    pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.read(), *self.misses.read())
+    /// Counters and residency since construction or the last clear.
+    /// `hits`/`misses` count half-path lookups (prefix-product lookups are
+    /// reported through metrics only); `entries` counts both kinds of
+    /// cached object.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: (self.len() + self.partial_len()) as u64,
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// Drops all cached halves and prefix products and resets counters.
+    /// Evicted entries are counted into `core.cache.prefix_cache.evictions`.
     pub fn clear(&self) {
-        self.inner.write().clear();
-        self.partial.write().clear();
-        *self.hits.write() = 0;
-        *self.misses.write() = 0;
+        let evicted = (self.len() + self.partial_len()) as u64;
+        hetesim_obs::add("core.cache.prefix_cache.evictions", evicted);
+        self.inner.write().unwrap().clear();
+        self.partial.write().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -140,8 +181,10 @@ mod tests {
         }
         assert_eq!(builds, 1);
         assert_eq!(cache.len(), 1);
-        let (hits, misses) = cache.stats();
-        assert_eq!((hits, misses), (2, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0, "cached halves should report residency");
     }
 
     #[test]
@@ -150,6 +193,7 @@ mod tests {
         let r: Result<Arc<Halves>, &str> = cache.get_or_build("k", || Err("boom"));
         assert_eq!(r.unwrap_err(), "boom");
         assert!(cache.is_empty());
+        assert_eq!(cache.stats().bytes, 0);
     }
 
     #[test]
@@ -158,7 +202,7 @@ mod tests {
         let _: Result<_, ()> = cache.get_or_build("k", || Ok(dummy_halves()));
         cache.clear();
         assert!(cache.is_empty());
-        assert_eq!(cache.stats(), (0, 0));
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]
@@ -167,5 +211,18 @@ mod tests {
         let _: Result<_, ()> = cache.get_or_build("a", || Ok(dummy_halves()));
         let _: Result<_, ()> = cache.get_or_build("b", || Ok(dummy_halves()));
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn partial_entries_count_into_stats() {
+        let cache = PathCache::new();
+        let _: Result<_, ()> = cache.get_or_build_partial("p", || Ok(CsrMatrix::identity(3)));
+        let _: Result<_, ()> = cache.get_or_build_partial("p", || Ok(CsrMatrix::identity(3)));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        // Half-path hit/miss counters are untouched by prefix lookups.
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert!(stats.bytes > 0);
     }
 }

@@ -1,4 +1,4 @@
-use crate::cache::{Halves, PathCache};
+use crate::cache::{CacheStats, Halves, PathCache};
 use crate::decompose::{decompose, edge_split};
 use crate::reachable::{normalize_chain, propagate};
 use crate::{CoreError, Result};
@@ -96,9 +96,19 @@ impl<'a> HeteSimEngine<'a> {
         self.hin
     }
 
-    /// `(hits, misses)` of the half-path cache.
-    pub fn cache_stats(&self) -> (u64, u64) {
+    /// Counters and residency of the half-path cache.
+    pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// `(hits, misses)` of the half-path cache.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `cache_stats`, which also reports entries and bytes"
+    )]
+    pub fn cache_stats_tuple(&self) -> (u64, u64) {
+        let s = self.cache.stats();
+        (s.hits, s.misses)
     }
 
     /// Drops all memoized half-path products.
@@ -160,6 +170,11 @@ impl<'a> HeteSimEngine<'a> {
     pub(crate) fn halves(&self, path: &MetaPath) -> Result<Arc<Halves>> {
         let key = path.cache_key();
         self.cache.get_or_build(&key, || {
+            let _span = hetesim_obs::span!(
+                "core.engine.build_halves",
+                steps = path.steps().len(),
+                odd = (path.steps().len() % 2) as u64,
+            );
             let (left, right) = if self.reuse_prefixes {
                 self.build_halves_prefix(path)?
             } else {
@@ -213,6 +228,7 @@ impl<'a> HeteSimEngine<'a> {
     /// Unnormalized relevance matrix `PM_PL · PM_PR⁻¹ᵀ` (Equation 6): entry
     /// `(a, b)` is the probability the two walkers meet.
     pub fn matrix_unnormalized(&self, path: &MetaPath) -> Result<CsrMatrix> {
+        let _span = hetesim_obs::span("core.engine.matrix_unnormalized");
         let h = self.halves(path)?;
         Ok(parallel::matmul_parallel(
             &h.left,
@@ -224,6 +240,7 @@ impl<'a> HeteSimEngine<'a> {
     /// Normalized relevance matrix (Definition 10): the cosine form, every
     /// entry in `[0, 1]`.
     pub fn matrix(&self, path: &MetaPath) -> Result<CsrMatrix> {
+        let _span = hetesim_obs::span("core.engine.matrix");
         let h = self.halves(path)?;
         let raw = parallel::matmul_parallel(&h.left, &h.right_t, self.threads)?;
         // Scale entry (a, b) by 1 / (||left_a|| * ||right_b||). Any stored
@@ -259,6 +276,7 @@ impl<'a> HeteSimEngine<'a> {
     /// the half-path matrices. Cheaper for one-off queries on paths that
     /// will not be reused; the ablation benches compare the two modes.
     pub fn pair_online(&self, path: &MetaPath, a: u32, b: u32) -> Result<f64> {
+        let _span = hetesim_obs::span("core.engine.pair_online");
         self.check_source(path, a)?;
         self.check_target(path, b)?;
         let d = decompose(self.hin, path)?;
@@ -282,6 +300,7 @@ impl<'a> HeteSimEngine<'a> {
     /// accuracy"). With `keep >=` the widest distribution encountered this
     /// is exact; smaller `keep` trades accuracy for bounded per-step work.
     pub fn pair_truncated(&self, path: &MetaPath, a: u32, b: u32, keep: usize) -> Result<f64> {
+        let _span = hetesim_obs::span!("core.engine.pair_truncated", keep = keep);
         self.check_source(path, a)?;
         self.check_target(path, b)?;
         let d = decompose(self.hin, path)?;
@@ -301,6 +320,7 @@ impl<'a> HeteSimEngine<'a> {
     /// Normalized relevance of one source against *all* targets, as a dense
     /// row (zeros where the walkers cannot meet).
     pub fn single_source(&self, path: &MetaPath, a: u32) -> Result<Vec<f64>> {
+        let _span = hetesim_obs::span("core.engine.single_source");
         self.check_source(path, a)?;
         let h = self.halves(path)?;
         let u = h.left.row(a as usize);
@@ -328,6 +348,7 @@ impl<'a> HeteSimEngine<'a> {
     /// optimization 3): only targets sharing at least one middle object
     /// with the source are ever scored.
     pub fn top_k(&self, path: &MetaPath, a: u32, k: usize) -> Result<Vec<crate::Ranked>> {
+        let _span = hetesim_obs::span!("core.engine.top_k", k = k);
         self.check_source(path, a)?;
         let h = self.halves(path)?;
         crate::topk::top_k_pruned(&h, a, k)
@@ -337,6 +358,7 @@ impl<'a> HeteSimEngine<'a> {
     /// relevance matrix — the path-based analogue of a top-k similarity
     /// join.
     pub fn top_k_pairs(&self, path: &MetaPath, k: usize) -> Result<Vec<crate::topk::RankedPair>> {
+        let _span = hetesim_obs::span!("core.engine.top_k_pairs", k = k);
         let h = self.halves(path)?;
         crate::topk::top_k_pairs(&h, k)
     }
@@ -569,11 +591,13 @@ mod tests {
         let _ = e.pair(&apc, 0, 0).unwrap();
         let _ = e.pair(&apc, 1, 1).unwrap();
         let _ = e.matrix(&apc).unwrap();
-        let (hits, misses) = e.cache_stats();
-        assert_eq!(misses, 1);
-        assert!(hits >= 2);
+        let stats = e.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hits >= 2);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
         e.clear_cache();
-        assert_eq!(e.cache_stats(), (0, 0));
+        assert_eq!(e.cache_stats(), CacheStats::default());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod explain;
 pub mod learning;
 pub mod reachable;
 
-pub use cache::PathCache;
+pub use cache::{CacheStats, PathCache};
 pub use engine::HeteSimEngine;
 pub use error::CoreError;
 pub use measure::{PathMeasure, Ranked};

@@ -19,6 +19,11 @@ use std::path::Path;
 
 /// Saves a network into `dir` (created if missing).
 pub fn save(hin: &Hin, dir: &Path) -> Result<()> {
+    let _span = hetesim_obs::span!(
+        "graph.io.save",
+        nodes = hin.total_nodes(),
+        edges = hin.total_edges(),
+    );
     fs::create_dir_all(dir)?;
     let schema = hin.schema();
 
@@ -72,6 +77,7 @@ pub fn save(hin: &Hin, dir: &Path) -> Result<()> {
 
 /// Loads a network previously written by [`save`].
 pub fn load(dir: &Path) -> Result<Hin> {
+    let _span = hetesim_obs::span("graph.io.load");
     let mut schema = Schema::new();
     let schema_file = fs::File::open(dir.join("schema.tsv"))?;
     for (lineno, line) in BufReader::new(schema_file).lines().enumerate() {
@@ -141,7 +147,10 @@ pub fn load(dir: &Path) -> Result<Hin> {
         })?;
         builder.add_edge_by_name(rel, src, dst, w)?;
     }
-    Ok(builder.build())
+    let hin = builder.build();
+    hetesim_obs::add("graph.io.load.nodes", hin.total_nodes() as u64);
+    hetesim_obs::add("graph.io.load.edges", hin.total_edges() as u64);
+    Ok(hin)
 }
 
 #[cfg(test)]

@@ -1,0 +1,228 @@
+#![warn(missing_docs)]
+
+//! `hetesim-obs` — zero-dependency tracing and metrics for the HeteSim
+//! workspace.
+//!
+//! The engine's hot paths (chain products, sparse matmul, cache lookups,
+//! query entry points) are instrumented with three primitives:
+//!
+//! * **spans** — [`span`] / [`span!`] return an RAII guard that records
+//!   wall-clock time into a global thread-safe registry, keyed by the
+//!   nesting path of enclosing spans (so the exporters can show *where
+//!   inside a query* time goes);
+//! * **counters** — [`add`] accumulates monotonically (cache hits, nnz,
+//!   flops), [`set`] overwrites (gauge-style readings taken at snapshot
+//!   time);
+//! * **histograms** — [`record`] tallies a value into log₂ buckets backed
+//!   by atomics, so worker threads of the rayon-free `with_threads` pool
+//!   can record concurrently and snapshots merge without locks.
+//!
+//! Nothing is measured until [`enable`] flips the global switch: every
+//! entry point first checks one relaxed atomic load and returns, which is
+//! what keeps the kernels overhead-free when nobody is looking (the
+//! `obs-overhead` benchmark in `hetesim-bench` demonstrates < 2 %). With
+//! the `obs` cargo feature disabled the same entry points compile to
+//! empty inlined functions, removing even that load.
+//!
+//! Two exporters read the registry through [`snapshot`]: a stable JSON
+//! document ([`MetricsSnapshot::to_json`]) and a human-readable tree
+//! ([`MetricsSnapshot::render_tree`]).
+//!
+//! # Naming convention
+//!
+//! Every span, counter and histogram is named `crate.component.op`, e.g.
+//! `sparse.csr.matmul`, `core.engine.top_k`,
+//! `core.cache.prefix_cache.hits`, `graph.io.load`. Span fields recorded
+//! through [`span!`] append a fourth segment (`sparse.csr.matmul.nnz`).
+//!
+//! # Example
+//!
+//! ```
+//! hetesim_obs::reset();
+//! hetesim_obs::enable();
+//! {
+//!     let _outer = hetesim_obs::span!("demo.query.top_k", k = 10usize);
+//!     let _inner = hetesim_obs::span("demo.kernel.matmul");
+//!     hetesim_obs::add("demo.cache.hits", 1);
+//!     hetesim_obs::record("demo.kernel.nnz", 1234);
+//! }
+//! let snap = hetesim_obs::snapshot();
+//! assert!(!snap.is_empty());
+//! assert!(snap.to_json().contains("demo.cache.hits"));
+//! hetesim_obs::disable();
+//! ```
+
+mod snapshot;
+
+pub use snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+
+/// Number of log₂ histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, bucket 64 holds the top of the `u64`
+/// range (including `u64::MAX`).
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index a value falls into (`0` → 0, `1` → 1, `2..=3` → 2, …,
+/// `u64::MAX` → 64).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Statistics of the engine's prefix-product cache, the named replacement
+/// for the old `(hits, misses)` tuple.
+///
+/// Defined here (rather than in `hetesim-core`) so dashboards and the CLI
+/// can consume cache health without depending on the engine crate;
+/// `hetesim-core` re-exports it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build their entry.
+    pub misses: u64,
+    /// Entries currently resident (half-path products + step prefixes).
+    pub entries: u64,
+    /// Approximate resident bytes of the cached matrices.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {} misses {} ({:.1}% hit rate), {} entries, ~{} bytes",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.bytes
+        )
+    }
+}
+
+#[cfg(feature = "obs")]
+mod registry;
+
+#[cfg(feature = "obs")]
+pub use registry::{add, disable, enable, is_enabled, record, reset, set, snapshot, SpanGuard};
+
+#[cfg(feature = "obs")]
+pub use registry::span;
+
+/// No-op implementations installed when the `obs` feature is off: the
+/// instrumented call sites still compile, but every function is an empty
+/// `#[inline(always)]` body the optimizer erases.
+#[cfg(not(feature = "obs"))]
+mod noop {
+    use super::MetricsSnapshot;
+
+    /// Disarmed RAII guard (the `obs` feature is off).
+    #[derive(Debug)]
+    pub struct SpanGuard(());
+
+    /// No-op: the `obs` feature is off.
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard(())
+    }
+
+    /// No-op: the `obs` feature is off.
+    #[inline(always)]
+    pub fn add(_name: &'static str, _delta: u64) {}
+
+    /// No-op: the `obs` feature is off.
+    #[inline(always)]
+    pub fn set(_name: &'static str, _value: u64) {}
+
+    /// No-op: the `obs` feature is off.
+    #[inline(always)]
+    pub fn record(_name: &'static str, _value: u64) {}
+
+    /// No-op: the `obs` feature is off.
+    #[inline(always)]
+    pub fn enable() {}
+
+    /// No-op: the `obs` feature is off.
+    #[inline(always)]
+    pub fn disable() {}
+
+    /// Always `false`: the `obs` feature is off.
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op: the `obs` feature is off.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Always empty: the `obs` feature is off.
+    pub fn snapshot() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use noop::{add, disable, enable, is_enabled, record, reset, set, snapshot, span, SpanGuard};
+
+/// Opens a span, optionally recording named `u64` fields as counters
+/// (`<span name>.<field>`), e.g.
+/// `span!("sparse.csr.matmul", rows = m.nrows(), nnz = m.nnz())`.
+///
+/// Fields are evaluated only when metrics are enabled, so arbitrary
+/// expressions are safe in hot paths.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:literal, $($field:ident = $value:expr),+ $(,)?) => {{
+        if $crate::is_enabled() {
+            $( $crate::add(concat!($name, ".", stringify!($field)), ($value) as u64); )+
+        }
+        $crate::span($name)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(1 << 63), 64);
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn cache_stats_display_and_rate() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 2,
+            bytes: 640,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("hits 3"), "{text}");
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

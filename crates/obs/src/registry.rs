@@ -1,0 +1,391 @@
+//! The global metrics registry (compiled only with the `obs` feature).
+//!
+//! One process-wide [`Registry`] aggregates spans, counters and histograms.
+//! Recording is gated on a single relaxed [`AtomicBool`]: when disabled —
+//! the default — every entry point is one load and a branch. When enabled,
+//! counter and histogram cells are `Arc<Atomic…>` values resolved through a
+//! read-mostly `RwLock<HashMap>`, so concurrent recorders (the
+//! `with_threads` SpGEMM pool) never serialize on a single mutex for the
+//! actual increments.
+
+use crate::snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+use crate::HIST_BUCKETS;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Atomic log₂ histogram; see [`crate::bucket_of`] for the bucket layout.
+#[derive(Debug)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    /// 128-bit sum of recorded values split across two words (`u64::MAX`
+    /// recordings would otherwise wrap).
+    sum_lo: AtomicU64,
+    sum_hi: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_lo: AtomicU64::new(0),
+            sum_hi: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[crate::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // 128-bit sum out of two relaxed 64-bit cells: carry into the high
+        // word when the low word wraps. Snapshot sums are approximate under
+        // extreme contention, exact single-threaded.
+        let prev = self.sum_lo.fetch_add(value, Ordering::Relaxed);
+        if prev.checked_add(value).is_none() {
+            self.sum_hi.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: (self.sum_hi.load(Ordering::Relaxed) as u128) << 64
+                | self.sum_lo.load(Ordering::Relaxed) as u128,
+            buckets,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SpanCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    /// Keyed by nesting path (`outer/inner`), values aggregated.
+    spans: RwLock<HashMap<String, Arc<SpanCell>>>,
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<&'static str, Arc<AtomicHistogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+thread_local! {
+    /// Names of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turns measurement on. Until this is called every instrumented call site
+/// costs one relaxed atomic load.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns measurement off (already-recorded data is kept; see [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether measurement is currently on.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drops all recorded spans, counters and histograms (the enabled flag is
+/// left as-is).
+pub fn reset() {
+    let r = registry();
+    r.spans.write().unwrap().clear();
+    r.counters.write().unwrap().clear();
+    r.histograms.write().unwrap().clear();
+}
+
+// NOTE on lock discipline: the fast-path read guard must be dropped (the
+// explicit `{ }` blocks below) before the slow path takes the write lock —
+// an `if let … else` expression would keep the read guard alive through the
+// `else` branch and self-deadlock on the first miss.
+
+fn counter_cell(name: &'static str) -> Arc<AtomicU64> {
+    let r = registry();
+    {
+        let map = r.counters.read().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+    }
+    Arc::clone(
+        r.counters
+            .write()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+    )
+}
+
+/// Adds `delta` to the named monotonic counter. No-op while disabled.
+pub fn add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    counter_cell(name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Overwrites the named counter (gauge semantics, e.g. cache residency read
+/// at snapshot time). No-op while disabled.
+pub fn set(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    counter_cell(name).store(value, Ordering::Relaxed);
+}
+
+/// Records `value` into the named log₂ histogram. No-op while disabled.
+pub fn record(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let r = registry();
+    {
+        let map = r.histograms.read().unwrap();
+        if let Some(h) = map.get(name) {
+            let cell = Arc::clone(h);
+            drop(map);
+            cell.record(value);
+            return;
+        }
+    }
+    let cell = Arc::clone(
+        r.histograms
+            .write()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicHistogram::new())),
+    );
+    cell.record(value);
+}
+
+/// RAII guard created by [`span`]; records elapsed wall time on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when metrics were disabled at entry (disarmed).
+    armed: Option<(String, Instant)>,
+}
+
+/// Opens a wall-clock span. The span is keyed by its nesting path — the
+/// names of all spans currently open on this thread joined with `/` — so
+/// exporters can attribute time hierarchically. Disabled ⇒ a disarmed
+/// guard and no other work.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { armed: None };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    SpanGuard {
+        armed: Some((path, Instant::now())),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.armed.take() else {
+            return;
+        };
+        let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let r = registry();
+        let existing = {
+            let map = r.spans.read().unwrap();
+            map.get(&path).map(Arc::clone)
+        };
+        let cell = match existing {
+            Some(c) => c,
+            None => Arc::clone(r.spans.write().unwrap().entry(path).or_insert_with(|| {
+                Arc::new(SpanCell {
+                    count: AtomicU64::new(0),
+                    total_ns: AtomicU64::new(0),
+                })
+            })),
+        };
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+    }
+}
+
+/// Copies the registry into an immutable, serializable snapshot. Entries
+/// are sorted by name/path so the output is stable.
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry();
+    let mut spans: Vec<SpanSnapshot> = r
+        .spans
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(path, cell)| SpanSnapshot {
+            path: path.clone(),
+            count: cell.count.load(Ordering::Relaxed),
+            total_ns: cell.total_ns.load(Ordering::Relaxed),
+        })
+        .collect();
+    spans.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut counters: Vec<CounterSnapshot> = r
+        .counters
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(name, cell)| CounterSnapshot {
+            name: name.to_string(),
+            value: cell.load(Ordering::Relaxed),
+        })
+        .collect();
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut histograms: Vec<HistogramSnapshot> = r
+        .histograms
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(name, cell)| cell.snapshot(name))
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot {
+        spans,
+        counters,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests that need isolation
+    /// serialize on this lock and reset around themselves.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn isolated<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        let out = f();
+        disable();
+        reset();
+        out
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        disable();
+        add("obs.test.counter", 5);
+        record("obs.test.hist", 9);
+        let _s = span("obs.test.span");
+        drop(_s);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        isolated(|| {
+            add("obs.test.adds", 2);
+            add("obs.test.adds", 3);
+            set("obs.test.gauge", 7);
+            set("obs.test.gauge", 4);
+            let snap = snapshot();
+            assert_eq!(snap.counter("obs.test.adds"), Some(5));
+            assert_eq!(snap.counter("obs.test.gauge"), Some(4));
+            assert_eq!(snap.counter("obs.test.absent"), None);
+        });
+    }
+
+    #[test]
+    fn spans_nest_by_thread_stack() {
+        isolated(|| {
+            {
+                let _outer = span("obs.test.outer");
+                let _inner = span("obs.test.inner");
+            }
+            {
+                let _alone = span("obs.test.inner");
+            }
+            let snap = snapshot();
+            let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+            assert!(paths.contains(&"obs.test.outer"), "{paths:?}");
+            assert!(
+                paths.contains(&"obs.test.outer/obs.test.inner"),
+                "{paths:?}"
+            );
+            assert!(paths.contains(&"obs.test.inner"), "{paths:?}");
+        });
+    }
+
+    #[test]
+    fn histograms_merge_across_threads() {
+        isolated(|| {
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    scope.spawn(move || {
+                        for i in 0..100u64 {
+                            record("obs.test.threads", t * 100 + i);
+                            add("obs.test.thread_adds", 1);
+                        }
+                    });
+                }
+            });
+            let snap = snapshot();
+            let h = snap.histogram("obs.test.threads").unwrap();
+            assert_eq!(h.count, 400);
+            assert_eq!(h.buckets.iter().sum::<u64>(), 400);
+            assert_eq!(snap.counter("obs.test.thread_adds"), Some(400));
+        });
+    }
+
+    #[test]
+    fn span_macro_records_fields() {
+        isolated(|| {
+            {
+                let _g = crate::span!("obs.test.matmul", rows = 8usize, nnz = 32usize);
+            }
+            let snap = snapshot();
+            assert_eq!(snap.counter("obs.test.matmul.rows"), Some(8));
+            assert_eq!(snap.counter("obs.test.matmul.nnz"), Some(32));
+            assert!(snap
+                .spans
+                .iter()
+                .any(|s| s.path == "obs.test.matmul" && s.count == 1));
+        });
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        isolated(|| {
+            add("obs.test.reset", 1);
+            record("obs.test.reset_hist", 1);
+            assert!(!snapshot().is_empty());
+            reset();
+            assert!(snapshot().is_empty());
+        });
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the metrics data model: merging snapshots must
+//! behave like replaying every recording into one histogram.
+
+use hetesim_obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+fn hist_from(name: &str, values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty(name);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_count_is_sum_of_counts(
+        a in proptest::collection::vec(0u64..=u64::MAX, 0..50),
+        b in proptest::collection::vec(0u64..=u64::MAX, 0..50),
+    ) {
+        let (ha, hb) = (hist_from("h", &a), hist_from("h", &b));
+        let merged = ha.merge(&hb);
+        prop_assert_eq!(merged.count, ha.count + hb.count);
+        prop_assert_eq!(merged.count as usize, a.len() + b.len());
+    }
+
+    #[test]
+    fn merge_preserves_sum_and_buckets(
+        a in proptest::collection::vec(0u64..=u64::MAX, 0..50),
+        b in proptest::collection::vec(0u64..=u64::MAX, 0..50),
+    ) {
+        let (ha, hb) = (hist_from("h", &a), hist_from("h", &b));
+        let merged = ha.merge(&hb);
+        prop_assert_eq!(merged.sum, ha.sum + hb.sum);
+        // Merging bucket-wise is the same as recording everything into one
+        // histogram from scratch.
+        let both: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_from("h", &both));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..=u64::MAX, 0..30),
+        b in proptest::collection::vec(0u64..=u64::MAX, 0..30),
+    ) {
+        let (ha, hb) = (hist_from("h", &a), hist_from("h", &b));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+    }
+
+    #[test]
+    fn every_value_lands_in_a_bucket_bounding_it(v in 0u64..=u64::MAX) {
+        let h = hist_from("h", &[v]);
+        prop_assert_eq!(h.count, 1);
+        let idx = h.buckets.iter().position(|&c| c == 1).expect("one bucket filled");
+        match HistogramSnapshot::bucket_upper(idx) {
+            Some(upper) => prop_assert!(v <= upper),
+            None => {} // last bucket: unbounded above
+        }
+        if idx > 0 {
+            let lower = HistogramSnapshot::bucket_upper(idx - 1).expect("bounded below last");
+            prop_assert!(v > lower);
+        }
+    }
+}

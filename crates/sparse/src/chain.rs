@@ -130,6 +130,11 @@ impl ChainPlan {
 
 /// Multiplies a chain of matrices in the cost-model-optimal order.
 pub fn multiply_chain(mats: &[&CsrMatrix]) -> Result<CsrMatrix> {
+    let _span = hetesim_obs::span!(
+        "sparse.chain.multiply",
+        len = mats.len(),
+        total_nnz = mats.iter().map(|m| m.nnz()).sum::<usize>(),
+    );
     let shapes: Vec<(usize, usize)> = mats.iter().map(|m| m.shape()).collect();
     let densities: Vec<f64> = mats.iter().map(|m| m.density()).collect();
     let plan = ChainPlan::plan(&shapes, &densities)?;

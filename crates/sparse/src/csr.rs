@@ -112,6 +112,13 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Approximate heap residency of the CSR arrays in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
     /// Fraction of cells that are stored (`nnz / (nrows * ncols)`).
     pub fn density(&self) -> f64 {
         if self.nrows == 0 || self.ncols == 0 {
@@ -215,6 +222,22 @@ impl CsrMatrix {
                 right: rhs.shape(),
             });
         }
+        let _span = hetesim_obs::span!(
+            "sparse.csr.matmul",
+            rows = self.nrows,
+            lhs_nnz = self.nnz(),
+            rhs_nnz = rhs.nnz(),
+        );
+        if hetesim_obs::is_enabled() {
+            // Exact multiply-add count of Gustavson's algorithm, derivable
+            // from the inputs without touching the hot loop.
+            let flops: u64 = self
+                .indices
+                .iter()
+                .map(|&k| rhs.row_nnz(k as usize) as u64)
+                .sum();
+            hetesim_obs::record("sparse.csr.matmul.flops", flops);
+        }
         let n = rhs.ncols;
         let mut acc = vec![0f64; n];
         let mut mark = vec![false; n];
@@ -248,6 +271,7 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
+        hetesim_obs::add("sparse.csr.matmul.out_nnz", indices.len() as u64);
         Ok(CsrMatrix::from_raw(
             self.nrows, rhs.ncols, indptr, indices, values,
         ))

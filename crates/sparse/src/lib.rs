@@ -19,7 +19,7 @@
 //! * [`chain`] — cost-model-driven ordering for chains of sparse products
 //!   (Section 4.6 of the paper materializes partial path products; picking a
 //!   good association order is the other half of that optimization),
-//! * [`parallel`] — row-blocked parallel SpGEMM on top of crossbeam scoped
+//! * [`parallel`] — row-blocked parallel SpGEMM on top of std scoped
 //!   threads.
 //!
 //! # Example

@@ -1,4 +1,4 @@
-//! Row-blocked parallel SpGEMM on crossbeam scoped threads.
+//! Row-blocked parallel SpGEMM on `std::thread` scoped threads.
 //!
 //! Full-matrix HeteSim on the synthetic ACM network multiplies matrices with
 //! tens of thousands of rows; the product decomposes perfectly by output
@@ -78,22 +78,28 @@ pub fn matmul_parallel(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Resu
     if threads <= 1 || nrows < 256 {
         return lhs.matmul(rhs);
     }
+    let _span = hetesim_obs::span!(
+        "sparse.parallel.matmul",
+        rows = nrows,
+        lhs_nnz = lhs.nnz(),
+        rhs_nnz = rhs.nnz(),
+        threads = threads.min(nrows),
+    );
     let threads = threads.min(nrows);
     let chunk = nrows.div_ceil(threads);
     let mut pieces: Vec<Option<CsrBlock>> = Vec::new();
     pieces.resize_with(threads, || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(nrows);
-            handles.push(scope.spawn(move |_| block(lhs, rhs, lo, hi)));
+            handles.push(scope.spawn(move || block(lhs, rhs, lo, hi)));
         }
         for (t, h) in handles.into_iter().enumerate() {
             pieces[t] = Some(h.join().expect("spgemm worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let total_nnz: usize = pieces
         .iter()
@@ -113,6 +119,7 @@ pub fn matmul_parallel(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Resu
         indices.extend_from_slice(&p_indices);
         values.extend_from_slice(&p_values);
     }
+    hetesim_obs::add("sparse.parallel.matmul.out_nnz", total_nnz as u64);
     Ok(CsrMatrix::from_raw(
         nrows,
         rhs.ncols(),

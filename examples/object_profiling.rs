@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile(&engine, path, "KDD", 5)?;
     }
 
-    let (hits, misses) = engine.cache_stats();
-    println!("\n(half-path cache: {hits} hits, {misses} builds)");
+    let stats = engine.cache_stats();
+    println!(
+        "\n(half-path cache: {} hits, {} builds, {} entries, {} bytes)",
+        stats.hits, stats.misses, stats.entries, stats.bytes
+    );
     Ok(())
 }

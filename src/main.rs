@@ -1,0 +1,6 @@
+//! Workspace-root binary: `cargo run -- <command> …` behaves exactly like
+//! `hetesim-cli`.
+
+fn main() -> std::process::ExitCode {
+    hetesim_cli::run()
+}

@@ -97,9 +97,11 @@ fn engine_caches_halves_across_query_kinds() {
     let _ = engine.single_source(&path, 1).unwrap();
     let _ = engine.top_k(&path, 2, 5).unwrap();
     let _ = engine.matrix(&path).unwrap();
-    let (hits, misses) = engine.cache_stats();
-    assert_eq!(misses, 1, "the halves must be built exactly once");
-    assert!(hits >= 3);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "the halves must be built exactly once");
+    assert!(stats.hits >= 3);
+    assert_eq!(stats.entries, 1);
+    assert!(stats.bytes > 0, "cached halves report their footprint");
 }
 
 #[test]

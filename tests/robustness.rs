@@ -79,10 +79,10 @@ fn engine_is_safely_shared_across_threads() {
         .iter()
         .map(|t| MetaPath::parse(hin.schema(), t).unwrap())
         .collect();
-    crossbeam_scope(&engine, &paths, &reference);
+    hammer_scoped(&engine, &paths, &reference);
 }
 
-fn crossbeam_scope(
+fn hammer_scoped(
     engine: &HeteSimEngine<'_>,
     paths: &[MetaPath],
     reference: &hetesim::sparse::CsrMatrix,
@@ -108,10 +108,11 @@ fn crossbeam_scope(
         }
     });
     // The cache was populated once per distinct path at most.
-    let (_hits, misses) = engine.cache_stats();
+    let stats = engine.cache_stats();
     assert!(
-        misses as usize <= paths.len() + 1,
-        "duplicate racing builds should be rare: {misses} misses"
+        stats.misses as usize <= paths.len() + 1,
+        "duplicate racing builds should be rare: {} misses",
+        stats.misses
     );
 }
 
