@@ -1,9 +1,13 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro [--scale tiny|default|paper] [--metrics-out FILE]
+//! repro [--scale tiny|default|paper] [--threads N] [--metrics-out FILE]
 //!       [table1..table7|fig6|fig7|truncation|scaling|all]
 //! ```
+//!
+//! `--threads N` sets the engine worker-thread count for every experiment
+//! (0 = auto-detect); results are bit-identical at every thread count, so
+//! the flag only changes wall-clock time.
 //!
 //! Absolute numbers differ from the paper (synthetic network), but every
 //! structural claim — symmetry, who ranks first, which measure wins — is
@@ -38,8 +42,18 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-out" => {
                 metrics_out = args.next().ok_or("--metrics-out needs a value")?;
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads expects an integer, got {v:?}"))?;
+                // Experiments build engines via `HeteSimEngine::new`, which
+                // reads HETESIM_THREADS — setting it here threads the flag
+                // through every stage without plumbing a parameter.
+                std::env::set_var(hetesim_sparse::parallel::THREADS_ENV, n.to_string());
+            }
             "--help" | "-h" => return Err(
-                "usage: repro [--scale tiny|default|paper] [--metrics-out FILE] [experiments...]"
+                "usage: repro [--scale tiny|default|paper] [--threads N] [--metrics-out FILE] [experiments...]"
                     .into(),
             ),
             other => which.push(other.to_string()),

@@ -1,0 +1,201 @@
+//! Thread-scaling curve of the two-phase flop-balanced SpGEMM.
+//!
+//! ```text
+//! spgemm-scaling [--scale tiny|default|paper] [--repeats N] [--out FILE]
+//! ```
+//!
+//! Multiplies the ACM co-paper product `(Wᵀ)̂ · Ŵ` (both factors
+//! row-normalized). Its flop count is `Σ_a deg(a)²` over author degrees,
+//! so the Zipf-skewed star authors dominate the work — the load-balance
+//! worst case the flop-balanced scheduler targets. Timed with the serial
+//! kernel and with [`hetesim_sparse::parallel::matmul_two_phase`]
+//! at 1, 2, 4 and 7 threads. Each configuration runs `--repeats` times
+//! and keeps the minimum wall time; parallel results are asserted
+//! bit-identical to serial before any number is reported.
+//!
+//! Writes `BENCH_spgemm.json` (or `--out`) with per-thread milliseconds,
+//! speedup over serial, and the `sparse.parallel.imbalance` gauge
+//! (max/mean worker busy time; 1.0 = perfectly balanced). The file also
+//! records `available_parallelism` — on a machine with fewer cores than
+//! threads, speedups are naturally capped and the curve should be read
+//! against that field.
+
+use hetesim_bench::datasets::{acm_dataset, Scale};
+use hetesim_sparse::{parallel, CsrMatrix};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+struct Args {
+    scale: Scale,
+    repeats: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = Scale::Default;
+    let mut repeats = 3usize;
+    let mut out = "BENCH_spgemm.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+            }
+            "--repeats" => {
+                let v = args.next().ok_or("--repeats needs a value")?;
+                repeats = v
+                    .parse()
+                    .map_err(|_| format!("--repeats expects an integer, got {v:?}"))?;
+            }
+            "--out" => out = args.next().ok_or("--out needs a value")?.to_string(),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: spgemm-scaling [--scale tiny|default|paper] [--repeats N] [--out FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        scale,
+        repeats: repeats.max(1),
+        out,
+    })
+}
+
+/// Exact SpGEMM flops: one multiply-add per (lhs entry, matching rhs row
+/// entry) pair.
+fn exact_flops(lhs: &CsrMatrix, rhs: &CsrMatrix) -> u64 {
+    (0..lhs.nrows())
+        .flat_map(|r| lhs.row_indices(r))
+        .map(|&k| rhs.row_nnz(k as usize) as u64)
+        .sum()
+}
+
+/// The current value of the `sparse.parallel.imbalance` gauge (fixed-point
+/// thousandths), or 0 if it was not recorded (serial fallback / obs off).
+fn imbalance_gauge() -> u64 {
+    hetesim_obs::snapshot()
+        .counters
+        .iter()
+        .find(|c| c.name == "sparse.parallel.imbalance")
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
+struct Run {
+    threads: usize,
+    ms: f64,
+    speedup: f64,
+    /// max/mean worker busy time; 0.0 when not measured.
+    imbalance: f64,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    hetesim_obs::enable();
+
+    eprintln!("generating ACM-like network ({:?})...", args.scale);
+    let acm = acm_dataset(args.scale);
+    let writes = acm.hin.adjacency(acm.writes);
+    let lhs = writes.transpose().row_normalized();
+    let rhs = writes.row_normalized();
+    let flops = exact_flops(&lhs, &rhs);
+    eprintln!(
+        "co-paper product: ({}x{} nnz {}) * ({}x{} nnz {}), {} flops",
+        lhs.nrows(),
+        lhs.ncols(),
+        lhs.nnz(),
+        rhs.nrows(),
+        rhs.ncols(),
+        rhs.nnz(),
+        flops
+    );
+
+    let time_min = |f: &dyn Fn() -> CsrMatrix| -> (CsrMatrix, f64) {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..args.repeats {
+            let t0 = Instant::now();
+            let m = f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            result = Some(m);
+        }
+        (result.expect("repeats >= 1"), best)
+    };
+
+    let (serial, serial_ms) = time_min(&|| lhs.matmul(&rhs).expect("shapes match"));
+    eprintln!("serial matmul: {serial_ms:.2} ms");
+
+    let mut runs = Vec::new();
+    for threads in THREAD_COUNTS {
+        hetesim_obs::reset();
+        let (par, ms) =
+            time_min(&|| parallel::matmul_two_phase(&lhs, &rhs, threads).expect("shapes match"));
+        assert_eq!(par, serial, "two-phase result differs at {threads} threads");
+        let imbalance = imbalance_gauge() as f64 / 1000.0;
+        let speedup = serial_ms / ms;
+        eprintln!("threads {threads}: {ms:.2} ms, speedup {speedup:.2}x, imbalance {imbalance:.3}");
+        runs.push(Run {
+            threads,
+            ms,
+            speedup,
+            imbalance,
+        });
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"spgemm_scaling\",\n");
+    json.push_str(&format!("  \"scale\": \"{:?}\",\n", args.scale).to_lowercase());
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"repeats\": {},\n", args.repeats));
+    json.push_str(&format!(
+        "  \"lhs\": {{\"rows\": {}, \"cols\": {}, \"nnz\": {}}},\n",
+        lhs.nrows(),
+        lhs.ncols(),
+        lhs.nnz()
+    ));
+    json.push_str(&format!(
+        "  \"rhs\": {{\"rows\": {}, \"cols\": {}, \"nnz\": {}}},\n",
+        rhs.nrows(),
+        rhs.ncols(),
+        rhs.nnz()
+    ));
+    json.push_str(&format!("  \"product_nnz\": {},\n", serial.nnz()));
+    json.push_str(&format!("  \"flops\": {flops},\n"));
+    json.push_str(&format!("  \"serial_ms\": {serial_ms:.3},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"imbalance\": {:.3}}}{}\n",
+            r.threads,
+            r.ms,
+            r.speedup,
+            r.imbalance,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&args.out, &json) {
+        Ok(()) => eprintln!("wrote {}", args.out),
+        Err(e) => {
+            eprintln!("error: cannot write {:?}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -61,7 +61,7 @@ fn run_task(
     let k = dblp.n_areas();
     let path = MetaPath::parse(hin.schema(), path_text)?;
 
-    let engine = HeteSimEngine::with_threads(hin, 4);
+    let engine = HeteSimEngine::new(hin);
     let hs_matrix = engine.matrix(&path)?;
     let hetesim = cluster_and_score(hs_matrix, truth, eval_subset, k, seed);
 

@@ -18,6 +18,12 @@
 //! snapshot to a file. See `hetesim-obs` for the `crate.component.op`
 //! naming convention of the emitted metrics.
 //!
+//! Query subcommands (`query`/`top-k`, `pair`, `join`) accept
+//! `--threads N` to set the engine's worker-thread count: `0` (the
+//! default) means auto — `HETESIM_THREADS` if set, else the machine's
+//! available parallelism — and `1` forces the serial path. Results are
+//! bit-identical at every thread count.
+//!
 //! Networks are directories in the TSV format of `hetesim_graph::io`, so
 //! generated datasets can be inspected, edited, and re-queried.
 //!
@@ -54,6 +60,12 @@ commands:
       The k most relevant object pairs across the whole matrix.
   help
       This text.
+
+query commands (query/top-k, pair, join) also accept:
+  --threads N             worker threads for matrix products and top-k
+                          scans; 0 (default) = auto (HETESIM_THREADS env
+                          or available cores), 1 = serial. Results are
+                          bit-identical at every thread count.
 
 every command also accepts:
   --metrics[=tree|json]   print span timings / counters / histograms after
@@ -147,6 +159,13 @@ fn parse_path(hin: &Hin, text: &str) -> Result<MetaPath, String> {
     MetaPath::parse(hin.schema(), text).map_err(|e| e.to_string())
 }
 
+/// Builds the engine with the `--threads` flag: 0 (the default) means
+/// auto-detect, 1 is the explicit serial path.
+fn engine_with_threads<'a>(p: &Parsed, hin: &'a Hin) -> Result<HeteSimEngine<'a>, String> {
+    let threads = p.get_usize("threads", 0)?;
+    Ok(HeteSimEngine::with_threads(hin, threads))
+}
+
 fn cmd_query(p: &Parsed) -> Result<(), String> {
     let hin = load(p.one_positional("network directory")?)?;
     let path = parse_path(&hin, p.require("path")?)?;
@@ -157,7 +176,7 @@ fn cmd_query(p: &Parsed) -> Result<(), String> {
     let k = p.get_usize("k", 10)?;
     let repeat = p.get_usize("repeat", 1)?.max(1);
     let measure = p.get_or("measure", "hetesim");
-    let engine = HeteSimEngine::new(&hin);
+    let engine = engine_with_threads(p, &hin)?;
     let pcrw = Pcrw::new(&hin);
     let pathsim = PathSim::new(&hin);
     let mut ranked = Vec::new();
@@ -210,7 +229,7 @@ fn cmd_pair(p: &Parsed) -> Result<(), String> {
     let b = hin
         .node_id(path.target_type(), p.require("target")?)
         .map_err(|e| e.to_string())?;
-    let engine = HeteSimEngine::new(&hin);
+    let engine = engine_with_threads(p, &hin)?;
     let norm = engine.pair(&path, a, b).map_err(|e| e.to_string())?;
     let raw = engine
         .pair_unnormalized(&path, a, b)
@@ -266,7 +285,7 @@ fn cmd_join(p: &Parsed) -> Result<(), String> {
     let hin = load(p.one_positional("network directory")?)?;
     let path = parse_path(&hin, p.require("path")?)?;
     let k = p.get_usize("k", 10)?;
-    let engine = HeteSimEngine::new(&hin);
+    let engine = engine_with_threads(p, &hin)?;
     let pairs = engine.top_k_pairs(&path, k).map_err(|e| e.to_string())?;
     record_cache_gauges(&engine);
     println!(

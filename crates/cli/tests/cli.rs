@@ -336,6 +336,50 @@ fn metrics_rejects_unknown_format() {
 }
 
 #[test]
+fn threads_flag_is_output_invariant() {
+    let dir = temp_net("threads");
+    generate(&dir);
+    let d = dir.to_str().unwrap();
+    // help documents the flag
+    let help = run(&["help"]);
+    assert!(String::from_utf8_lossy(&help.stdout).contains("--threads"));
+    // query / join outputs are byte-identical across thread counts
+    // (0 = auto, 1 = serial).
+    let base_query = &[
+        "query",
+        d,
+        "--path",
+        "APVC",
+        "--source",
+        "star_concentrated",
+        "--k",
+        "5",
+    ];
+    let base_join = &["join", d, "--path", "APA", "--k", "5"];
+    for base in [&base_query[..], &base_join[..]] {
+        let serial = run(&[base, &["--threads", "1"][..]].concat());
+        assert!(
+            serial.status.success(),
+            "{}",
+            String::from_utf8_lossy(&serial.stderr)
+        );
+        for threads in ["0", "2", "7"] {
+            let par = run(&[base, &["--threads", threads][..]].concat());
+            assert!(par.status.success());
+            assert_eq!(
+                par.stdout, serial.stdout,
+                "--threads {threads} changed output of {base:?}"
+            );
+        }
+    }
+    // Non-numeric thread counts are rejected up front.
+    let bad = run(&[&base_query[..], &["--threads", "many"][..]].concat());
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--threads"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     let out = run(&["frobnicate"]);
     assert!(!out.status.success());

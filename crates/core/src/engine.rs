@@ -1,6 +1,6 @@
 use crate::cache::{CacheStats, Halves, PathCache};
 use crate::decompose::{decompose, edge_split};
-use crate::reachable::{normalize_chain, propagate};
+use crate::reachable::{normalize_chain, normalize_chain_threaded, propagate};
 use crate::{CoreError, Result};
 use hetesim_graph::{Direction, Hin, MetaPath, Step};
 use hetesim_sparse::{parallel, CooMatrix, CsrMatrix, SparseVec};
@@ -39,23 +39,29 @@ pub struct HeteSimEngine<'a> {
 }
 
 impl<'a> HeteSimEngine<'a> {
-    /// Creates an engine with serial multiplication.
+    /// Creates an engine with the default worker-thread count:
+    /// `HETESIM_THREADS` if set, otherwise the machine's available
+    /// parallelism (see [`parallel::default_threads`]). Results are
+    /// bit-identical at every thread count; use
+    /// [`HeteSimEngine::with_threads`] with `threads = 1` for an
+    /// explicitly serial engine.
     pub fn new(hin: &'a Hin) -> Self {
-        HeteSimEngine {
-            hin,
-            cache: PathCache::new(),
-            threads: 1,
-            reuse_prefixes: false,
-        }
+        Self::with_threads(hin, parallel::default_threads())
     }
 
-    /// Creates an engine that multiplies large chains with the given number
-    /// of worker threads.
+    /// Creates an engine that runs large multiplications and query stages
+    /// with the given number of worker threads. `threads = 1` is the
+    /// explicit serial path; `threads = 0` means "auto" (same default as
+    /// [`HeteSimEngine::new`]).
     pub fn with_threads(hin: &'a Hin, threads: usize) -> Self {
         HeteSimEngine {
             hin,
             cache: PathCache::new(),
-            threads: threads.max(1),
+            threads: if threads == 0 {
+                parallel::default_threads()
+            } else {
+                threads
+            },
             reuse_prefixes: false,
         }
     }
@@ -117,18 +123,14 @@ impl<'a> HeteSimEngine<'a> {
     }
 
     fn chain_product(&self, mats: &[CsrMatrix]) -> Result<CsrMatrix> {
-        if self.threads <= 1 {
-            return crate::reachable::product(mats);
-        }
-        let mut iter = mats.iter();
-        let first = iter
-            .next()
-            .ok_or(CoreError::Sparse(hetesim_sparse::SparseError::EmptyChain))?;
-        let mut acc = first.clone();
-        for m in iter {
-            acc = parallel::matmul_parallel(&acc, m, self.threads)?;
-        }
-        Ok(acc)
+        // The association order comes from the chain planner regardless of
+        // thread count, and the parallel kernel is bit-identical to the
+        // serial one, so results do not depend on `threads`.
+        let refs: Vec<&CsrMatrix> = mats.iter().collect();
+        Ok(hetesim_sparse::chain::multiply_chain_threaded(
+            &refs,
+            self.threads,
+        )?)
     }
 
     /// Builds the two half-products through the prefix cache
@@ -146,14 +148,14 @@ impl<'a> HeteSimEngine<'a> {
         } else {
             let ms = l / 2;
             let (ae, eb) = edge_split(self.hin.step_adjacency(steps[ms]));
-            let ae_n = ae.row_normalized();
+            let ae_n = ae.row_normalized_threaded(self.threads);
             let left = if ms == 0 {
                 ae_n
             } else {
                 let prefix = self.prefix_product(&steps[..ms])?;
                 parallel::matmul_parallel(&prefix, &ae_n, self.threads)?
             };
-            let eb_n = eb.transpose().row_normalized();
+            let eb_n = eb.transpose().row_normalized_threaded(self.threads);
             let right = if ms + 1 == l {
                 eb_n
             } else {
@@ -180,8 +182,8 @@ impl<'a> HeteSimEngine<'a> {
             } else {
                 let d = decompose(self.hin, path)?;
                 (
-                    self.chain_product(&normalize_chain(d.left))?,
-                    self.chain_product(&normalize_chain(d.right_rev))?,
+                    self.chain_product(&normalize_chain_threaded(d.left, self.threads))?,
+                    self.chain_product(&normalize_chain_threaded(d.right_rev, self.threads))?,
                 )
             };
             left.check_finite("hetesim left half")?;
@@ -351,7 +353,7 @@ impl<'a> HeteSimEngine<'a> {
         let _span = hetesim_obs::span!("core.engine.top_k", k = k);
         self.check_source(path, a)?;
         let h = self.halves(path)?;
-        crate::topk::top_k_pruned(&h, a, k)
+        crate::topk::top_k_parallel(&h, a, k, self.threads)
     }
 
     /// The `k` most relevant `(source, target)` pairs across the whole
@@ -360,7 +362,7 @@ impl<'a> HeteSimEngine<'a> {
     pub fn top_k_pairs(&self, path: &MetaPath, k: usize) -> Result<Vec<crate::topk::RankedPair>> {
         let _span = hetesim_obs::span!("core.engine.top_k_pairs", k = k);
         let h = self.halves(path)?;
-        crate::topk::top_k_pairs(&h, k)
+        crate::topk::top_k_pairs_parallel(&h, k, self.threads)
     }
 
     /// Decomposes one pair's score over the middle objects the two walkers
@@ -621,15 +623,81 @@ mod tests {
         ));
     }
 
+    /// A Zipf-skewed network: one star author writes most of the papers,
+    /// several authors write nothing (empty matrix rows), and venue mass
+    /// concentrates on one conference — the load-balance worst case the
+    /// flop-balanced scheduler exists for.
+    fn skewed_hin() -> Hin {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let c = s.add_type("conference").unwrap();
+        let w = s.add_relation("writes", a, p).unwrap();
+        let pb = s.add_relation("published_in", p, c).unwrap();
+        let mut b = HinBuilder::new(s);
+        // Star author writes 40 papers; a Zipf-ish tail writes 0-2 each.
+        for i in 0..40 {
+            b.add_edge_by_name(w, "Star", &format!("P{i}"), 1.0)
+                .unwrap();
+        }
+        let mut x = 11usize;
+        for j in 0..12 {
+            let author = format!("A{j}");
+            for _ in 0..(j % 3) {
+                x = (x * 1103515245 + 12345) % 2147483648;
+                b.add_edge_by_name(w, &author, &format!("P{}", x % 40), 1.0)
+                    .unwrap();
+            }
+            if j % 3 == 0 {
+                // Authors with no papers at all: empty rows in U_AP.
+                b.add_node(a, &author);
+            }
+        }
+        // Most papers go to one hot venue, the rest spread thin.
+        for i in 0..40 {
+            let venue = if i % 4 == 0 {
+                format!("V{}", i % 7)
+            } else {
+                "HotConf".to_string()
+            };
+            b.add_edge_by_name(pb, &format!("P{i}"), &venue, 1.0)
+                .unwrap();
+        }
+        b.build()
+    }
+
     #[test]
     fn threads_produce_identical_results() {
+        for hin in [fig4(), skewed_hin()] {
+            let serial = HeteSimEngine::with_threads(&hin, 1);
+            for text in ["APC", "APA", "AP", "APAPC"] {
+                let path = MetaPath::parse(hin.schema(), text).unwrap();
+                let want_matrix = serial.matrix(&path).unwrap();
+                let want_top = serial.top_k(&path, 0, 10).unwrap();
+                let want_pairs = serial.top_k_pairs(&path, 10).unwrap();
+                // Includes threads far beyond the number of source rows.
+                for threads in [2usize, 4, 7, 1024] {
+                    let par = HeteSimEngine::with_threads(&hin, threads);
+                    assert_eq!(
+                        par.matrix(&path).unwrap(),
+                        want_matrix,
+                        "path {text} threads {threads}"
+                    );
+                    assert_eq!(par.top_k(&path, 0, 10).unwrap(), want_top);
+                    assert_eq!(par.top_k_pairs(&path, 10).unwrap(), want_pairs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_zero_means_auto() {
         let hin = fig4();
-        let serial = HeteSimEngine::new(&hin);
-        let par = HeteSimEngine::with_threads(&hin, 4);
-        let apc = MetaPath::parse(hin.schema(), "APC").unwrap();
-        let a = serial.matrix(&apc).unwrap();
-        let b = par.matrix(&apc).unwrap();
-        assert!(a.max_abs_diff(&b).unwrap() < 1e-15);
+        let auto = HeteSimEngine::with_threads(&hin, 0);
+        assert_eq!(auto.threads, hetesim_sparse::parallel::default_threads());
+        assert!(auto.threads >= 1);
+        let serial = HeteSimEngine::with_threads(&hin, 1);
+        assert_eq!(serial.threads, 1);
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub fn normalize_chain(mats: Vec<CsrMatrix>) -> Vec<CsrMatrix> {
     mats.into_iter().map(|m| m.row_normalized()).collect()
 }
 
+/// [`normalize_chain`] with each (large enough) matrix normalized by
+/// `threads` workers. Bit-identical to the serial version at every thread
+/// count — per-row normalization is order-preserving.
+pub fn normalize_chain_threaded(mats: Vec<CsrMatrix>, threads: usize) -> Vec<CsrMatrix> {
+    mats.into_iter()
+        .map(|m| m.row_normalized_threaded(threads))
+        .collect()
+}
+
 /// Multiplies a chain of stochastic matrices into a single
 /// reachable-probability matrix, choosing the association order by the
 /// sparse cost model.

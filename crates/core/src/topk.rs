@@ -11,6 +11,41 @@ use crate::{Ranked, Result};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Right-half nnz below which [`top_k_parallel`] stays on the serial pruned
+/// path: the parallel variant scans every target's right row, so it only
+/// wins once that scan is big enough to amortize thread startup.
+const PARALLEL_MIN_RIGHT_NNZ: usize = 1 << 16;
+
+/// Left-half nnz below which [`top_k_pairs_parallel`] stays serial. The
+/// all-pairs join does a full pruned accumulation per source, so far less
+/// total mass is needed before threads pay off.
+const PARALLEL_MIN_LEFT_NNZ: usize = 1 << 12;
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal total
+/// cost, where `cost(r)` is the per-row work estimate. Ranges are cut as
+/// soon as the running cost reaches the per-part budget, so a single hot
+/// row never drags its neighbours into the same worker.
+fn balanced_ranges(n: usize, parts: usize, cost: impl Fn(usize) -> usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(n.max(1));
+    let total: usize = (0..n).map(&cost).sum();
+    let per = total / parts + 1;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for r in 0..n {
+        acc += cost(r);
+        if acc >= per && r + 1 < n && ranges.len() + 1 < parts {
+            ranges.push((start, r + 1));
+            start = r + 1;
+            acc = 0;
+        }
+    }
+    if start < n || ranges.is_empty() {
+        ranges.push((start, n));
+    }
+    ranges
+}
+
 /// A bounded max-score collector: keeps the `k` highest-scoring items seen,
 /// breaking score ties by ascending index for deterministic output.
 #[derive(Debug)]
@@ -118,6 +153,93 @@ pub fn top_k_pruned(h: &Halves, source: u32, k: usize) -> Result<Vec<Ranked>> {
     Ok(top.into_sorted())
 }
 
+/// Top-k normalized HeteSim for one source row with the candidate scan
+/// partitioned across `threads` workers.
+///
+/// Targets are split into contiguous ranges of near-equal right-half nnz;
+/// each worker scores its targets into a private [`TopK`] and the heaps are
+/// merged at the end. Per-target dot products accumulate contributions in
+/// ascending middle-object order — the same order as the serial pruned
+/// accumulation — so the output is bit-identical to [`top_k_pruned`] at
+/// every thread count. Falls back to the serial path when `threads <= 1`
+/// or the right half is too small to amortize workers.
+pub fn top_k_parallel(h: &Halves, source: u32, k: usize, threads: usize) -> Result<Vec<Ranked>> {
+    if threads <= 1 || h.right.nnz() < PARALLEL_MIN_RIGHT_NNZ {
+        return top_k_pruned(h, source, k);
+    }
+    top_k_parallel_force(h, source, k, threads)
+}
+
+/// The parallel body of [`top_k_parallel`], with no size gate (tests call
+/// it directly on small fixtures).
+fn top_k_parallel_force(h: &Halves, source: u32, k: usize, threads: usize) -> Result<Vec<Ranked>> {
+    let u = h.left.row(source as usize);
+    if u.is_empty() || k == 0 {
+        return Ok(Vec::new());
+    }
+    let _span = hetesim_obs::span!(
+        "core.topk.parallel",
+        targets = h.right.nrows(),
+        threads = threads,
+    );
+    let un = u.l2_norm();
+    // Densify the source distribution for O(1) middle lookups. A stored
+    // zero in `u` still marks its targets reachable (as the serial pruned
+    // accumulation does), so membership is tracked separately.
+    let dim = h.right.ncols();
+    let mut du = vec![0.0f64; dim];
+    let mut in_u = vec![false; dim];
+    for (m, w) in u.iter() {
+        du[m] = w;
+        in_u[m] = true;
+    }
+    let nt = h.right.nrows();
+    let ranges = balanced_ranges(nt, threads, |t| h.right.row_nnz(t));
+    let (du, in_u) = (&du[..], &in_u[..]);
+    let tops: Vec<TopK> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || {
+                    let mut top = TopK::new(k);
+                    for t in lo..hi {
+                        let idx = h.right.row_indices(t);
+                        let vals = h.right.row_values(t);
+                        let mut dot = 0.0f64;
+                        let mut touched = false;
+                        for (&m, &v) in idx.iter().zip(vals) {
+                            if in_u[m as usize] {
+                                // Same operand order as the serial pruned
+                                // accumulation: u[m] * right[t][m], summed
+                                // over ascending m.
+                                dot += du[m as usize] * v;
+                                touched = true;
+                            }
+                        }
+                        if touched {
+                            let denom = un * h.right_norms[t];
+                            if denom > 0.0 {
+                                top.push(t as u32, dot / denom);
+                            }
+                        }
+                    }
+                    top
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // The kept top-k set is unique under the (score desc, index asc) total
+    // order, so merging per-worker heaps reproduces the serial result.
+    let mut top = TopK::new(k);
+    for t in tops {
+        for r in t.into_sorted() {
+            top.push(r.index, r.score);
+        }
+    }
+    Ok(top.into_sorted())
+}
+
 /// One scored source–target pair from an all-pairs search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankedPair {
@@ -139,40 +261,109 @@ pub fn top_k_pairs(h: &Halves, k: usize) -> Result<Vec<RankedPair>> {
         return Ok(best);
     }
     for source in 0..h.left.nrows() {
-        let u = h.left.row(source);
-        if u.is_empty() {
+        score_source_pairs(h, source, k, &mut best);
+    }
+    Ok(best)
+}
+
+/// Inserts `candidate` into the sorted bounded list `best` (descending
+/// score, ties ascending `(source, target)`), keeping at most `k` items.
+fn insert_pair(best: &mut Vec<RankedPair>, k: usize, candidate: RankedPair) {
+    let pos = best.partition_point(|b| {
+        b.score > candidate.score
+            || (b.score == candidate.score
+                && (b.source, b.target) < (candidate.source, candidate.target))
+    });
+    if pos < k {
+        best.insert(pos, candidate);
+        best.truncate(k);
+    }
+}
+
+/// Scores every reachable target of one source (pruned accumulation) and
+/// offers the pairs to `best`.
+fn score_source_pairs(h: &Halves, source: usize, k: usize, best: &mut Vec<RankedPair>) {
+    let u = h.left.row(source);
+    if u.is_empty() {
+        return;
+    }
+    let un = u.l2_norm();
+    let mut acc: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for (m, w) in u.iter() {
+        for (&t, &v) in h.right_t.row_indices(m).iter().zip(h.right_t.row_values(m)) {
+            *acc.entry(t).or_insert(0.0) += w * v;
+        }
+    }
+    for (t, dot) in acc {
+        let denom = un * h.right_norms[t as usize];
+        if denom <= 0.0 {
             continue;
         }
-        let un = u.l2_norm();
-        let mut acc: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
-        for (m, w) in u.iter() {
-            for (&t, &v) in h.right_t.row_indices(m).iter().zip(h.right_t.row_values(m)) {
-                *acc.entry(t).or_insert(0.0) += w * v;
-            }
+        let score = dot / denom;
+        if !score.is_finite() {
+            continue;
         }
-        for (t, dot) in acc {
-            let denom = un * h.right_norms[t as usize];
-            if denom <= 0.0 {
-                continue;
-            }
-            let score = dot / denom;
-            if !score.is_finite() {
-                continue;
-            }
-            let candidate = RankedPair {
+        insert_pair(
+            best,
+            k,
+            RankedPair {
                 source: source as u32,
                 target: t,
                 score,
-            };
-            let pos = best.partition_point(|b| {
-                b.score > candidate.score
-                    || (b.score == candidate.score
-                        && (b.source, b.target) < (candidate.source, candidate.target))
-            });
-            if pos < k {
-                best.insert(pos, candidate);
-                best.truncate(k);
-            }
+            },
+        );
+    }
+}
+
+/// The `k` highest-scoring pairs with sources partitioned across `threads`
+/// workers.
+///
+/// Sources are split into contiguous ranges of near-equal left-half nnz
+/// (the per-source pruned-accumulation cost is proportional to the mass of
+/// its distribution); each worker keeps its own bounded best-list and the
+/// lists are merged with the same ordered insert. Every global top-k pair
+/// necessarily survives its worker's local top-k, and the top-k set is
+/// unique under the (score desc, pair asc) total order, so the result is
+/// identical to [`top_k_pairs`] at every thread count. Falls back to the
+/// serial path when `threads <= 1` or the left half is small.
+pub fn top_k_pairs_parallel(h: &Halves, k: usize, threads: usize) -> Result<Vec<RankedPair>> {
+    if threads <= 1 || h.left.nnz() < PARALLEL_MIN_LEFT_NNZ {
+        return top_k_pairs(h, k);
+    }
+    top_k_pairs_parallel_force(h, k, threads)
+}
+
+/// The parallel body of [`top_k_pairs_parallel`], with no size gate.
+fn top_k_pairs_parallel_force(h: &Halves, k: usize, threads: usize) -> Result<Vec<RankedPair>> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let _span = hetesim_obs::span!(
+        "core.topk.pairs_parallel",
+        sources = h.left.nrows(),
+        threads = threads,
+    );
+    let ns = h.left.nrows();
+    let ranges = balanced_ranges(ns, threads, |s| h.left.row_nnz(s));
+    let lists: Vec<Vec<RankedPair>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || {
+                    let mut best: Vec<RankedPair> = Vec::with_capacity(k + 1);
+                    for source in lo..hi {
+                        score_source_pairs(h, source, k, &mut best);
+                    }
+                    best
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut best: Vec<RankedPair> = Vec::with_capacity(k + 1);
+    for list in lists {
+        for candidate in list {
+            insert_pair(&mut best, k, candidate);
         }
     }
     Ok(best)
@@ -229,5 +420,110 @@ mod tests {
         let out = t.into_sorted();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].index, 1);
+    }
+
+    use hetesim_sparse::{CooMatrix, CsrMatrix};
+
+    fn halves_from(left: CsrMatrix, right: CsrMatrix) -> Halves {
+        let left_norms = left.row_l2_norms();
+        let right_norms = right.row_l2_norms();
+        let right_t = right.transpose();
+        Halves {
+            left,
+            right,
+            right_t,
+            left_norms,
+            right_norms,
+        }
+    }
+
+    /// A skewed fixture: source 0 reaches most middles (hot row), several
+    /// sources reach nothing (empty rows), targets have varied support.
+    fn skewed_halves() -> Halves {
+        let (sources, middles, targets) = (37usize, 23usize, 41usize);
+        let mut left = CooMatrix::new(sources, middles);
+        for m in 0..middles {
+            left.push(0, m, 1.0 + (m % 5) as f64 * 0.25);
+        }
+        let mut x = 7usize;
+        for s in 1..sources {
+            if s % 4 == 0 {
+                continue; // empty source rows
+            }
+            for _ in 0..2 {
+                x = (x * 1103515245 + 12345) % 2147483648;
+                left.push(s, x % middles, ((x % 9) + 1) as f64 * 0.5);
+            }
+        }
+        let mut right = CooMatrix::new(targets, middles);
+        for m in 0..middles {
+            right.push(3, m, 0.75); // hot target
+        }
+        for t in 0..targets {
+            if t % 5 == 1 {
+                continue; // unreachable targets
+            }
+            for _ in 0..3 {
+                x = (x * 1103515245 + 12345) % 2147483648;
+                right.push(t, x % middles, ((x % 7) + 1) as f64 * 0.3);
+            }
+        }
+        halves_from(left.to_csr(), right.to_csr())
+    }
+
+    #[test]
+    fn parallel_top_k_matches_pruned_bitwise() {
+        let h = skewed_halves();
+        for source in 0..h.left.nrows() as u32 {
+            for k in [1usize, 3, 10, 1000] {
+                let serial = top_k_pruned(&h, source, k).unwrap();
+                for threads in [2usize, 4, 7, 64] {
+                    let par = top_k_parallel_force(&h, source, k, threads).unwrap();
+                    assert_eq!(par, serial, "source={source} k={k} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_top_k_gates_to_serial_below_threshold() {
+        let h = skewed_halves();
+        assert!(h.right.nnz() < super::PARALLEL_MIN_RIGHT_NNZ);
+        let gated = top_k_parallel(&h, 0, 5, 8).unwrap();
+        assert_eq!(gated, top_k_pruned(&h, 0, 5).unwrap());
+    }
+
+    #[test]
+    fn parallel_pairs_match_serial_bitwise() {
+        let h = skewed_halves();
+        for k in [1usize, 4, 17, 10_000] {
+            let serial = top_k_pairs(&h, k).unwrap();
+            for threads in [2usize, 4, 7, 64] {
+                let par = top_k_pairs_parallel_force(&h, k, threads).unwrap();
+                assert_eq!(par, serial, "k={k} threads={threads}");
+            }
+        }
+        assert!(top_k_pairs_parallel_force(&h, 0, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn balanced_ranges_cover_and_isolate_hot_rows() {
+        // One hot row (cost 100) among unit-cost rows: the hot row should
+        // not share a range with the entire tail.
+        let cost = |r: usize| if r == 2 { 100 } else { 1 };
+        let ranges = balanced_ranges(10, 4, cost);
+        assert!(ranges.len() <= 4);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 10);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // The range containing row 2 ends right after it.
+        let hot = ranges.iter().find(|&&(lo, hi)| lo <= 2 && 2 < hi).unwrap();
+        assert_eq!(hot.1, 3);
+        // Degenerate inputs.
+        assert_eq!(balanced_ranges(0, 4, |_| 1), vec![(0, 0)]);
+        assert_eq!(balanced_ranges(5, 1, |_| 1), vec![(0, 5)]);
+        assert_eq!(balanced_ranges(3, 64, |_| 0).last().unwrap().1, 3);
     }
 }

@@ -47,12 +47,24 @@ fn combine(a: Estimate, b: Estimate) -> Estimate {
     }
 }
 
+/// Estimated flops below which a single product in a threaded chain
+/// execution is multiplied serially: the planner's estimate lets
+/// [`ChainPlan::execute_threaded`] skip even the exact flop count (and
+/// the symbolic pass behind it) for products that are obviously tiny.
+/// Matches the exact-count threshold inside `parallel::matmul_parallel`.
+const PARALLEL_EST_FLOP_THRESHOLD: f64 = (1u64 << 17) as f64;
+
 /// The multiplication order chosen by the dynamic program, as a binary tree
 /// encoded in "split index" form: `splits[i][j]` is the `k` at which the
 /// product of matrices `i..=j` is split into `i..=k` and `k+1..=j`.
 #[derive(Debug)]
 pub struct ChainPlan {
     splits: Vec<Vec<usize>>,
+    /// `mult_flops[i][j]`: estimated flops of the *final* multiply that
+    /// produces the `i..=j` product (excluding its sub-products), used by
+    /// [`ChainPlan::execute_threaded`] to decide serial vs parallel per
+    /// node without touching the matrices.
+    mult_flops: Vec<Vec<f64>>,
     len: usize,
     /// Estimated flops of the chosen order (for diagnostics/ablation).
     pub estimated_cost: f64,
@@ -77,6 +89,7 @@ impl ChainPlan {
         }
         let mut best: Vec<Vec<Option<Estimate>>> = vec![vec![None; n]; n];
         let mut splits = vec![vec![0usize; n]; n];
+        let mut mult_flops = vec![vec![0f64; n]; n];
         for (i, (&(r, c), &d)) in shapes.iter().zip(densities).enumerate() {
             best[i][i] = Some(Estimate {
                 rows: r,
@@ -98,6 +111,9 @@ impl ChainPlan {
                     }
                 }
                 let (e, k) = chosen.expect("non-empty span");
+                let left = best[i][k].expect("subchain planned");
+                let right = best[k + 1][j].expect("subchain planned");
+                mult_flops[i][j] = e.cost - left.cost - right.cost;
                 best[i][j] = Some(e);
                 splits[i][j] = k;
             }
@@ -105,26 +121,51 @@ impl ChainPlan {
         let estimated_cost = best[0][n - 1].expect("root planned").cost;
         Ok(ChainPlan {
             splits,
+            mult_flops,
             len: n,
             estimated_cost,
         })
     }
 
-    fn execute_range(&self, mats: &[&CsrMatrix], i: usize, j: usize) -> Result<CsrMatrix> {
+    fn execute_range(
+        &self,
+        mats: &[&CsrMatrix],
+        i: usize,
+        j: usize,
+        threads: usize,
+    ) -> Result<CsrMatrix> {
         if i == j {
             return Ok(mats[i].clone());
         }
         let k = self.splits[i][j];
-        let left = self.execute_range(mats, i, k)?;
-        let right = self.execute_range(mats, k + 1, j)?;
-        left.matmul(&right)
+        let left = self.execute_range(mats, i, k, threads)?;
+        let right = self.execute_range(mats, k + 1, j, threads)?;
+        // The planner's flop estimate gates the parallel kernel so tiny
+        // products skip even the exact flop count of its symbolic pass;
+        // `matmul_parallel` re-checks with exact counts and may still fall
+        // back, so a high estimate can never force a slow parallel run.
+        if threads > 1 && self.mult_flops[i][j] >= PARALLEL_EST_FLOP_THRESHOLD {
+            crate::parallel::matmul_parallel(&left, &right, threads)
+        } else {
+            left.matmul(&right)
+        }
     }
 
     /// Executes the plan over the given matrices (which must match the
     /// shapes the plan was made from).
     pub fn execute(&self, mats: &[&CsrMatrix]) -> Result<CsrMatrix> {
         assert_eq!(mats.len(), self.len, "plan arity mismatch");
-        self.execute_range(mats, 0, self.len - 1)
+        self.execute_range(mats, 0, self.len - 1, 1)
+    }
+
+    /// Executes the plan with `threads` workers on every product whose
+    /// estimated flops clear the parallel threshold. The association
+    /// order is the plan's regardless of `threads`, and the parallel
+    /// kernel is bit-identical to the serial one, so the result equals
+    /// [`ChainPlan::execute`] exactly at every thread count.
+    pub fn execute_threaded(&self, mats: &[&CsrMatrix], threads: usize) -> Result<CsrMatrix> {
+        assert_eq!(mats.len(), self.len, "plan arity mismatch");
+        self.execute_range(mats, 0, self.len - 1, threads.max(1))
     }
 }
 
@@ -139,6 +180,23 @@ pub fn multiply_chain(mats: &[&CsrMatrix]) -> Result<CsrMatrix> {
     let densities: Vec<f64> = mats.iter().map(|m| m.density()).collect();
     let plan = ChainPlan::plan(&shapes, &densities)?;
     plan.execute(mats)
+}
+
+/// Multiplies a chain of matrices in the cost-model-optimal order, using
+/// `threads` workers on every product big enough (by the planner's flop
+/// estimate) to amortize the parallel kernel. Bit-identical to
+/// [`multiply_chain`] at every thread count.
+pub fn multiply_chain_threaded(mats: &[&CsrMatrix], threads: usize) -> Result<CsrMatrix> {
+    let _span = hetesim_obs::span!(
+        "sparse.chain.multiply",
+        len = mats.len(),
+        total_nnz = mats.iter().map(|m| m.nnz()).sum::<usize>(),
+        threads = threads,
+    );
+    let shapes: Vec<(usize, usize)> = mats.iter().map(|m| m.shape()).collect();
+    let densities: Vec<f64> = mats.iter().map(|m| m.density()).collect();
+    let plan = ChainPlan::plan(&shapes, &densities)?;
+    plan.execute_threaded(mats, threads)
 }
 
 /// Multiplies a chain strictly left-to-right (ablation baseline).
@@ -202,6 +260,18 @@ mod tests {
         let opt = multiply_chain(&[&a, &b, &c, &d]).unwrap();
         let naive = multiply_chain_left_to_right(&[&a, &b, &c, &d]).unwrap();
         assert!(opt.max_abs_diff(&naive).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn threaded_chain_matches_serial_exactly() {
+        let a = random_like(600, 400, 1);
+        let b = random_like(400, 500, 2);
+        let c = random_like(500, 300, 3);
+        let serial = multiply_chain(&[&a, &b, &c]).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = multiply_chain_threaded(&[&a, &b, &c], threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

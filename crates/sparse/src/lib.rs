@@ -19,8 +19,8 @@
 //! * [`chain`] — cost-model-driven ordering for chains of sparse products
 //!   (Section 4.6 of the paper materializes partial path products; picking a
 //!   good association order is the other half of that optimization),
-//! * [`parallel`] — row-blocked parallel SpGEMM on top of std scoped
-//!   threads.
+//! * [`parallel`] — two-phase (symbolic/numeric) parallel SpGEMM with
+//!   flop-balanced dynamic scheduling on top of std scoped threads.
 //!
 //! # Example
 //!

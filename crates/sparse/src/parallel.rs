@@ -1,71 +1,239 @@
-//! Row-blocked parallel SpGEMM on `std::thread` scoped threads.
+//! Two-phase (symbolic/numeric) parallel SpGEMM with flop-balanced
+//! dynamic scheduling on `std::thread` scoped threads.
 //!
-//! Full-matrix HeteSim on the synthetic ACM network multiplies matrices with
-//! tens of thousands of rows; the product decomposes perfectly by output
-//! row, so we split the row range into contiguous blocks, give each worker
-//! its own dense accumulator, and stitch the per-block CSR pieces back
-//! together. The serial kernel ([`CsrMatrix::matmul`]) remains the reference
-//! implementation; `matmul_parallel` must agree with it bit-for-bit up to
-//! floating-point associativity within a row (which is identical here, since
-//! each output row is computed by exactly one worker using the same loop).
+//! Full-matrix HeteSim on the synthetic ACM network multiplies matrices
+//! whose row work is wildly skewed: a handful of Zipfian star authors
+//! concentrate most of the multiply-adds in a few rows, so splitting the
+//! row range into equally-*sized* contiguous blocks (the previous kernel)
+//! leaves most workers idle while one grinds through the hot rows. This
+//! kernel instead:
+//!
+//! 1. counts the exact flops of every output row (`O(nnz(lhs))` from the
+//!    two indptr arrays, no value access),
+//! 2. runs a **symbolic** pass that computes each output row's nnz, over
+//!    chunks of near-equal *flops* claimed dynamically off an atomic
+//!    cursor,
+//! 3. prefix-sums the row nnz into the final `indptr` and allocates the
+//!    output `indices`/`values` exactly once, and
+//! 4. runs the **numeric** pass over the same flop-balanced chunks,
+//!    writing each row straight into its final slot — no per-block `Vec`
+//!    growth, no stitch-copy.
+//!
+//! The serial kernel ([`CsrMatrix::matmul`]) remains the reference
+//! implementation; `matmul_parallel` agrees with it bit-for-bit
+//! (indptr/indices/values), since each output row is computed by exactly
+//! one worker using the same accumulation loop in the same order.
+//!
+//! When metrics are enabled (`hetesim-obs`), the kernel records
+//! `sparse.parallel.symbolic` / `sparse.parallel.numeric` spans, a
+//! `sparse.parallel.worker_busy_us` histogram of per-worker busy time,
+//! and a `sparse.parallel.imbalance` gauge — max/mean per-worker busy
+//! time of the numeric pass in fixed-point thousandths (1000 = perfectly
+//! balanced), which the `spgemm_scaling` bench asserts stays near 1.
 
 use crate::{CsrMatrix, Result, SparseError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-/// Default number of worker threads: available parallelism capped at 8
-/// (beyond that, memory bandwidth dominates for these kernels).
+/// Environment variable overriding [`default_threads`]; `0` or unset
+/// means "auto" (one worker per available core).
+pub const THREADS_ENV: &str = "HETESIM_THREADS";
+
+/// Products below this many multiply-adds skip the symbolic pass and the
+/// thread pool entirely: at ~10⁵ flops the serial kernel finishes in well
+/// under a millisecond, which is the order of thread spawn + join cost.
+const PARALLEL_FLOP_THRESHOLD: u64 = 1 << 17;
+
+/// Chunks handed out per worker: enough oversubscription that the dynamic
+/// cursor can rebalance when chunk costs drift from the flop estimate,
+/// small enough that claim overhead stays negligible.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Default number of worker threads.
+///
+/// The `HETESIM_THREADS` environment variable overrides it (any positive
+/// integer; `0` or unparsable values fall back to auto-detection).
+/// Auto-detection uses the machine's available parallelism; the
+/// `spgemm_scaling` bench bin records the measured speedup curve to
+/// `BENCH_spgemm.json` — on the Zipfian ACM-scale product the curve keeps
+/// climbing to the core count, so no artificial cap is applied beyond the
+/// hardware's own.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(8)
 }
 
-/// Computes one block of output rows `[lo, hi)` of `lhs * rhs` as raw CSR
-/// pieces (local indptr is relative to the block).
-/// Raw CSR pieces of one row block: (block-relative indptr, indices, values).
-type CsrBlock = (Vec<usize>, Vec<u32>, Vec<f64>);
-
-fn block(lhs: &CsrMatrix, rhs: &CsrMatrix, lo: usize, hi: usize) -> CsrBlock {
-    let n = rhs.ncols();
-    let mut acc = vec![0f64; n];
-    let mut mark = vec![false; n];
-    let mut touched: Vec<u32> = Vec::new();
-    let mut indptr = Vec::with_capacity(hi - lo + 1);
-    indptr.push(0usize);
-    let mut indices: Vec<u32> = Vec::new();
-    let mut values: Vec<f64> = Vec::new();
-    for r in lo..hi {
-        touched.clear();
-        for (&k, &a) in lhs.row_indices(r).iter().zip(lhs.row_values(r)) {
-            let k = k as usize;
-            for (&c, &b) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
-                let ci = c as usize;
-                if !mark[ci] {
-                    mark[ci] = true;
-                    touched.push(c);
-                    acc[ci] = 0.0;
-                }
-                acc[ci] += a * b;
-            }
-        }
-        touched.sort_unstable();
-        for &c in &touched {
-            let v = acc[c as usize];
-            mark[c as usize] = false;
-            if v != 0.0 {
-                indices.push(c);
-                values.push(v);
-            }
-        }
-        indptr.push(indices.len());
+/// Exact multiply-add count of every output row of `lhs * rhs`, plus the
+/// total: `flops[r] = Σ_{k ∈ supp(lhs[r])} nnz(rhs[k])`. Reads only the
+/// two index structures, never the values.
+fn row_flops(lhs: &CsrMatrix, rhs: &CsrMatrix) -> (Vec<u64>, u64) {
+    let rhs_indptr = rhs.indptr();
+    let mut flops = vec![0u64; lhs.nrows()];
+    let mut total = 0u64;
+    for (r, f) in flops.iter_mut().enumerate() {
+        let row_total: u64 = lhs
+            .row_indices(r)
+            .iter()
+            .map(|&k| (rhs_indptr[k as usize + 1] - rhs_indptr[k as usize]) as u64)
+            .sum();
+        *f = row_total;
+        total += row_total;
     }
-    (indptr, indices, values)
+    (flops, total)
+}
+
+/// Splits `0..nrows` into contiguous chunks of near-equal total flops.
+/// A single row hotter than the per-chunk target becomes its own chunk,
+/// so one star row can never drag a cold neighbour along with it. With
+/// zero total flops (all-empty product) rows are split evenly instead.
+fn flop_chunks(flops: &[u64], total: u64, target_chunks: usize) -> Vec<(usize, usize)> {
+    let nrows = flops.len();
+    let target_chunks = target_chunks.clamp(1, nrows.max(1));
+    let mut chunks = Vec::with_capacity(target_chunks);
+    if total == 0 {
+        let step = nrows.div_ceil(target_chunks);
+        let mut lo = 0;
+        while lo < nrows {
+            let hi = (lo + step).min(nrows);
+            chunks.push((lo, hi));
+            lo = hi;
+        }
+        return chunks;
+    }
+    let per_chunk = (total / target_chunks as u64).max(1);
+    let mut lo = 0;
+    let mut acc = 0u64;
+    for (r, &f) in flops.iter().enumerate() {
+        acc += f;
+        if acc >= per_chunk {
+            chunks.push((lo, r + 1));
+            lo = r + 1;
+            acc = 0;
+        }
+    }
+    if lo < nrows {
+        chunks.push((lo, nrows));
+    }
+    chunks
+}
+
+/// Splits `data` into per-chunk mutable sub-slices along `boundaries`
+/// (indices into `data`, one `(lo, hi)` pair per chunk, contiguous and
+/// ascending). Wrapped in `Option` so dynamic workers can `take()` their
+/// claimed chunk out of the shared table.
+fn split_chunks<'a, T>(
+    mut data: &'a mut [T],
+    boundaries: impl Iterator<Item = (usize, usize)>,
+) -> Vec<Option<&'a mut [T]>> {
+    let mut out = Vec::new();
+    let mut consumed = 0;
+    for (lo, hi) in boundaries {
+        debug_assert_eq!(lo, consumed, "chunk boundaries must be contiguous");
+        let (head, tail) = data.split_at_mut(hi - lo);
+        out.push(Some(head));
+        data = tail;
+        consumed = hi;
+    }
+    out
+}
+
+/// Per-row distinct-column counter shared by the symbolic pass and
+/// [`symbolic_row_nnz`]. `mark` is a generation-stamped scratch array
+/// (`mark[c] == stamp` ⇔ column `c` seen for the current row), so it is
+/// cleared once per matrix, not once per row.
+fn symbolic_row(lhs: &CsrMatrix, rhs: &CsrMatrix, r: usize, mark: &mut [u64], stamp: u64) -> usize {
+    let mut count = 0usize;
+    for &k in lhs.row_indices(r) {
+        for &c in rhs.row_indices(k as usize) {
+            let ci = c as usize;
+            if mark[ci] != stamp {
+                mark[ci] = stamp;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Computes one output row into `acc`/`mark`/`touched` scratch and writes
+/// the surviving (non-zero) entries into `ind`/`val` starting at offset 0.
+/// Returns how many entries were written. The accumulation loop and the
+/// `v != 0.0` drop are byte-for-byte the serial kernel's, so the written
+/// prefix is identical to the corresponding serial output row.
+#[allow(clippy::too_many_arguments)]
+fn numeric_row(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    r: usize,
+    acc: &mut [f64],
+    mark: &mut [bool],
+    touched: &mut Vec<u32>,
+    ind: &mut [u32],
+    val: &mut [f64],
+) -> usize {
+    touched.clear();
+    for (&k, &a) in lhs.row_indices(r).iter().zip(lhs.row_values(r)) {
+        let k = k as usize;
+        for (&c, &b) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+            let ci = c as usize;
+            if !mark[ci] {
+                mark[ci] = true;
+                touched.push(c);
+                acc[ci] = 0.0;
+            }
+            acc[ci] += a * b;
+        }
+    }
+    touched.sort_unstable();
+    let mut written = 0usize;
+    for &c in touched.iter() {
+        let v = acc[c as usize];
+        mark[c as usize] = false;
+        if v != 0.0 {
+            ind[written] = c;
+            val[written] = v;
+            written += 1;
+        }
+    }
+    written
+}
+
+/// Distinct-column count of every output row of `lhs * rhs` — the result
+/// of the symbolic pass, exposed for tests and capacity planning.
+///
+/// This is exactly `nnz` of each row of the product *except* when exact
+/// floating-point cancellation zeroes an entry (the serial kernel drops
+/// such entries), in which case it is a per-row upper bound; the numeric
+/// pass detects that rare case and compacts the output.
+pub fn symbolic_row_nnz(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<Vec<usize>> {
+    if lhs.ncols() != rhs.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "symbolic spgemm",
+            left: lhs.shape(),
+            right: rhs.shape(),
+        });
+    }
+    let mut mark = vec![0u64; rhs.ncols()];
+    Ok((0..lhs.nrows())
+        .map(|r| symbolic_row(lhs, rhs, r, &mut mark, r as u64 + 1))
+        .collect())
 }
 
 /// Parallel sparse product `lhs * rhs` using `threads` workers.
 ///
-/// Falls back to the serial kernel when `threads <= 1` or the matrix is
-/// small enough that thread startup would dominate.
+/// Falls back to the serial kernel when `threads <= 1` or the product is
+/// small enough (by exact flop count) that thread startup would dominate.
+/// The output is bit-identical to [`CsrMatrix::matmul`] at every thread
+/// count.
 pub fn matmul_parallel(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Result<CsrMatrix> {
     if lhs.ncols() != rhs.nrows() {
         return Err(SparseError::DimensionMismatch {
@@ -74,59 +242,199 @@ pub fn matmul_parallel(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Resu
             right: rhs.shape(),
         });
     }
-    let nrows = lhs.nrows();
-    if threads <= 1 || nrows < 256 {
+    if threads <= 1 || lhs.nrows() == 0 {
         return lhs.matmul(rhs);
     }
+    let (flops, total_flops) = row_flops(lhs, rhs);
+    if total_flops < PARALLEL_FLOP_THRESHOLD {
+        return lhs.matmul(rhs);
+    }
+    two_phase(lhs, rhs, threads, flops, total_flops)
+}
+
+/// The two-phase kernel without the size fallback: always runs symbolic +
+/// numeric passes with `threads` workers (clamped to the row count), no
+/// matter how small the product. Benchmark/ablation/test entry point —
+/// production code should call [`matmul_parallel`], which skips the
+/// machinery when the serial kernel is already faster.
+pub fn matmul_two_phase(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Result<CsrMatrix> {
+    if lhs.ncols() != rhs.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "parallel spgemm",
+            left: lhs.shape(),
+            right: rhs.shape(),
+        });
+    }
+    if lhs.nrows() == 0 {
+        return lhs.matmul(rhs);
+    }
+    let (flops, total_flops) = row_flops(lhs, rhs);
+    two_phase(lhs, rhs, threads.max(1), flops, total_flops)
+}
+
+fn two_phase(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    threads: usize,
+    flops: Vec<u64>,
+    total_flops: u64,
+) -> Result<CsrMatrix> {
+    let nrows = lhs.nrows();
+    let ncols = rhs.ncols();
+    let threads = threads.min(nrows).max(1);
     let _span = hetesim_obs::span!(
         "sparse.parallel.matmul",
         rows = nrows,
         lhs_nnz = lhs.nnz(),
         rhs_nnz = rhs.nnz(),
-        threads = threads.min(nrows),
+        threads = threads,
+        flops = total_flops,
     );
-    let threads = threads.min(nrows);
-    let chunk = nrows.div_ceil(threads);
-    let mut pieces: Vec<Option<CsrBlock>> = Vec::new();
-    pieces.resize_with(threads, || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(nrows);
-            handles.push(scope.spawn(move || block(lhs, rhs, lo, hi)));
-        }
-        for (t, h) in handles.into_iter().enumerate() {
-            pieces[t] = Some(h.join().expect("spgemm worker panicked"));
-        }
-    });
+    let chunks = flop_chunks(&flops, total_flops, threads * CHUNKS_PER_THREAD);
+    let nchunks = chunks.len();
 
-    let total_nnz: usize = pieces
-        .iter()
-        .map(|p| p.as_ref().expect("piece filled").1.len())
-        .sum();
+    // --- Symbolic pass: per-row output nnz over flop-balanced chunks. ---
+    let mut row_nnz = vec![0usize; nrows];
+    {
+        let _sym = hetesim_obs::span("sparse.parallel.symbolic");
+        let slots = Mutex::new(split_chunks(&mut row_nnz, chunks.iter().copied()));
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let started = Instant::now();
+                    let mut mark = vec![0u64; ncols];
+                    let mut stamp = 0u64;
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            break;
+                        }
+                        let out = slots.lock().unwrap()[c].take().expect("chunk claimed once");
+                        let (lo, _hi) = chunks[c];
+                        for (i, slot) in out.iter_mut().enumerate() {
+                            stamp += 1;
+                            *slot = symbolic_row(lhs, rhs, lo + i, &mut mark, stamp);
+                        }
+                    }
+                    hetesim_obs::record(
+                        "sparse.parallel.worker_busy_us",
+                        started.elapsed().as_micros() as u64,
+                    );
+                });
+            }
+        });
+    }
+
+    // --- Exact allocation: prefix-sum the counts into the final indptr. ---
     let mut indptr = Vec::with_capacity(nrows + 1);
     indptr.push(0usize);
-    let mut indices = Vec::with_capacity(total_nnz);
-    let mut values = Vec::with_capacity(total_nnz);
-    for piece in pieces {
-        let (p_indptr, p_indices, p_values) = piece.expect("piece filled");
-        let base = indices.len();
-        // Skip the leading 0 of each block-relative indptr.
-        for &off in &p_indptr[1..] {
-            indptr.push(base + off);
-        }
-        indices.extend_from_slice(&p_indices);
-        values.extend_from_slice(&p_values);
+    let mut running = 0usize;
+    for &n in &row_nnz {
+        running += n;
+        indptr.push(running);
     }
-    hetesim_obs::add("sparse.parallel.matmul.out_nnz", total_nnz as u64);
-    Ok(CsrMatrix::from_raw(
-        nrows,
-        rhs.ncols(),
-        indptr,
-        indices,
-        values,
-    ))
+    let symbolic_nnz = running;
+    let mut indices = vec![0u32; symbolic_nnz];
+    let mut values = vec![0f64; symbolic_nnz];
+
+    // --- Numeric pass: same chunks, rows written straight into place. ---
+    // `actual` records how many entries each row really produced; it can
+    // fall short of the symbolic count only under exact cancellation.
+    let mut actual = vec![0usize; nrows];
+    let mut busy: Vec<Duration> = Vec::new();
+    {
+        let _num = hetesim_obs::span("sparse.parallel.numeric");
+        let entry_bounds = chunks.iter().map(|&(lo, hi)| (indptr[lo], indptr[hi]));
+        let ind_slots = Mutex::new(split_chunks(&mut indices, entry_bounds.clone()));
+        let val_slots = Mutex::new(split_chunks(&mut values, entry_bounds));
+        let act_slots = Mutex::new(split_chunks(&mut actual, chunks.iter().copied()));
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                handles.push(scope.spawn(|| {
+                    let started = Instant::now();
+                    let mut acc = vec![0f64; ncols];
+                    let mut mark = vec![false; ncols];
+                    let mut touched: Vec<u32> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            break;
+                        }
+                        let ind = ind_slots.lock().unwrap()[c].take().expect("claimed once");
+                        let val = val_slots.lock().unwrap()[c].take().expect("claimed once");
+                        let act = act_slots.lock().unwrap()[c].take().expect("claimed once");
+                        let (lo, hi) = chunks[c];
+                        let base = indptr[lo];
+                        for (i, r) in (lo..hi).enumerate() {
+                            let (s, e) = (indptr[r] - base, indptr[r + 1] - base);
+                            act[i] = numeric_row(
+                                lhs,
+                                rhs,
+                                r,
+                                &mut acc,
+                                &mut mark,
+                                &mut touched,
+                                &mut ind[s..e],
+                                &mut val[s..e],
+                            );
+                        }
+                    }
+                    started.elapsed()
+                }));
+            }
+            for h in handles {
+                busy.push(h.join().expect("spgemm worker panicked"));
+            }
+        });
+    }
+    record_balance(&busy);
+
+    let actual_nnz: usize = actual.iter().sum();
+    if actual_nnz != symbolic_nnz {
+        // Rare: exact cancellation dropped entries the symbolic pass
+        // counted. Compact rows left-to-right and rebuild indptr.
+        let mut write = 0usize;
+        let mut compact_indptr = Vec::with_capacity(nrows + 1);
+        compact_indptr.push(0usize);
+        for r in 0..nrows {
+            let start = indptr[r];
+            indices.copy_within(start..start + actual[r], write);
+            values.copy_within(start..start + actual[r], write);
+            write += actual[r];
+            compact_indptr.push(write);
+        }
+        indices.truncate(write);
+        values.truncate(write);
+        indptr = compact_indptr;
+    }
+    hetesim_obs::add("sparse.parallel.matmul.out_nnz", actual_nnz as u64);
+    Ok(CsrMatrix::from_raw(nrows, ncols, indptr, indices, values))
+}
+
+/// Publishes per-worker busy times of the numeric pass and the
+/// `sparse.parallel.imbalance` gauge: `max(busy) / mean(busy)` in
+/// fixed-point thousandths (1000 ⇔ perfectly balanced). With the old
+/// contiguous row blocks this ratio was unbounded on Zipfian-skewed
+/// inputs; flop-balanced chunks keep it near 1.
+fn record_balance(busy: &[Duration]) {
+    if busy.is_empty() || !hetesim_obs::is_enabled() {
+        return;
+    }
+    let mut max = Duration::ZERO;
+    let mut sum = Duration::ZERO;
+    for &b in busy {
+        hetesim_obs::record("sparse.parallel.worker_busy_us", b.as_micros() as u64);
+        max = max.max(b);
+        sum += b;
+    }
+    let mean = sum.as_secs_f64() / busy.len() as f64;
+    if mean > 0.0 {
+        let ratio = max.as_secs_f64() / mean;
+        hetesim_obs::set("sparse.parallel.imbalance", (ratio * 1000.0) as u64);
+    }
 }
 
 #[cfg(test)]
@@ -148,14 +456,53 @@ mod tests {
         coo.to_csr()
     }
 
+    /// One extremely hot row plus a cold tail — the Zipfian shape that
+    /// defeats contiguous row blocks.
+    fn skewed(nrows: usize, ncols: usize, hot_nnz: usize, seed: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        let mut x = seed.wrapping_mul(0x9e3779b9).wrapping_add(7);
+        for _ in 0..hot_nnz {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            coo.push(0, (x >> 33) % ncols, (((x >> 17) % 5) + 1) as f64);
+        }
+        for r in 1..nrows {
+            if r % 3 == 0 {
+                continue; // leave empty rows in the cold tail
+            }
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            coo.push(r, (x >> 33) % ncols, 1.0);
+        }
+        coo.to_csr()
+    }
+
     #[test]
     fn parallel_matches_serial_large() {
         let a = pseudo_random(700, 300, 4, 7);
         let b = pseudo_random(300, 500, 4, 11);
         let serial = a.matmul(&b).unwrap();
         for threads in [2, 3, 8] {
-            let par = matmul_parallel(&a, &b, threads).unwrap();
+            let par = matmul_two_phase(&a, &b, threads).unwrap();
             assert_eq!(par, serial, "threads={threads}");
+            let auto = matmul_parallel(&a, &b, threads).unwrap();
+            assert_eq!(auto, serial, "threads={threads} (auto)");
+        }
+    }
+
+    #[test]
+    fn skewed_rows_match_serial() {
+        let a = skewed(400, 200, 3000, 13);
+        let b = pseudo_random(200, 300, 5, 17);
+        let serial = a.matmul(&b).unwrap();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                matmul_two_phase(&a, &b, threads).unwrap(),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 
@@ -164,6 +511,7 @@ mod tests {
         let a = pseudo_random(10, 10, 2, 1);
         let b = pseudo_random(10, 10, 2, 2);
         assert_eq!(matmul_parallel(&a, &b, 4).unwrap(), a.matmul(&b).unwrap());
+        assert_eq!(matmul_two_phase(&a, &b, 4).unwrap(), a.matmul(&b).unwrap());
     }
 
     #[test]
@@ -171,6 +519,8 @@ mod tests {
         let a = pseudo_random(10, 10, 2, 1);
         let b = pseudo_random(11, 10, 2, 2);
         assert!(matmul_parallel(&a, &b, 4).is_err());
+        assert!(matmul_two_phase(&a, &b, 4).is_err());
+        assert!(symbolic_row_nnz(&a, &b).is_err());
     }
 
     #[test]
@@ -182,7 +532,84 @@ mod tests {
     fn more_threads_than_rows() {
         let a = pseudo_random(300, 50, 3, 5);
         let b = pseudo_random(50, 40, 3, 6);
-        let par = matmul_parallel(&a, &b, 512).unwrap();
-        assert_eq!(par, a.matmul(&b).unwrap());
+        let serial = a.matmul(&b).unwrap();
+        assert_eq!(matmul_parallel(&a, &b, 512).unwrap(), serial);
+        assert_eq!(matmul_two_phase(&a, &b, 512).unwrap(), serial);
+    }
+
+    #[test]
+    fn symbolic_counts_match_product_rows() {
+        let a = skewed(120, 80, 500, 3);
+        let b = pseudo_random(80, 90, 4, 9);
+        let counts = symbolic_row_nnz(&a, &b).unwrap();
+        let product = a.matmul(&b).unwrap();
+        let got: Vec<usize> = (0..product.nrows()).map(|r| product.row_nnz(r)).collect();
+        assert_eq!(counts, got);
+    }
+
+    #[test]
+    fn exact_cancellation_is_compacted() {
+        // Row 0 of a*b cancels exactly: (1)(1) + (1)(-1) = 0. The symbolic
+        // pass counts the column; the numeric pass must drop it and still
+        // agree with the serial kernel bit-for-bit.
+        let mut a = CooMatrix::new(300, 2);
+        a.push(0, 0, 1.0);
+        a.push(0, 1, 1.0);
+        for r in 1..300 {
+            a.push(r, r % 2, 1.0);
+        }
+        let mut b = CooMatrix::new(2, 4);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, -1.0);
+        b.push(0, 1, 2.0);
+        b.push(1, 2, 3.0);
+        let (a, b) = (a.to_csr(), b.to_csr());
+        let serial = a.matmul(&b).unwrap();
+        for threads in [2, 4] {
+            assert_eq!(matmul_two_phase(&a, &b, threads).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn all_empty_rows_product() {
+        let a = CsrMatrix::zeros(400, 100);
+        let b = pseudo_random(100, 50, 3, 4);
+        let serial = a.matmul(&b).unwrap();
+        assert_eq!(matmul_two_phase(&a, &b, 4).unwrap(), serial);
+        assert_eq!(symbolic_row_nnz(&a, &b).unwrap(), vec![0usize; 400]);
+    }
+
+    #[test]
+    fn flop_chunks_isolate_hot_rows() {
+        // One row with 10× the total budget must not absorb neighbours.
+        let flops = vec![1u64, 1000, 1, 1, 1, 1];
+        let total: u64 = flops.iter().sum();
+        let chunks = flop_chunks(&flops, total, 4);
+        assert!(chunks
+            .iter()
+            .any(|&(lo, hi)| (lo, hi) == (0, 2) || (lo, hi) == (1, 2)));
+        // Chunks tile the row range exactly.
+        let mut expect = 0;
+        for &(lo, hi) in &chunks {
+            assert_eq!(lo, expect);
+            assert!(hi > lo);
+            expect = hi;
+        }
+        assert_eq!(expect, flops.len());
+    }
+
+    #[test]
+    fn threads_env_override_wins() {
+        // Serialize with other tests touching the env: this test is the
+        // only one in this crate that sets it.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        let auto = default_threads();
+        assert!(auto >= 1);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert_eq!(default_threads(), auto);
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(default_threads(), auto);
     }
 }

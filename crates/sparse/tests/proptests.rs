@@ -38,6 +38,75 @@ fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
     })
 }
 
+/// A pair of compatible matrices where the left factor is Zipf-like
+/// skewed: one hot row owns most of the entries (possibly all of them),
+/// the tail rows hold at most one entry each, and some rows are empty —
+/// the load-balance worst case for a row-partitioned SpGEMM.
+fn arb_skewed_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (2..=24usize, 1..=12usize, 1..=12usize, 0..=24usize).prop_flat_map(|(m, k, n, hot)| {
+        let a = (
+            proptest::collection::vec((0..k, 1u8..=9), 0..=60), // hot row entries
+            // Tail entries: value 0 means "row stays empty".
+            proptest::collection::vec((0..k, 0u8..=9), 0..=12),
+        )
+            .prop_map(move |(hot_entries, tail)| {
+                let mut coo = CooMatrix::new(m, k);
+                let hot_row = hot % m;
+                for (j, v) in hot_entries {
+                    coo.push(hot_row, j, v as f64);
+                }
+                for (r, (j, v)) in tail.into_iter().enumerate() {
+                    if v > 0 {
+                        coo.push((r + 1) % m, j, v as f64);
+                    }
+                }
+                coo.to_csr()
+            });
+        let b = proptest::collection::vec((0..k, 0..n, 1u8..=9), 0..=30).prop_map(move |triples| {
+            let mut coo = CooMatrix::new(k, n);
+            for (i, j, v) in triples {
+                coo.push(i, j, v as f64);
+            }
+            coo.to_csr()
+        });
+        (a, b)
+    })
+}
+
+/// A pair where the left factor has no stored entries at all.
+fn arb_empty_lhs_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (1..=24usize, 1..=12usize, 1..=12usize).prop_flat_map(|(m, k, n)| {
+        let a = Just(CsrMatrix::zeros(m, k));
+        let b = proptest::collection::vec((0..k, 0..n, 1u8..=9), 0..=30).prop_map(move |triples| {
+            let mut coo = CooMatrix::new(k, n);
+            for (i, j, v) in triples {
+                coo.push(i, j, v as f64);
+            }
+            coo.to_csr()
+        });
+        (a, b)
+    })
+}
+
+/// Per-row bit-for-bit equality of the two-phase kernel against serial at
+/// 1, 2, 4 and 7 threads (including `threads > nrows`), plus exactness of
+/// the symbolic nnz counts.
+fn assert_two_phase_agrees(a: &CsrMatrix, b: &CsrMatrix) -> std::result::Result<(), TestCaseError> {
+    let serial = a.matmul(b).unwrap();
+    for threads in [1usize, 2, 4, 7] {
+        let par = parallel::matmul_two_phase(a, b, threads).unwrap();
+        // Whole-matrix equality is exactly per-row equality of
+        // (indptr, indices, values); CsrMatrix::eq compares all three.
+        prop_assert_eq!(&par, &serial, "threads={}", threads);
+        let auto = parallel::matmul_parallel(a, b, threads).unwrap();
+        prop_assert_eq!(&auto, &serial, "threads={} (auto)", threads);
+    }
+    let counts = parallel::symbolic_row_nnz(a, b).unwrap();
+    let actual: Vec<usize> = (0..serial.nrows()).map(|r| serial.row_nnz(r)).collect();
+    prop_assert_eq!(counts, actual);
+    Ok(())
+}
+
 proptest! {
     #[test]
     fn transpose_is_involution(m in arb_matrix(15, 40)) {
@@ -69,6 +138,21 @@ proptest! {
         let serial = a.matmul(&b).unwrap();
         let par = parallel::matmul_parallel(&a, &b, 4).unwrap();
         prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn two_phase_matches_serial_bitwise((a, b) in arb_pair()) {
+        assert_two_phase_agrees(&a, &b)?;
+    }
+
+    #[test]
+    fn two_phase_matches_serial_on_skew((a, b) in arb_skewed_pair()) {
+        assert_two_phase_agrees(&a, &b)?;
+    }
+
+    #[test]
+    fn two_phase_matches_serial_on_all_empty_rows((a, b) in arb_empty_lhs_pair()) {
+        assert_two_phase_agrees(&a, &b)?;
     }
 
     #[test]
