@@ -1,0 +1,281 @@
+//! Closed-loop load test of the `hetesim-serve` query server.
+//!
+//! ```text
+//! serve-load [--scale tiny|default|paper] [--clients N] [--requests N]
+//!            [--workers N] [--queue-depth N] [--deadline-ms MS]
+//!            [--cache-budget-bytes N] [--out FILE]
+//! ```
+//!
+//! Boots the real server (ephemeral port, in-process) on an ACM-like
+//! network, then drives it with `--clients` concurrent closed-loop
+//! clients, each issuing `--requests` `POST /query` calls that rotate
+//! over several meta-paths and source authors. Because the clients are
+//! closed-loop (next request only after the previous answer), offered
+//! load tracks server capacity; crank `--clients` up against a small
+//! `--queue-depth` to exercise the shedding path, or set a tight
+//! `--deadline-ms` to exercise timeouts.
+//!
+//! Writes `BENCH_serve.json` (or `--out`) with p50/p95/p99 latency over
+//! the successful requests, aggregate throughput, the shed / timeout
+//! rates, and the engine's path-cache hit rate — the run-level view of
+//! the same counters `GET /metrics` exposes per process.
+
+use hetesim_bench::datasets::{acm_dataset, Scale};
+use hetesim_core::HeteSimEngine;
+use hetesim_serve::{client, App, ServeConfig, Server};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Every client rotates over these relevance paths, so the path cache
+/// sees a mixed workload rather than one hot entry.
+const PATHS: [&str; 3] = ["APA", "APV", "APVC"];
+
+struct Args {
+    scale: Scale,
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    queue_depth: usize,
+    deadline_ms: u64,
+    cache_budget_bytes: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        scale: Scale::Tiny,
+        clients: 8,
+        requests: 50,
+        workers: 0,
+        queue_depth: 64,
+        deadline_ms: 0,
+        cache_budget_bytes: 0,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--scale" => {
+                let v = value("--scale")?;
+                parsed.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+            }
+            "--clients" => parsed.clients = parse_num(&value("--clients")?, "--clients")?,
+            "--requests" => parsed.requests = parse_num(&value("--requests")?, "--requests")?,
+            "--workers" => parsed.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue-depth" => {
+                parsed.queue_depth = parse_num(&value("--queue-depth")?, "--queue-depth")?
+            }
+            "--deadline-ms" => {
+                parsed.deadline_ms = parse_num(&value("--deadline-ms")?, "--deadline-ms")? as u64
+            }
+            "--cache-budget-bytes" => {
+                parsed.cache_budget_bytes =
+                    parse_num(&value("--cache-budget-bytes")?, "--cache-budget-bytes")? as u64
+            }
+            "--out" => parsed.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: serve-load [--scale tiny|default|paper] [--clients N] \
+                     [--requests N] [--workers N] [--queue-depth N] [--deadline-ms MS] \
+                     [--cache-budget-bytes N] [--out FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    parsed.clients = parsed.clients.max(1);
+    parsed.requests = parsed.requests.max(1);
+    Ok(parsed)
+}
+
+fn parse_num(v: &str, name: &str) -> Result<usize, String> {
+    v.parse()
+        .map_err(|_| format!("{name} expects an integer, got {v:?}"))
+}
+
+/// The current `core.cache.evictions` counter, or 0 if never recorded.
+fn evictions_counter() -> u64 {
+    hetesim_obs::snapshot()
+        .counters
+        .iter()
+        .find(|c| c.name == "core.cache.evictions")
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
+/// The `q`-th quantile of an already-sorted latency sample (nearest rank).
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[rank] as f64 / 1000.0
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    hetesim_obs::enable();
+
+    eprintln!("generating ACM-like network ({:?})...", args.scale);
+    let acm = acm_dataset(args.scale);
+    let hin = &acm.hin;
+    let authors = hin.schema().type_id("author").expect("author type");
+    let n_authors = hin.node_count(authors);
+
+    let engine = HeteSimEngine::new(hin).with_cache_budget(args.cache_budget_bytes);
+    let app = App::new(hin, engine);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        deadline_ms: args.deadline_ms,
+    };
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    let handle = server.handle();
+    eprintln!(
+        "serving on {addr}: {} clients x {} requests over {} paths, {} sources",
+        args.clients,
+        args.requests,
+        PATHS.len(),
+        n_authors
+    );
+
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let (mut latencies_us, elapsed): (Vec<u64>, Duration) = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&app));
+        let clients: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let (ok, shed, timeouts, failures) = (&ok, &shed, &timeouts, &failures);
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(args.requests);
+                    for i in 0..args.requests {
+                        let path = PATHS[(c + i) % PATHS.len()];
+                        let source = (c * 131 + i * 17) % n_authors;
+                        let body = format!("{{\"path\":\"{path}\",\"source\":{source},\"k\":10}}");
+                        let t = Instant::now();
+                        match client::post_json(addr, "/query", &body) {
+                            Ok(r) => match r.status {
+                                200 => {
+                                    lats.push(t.elapsed().as_micros() as u64);
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                }
+                                503 => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                504 => {
+                                    timeouts.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            },
+                            Err(_) => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for client in clients {
+            all.extend(client.join().expect("client thread"));
+        }
+        let elapsed = t0.elapsed();
+        handle.shutdown();
+        serving.join().expect("server thread").expect("clean exit");
+        (all, elapsed)
+    });
+    latencies_us.sort_unstable();
+
+    let total = (args.clients * args.requests) as u64;
+    let ok = ok.into_inner();
+    let shed = shed.into_inner();
+    let timeouts = timeouts.into_inner();
+    let failures = failures.into_inner();
+    let stats = app.engine().cache_stats();
+    let throughput = ok as f64 / elapsed.as_secs_f64();
+    let (p50, p95, p99) = (
+        percentile(&latencies_us, 0.50),
+        percentile(&latencies_us, 0.95),
+        percentile(&latencies_us, 0.99),
+    );
+    eprintln!(
+        "done in {:.2}s: {ok} ok, {shed} shed, {timeouts} timed out, {failures} failed",
+        elapsed.as_secs_f64()
+    );
+    eprintln!(
+        "latency p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms; {throughput:.1} req/s; \
+         cache hit rate {:.3}",
+        stats.hit_rate()
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve_load\",\n");
+    json.push_str(&format!("  \"scale\": \"{:?}\",\n", args.scale).to_lowercase());
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"config\": {{\"clients\": {}, \"requests_per_client\": {}, \"workers\": {}, \
+         \"queue_depth\": {}, \"deadline_ms\": {}, \"cache_budget_bytes\": {}}},\n",
+        args.clients,
+        args.requests,
+        args.workers,
+        args.queue_depth,
+        args.deadline_ms,
+        args.cache_budget_bytes
+    ));
+    json.push_str(&format!(
+        "  \"requests\": {{\"total\": {total}, \"ok\": {ok}, \"shed\": {shed}, \
+         \"timeouts\": {timeouts}, \"failures\": {failures}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}},\n"
+    ));
+    json.push_str(&format!("  \"throughput_rps\": {throughput:.1},\n"));
+    json.push_str(&format!(
+        "  \"shed_rate\": {:.4},\n",
+        shed as f64 / total as f64
+    ));
+    json.push_str(&format!(
+        "  \"cache\": {{\"hit_rate\": {:.4}, \"entries\": {}, \"resident_bytes\": {}, \
+         \"evictions\": {}}}\n",
+        stats.hit_rate(),
+        stats.entries,
+        stats.bytes,
+        evictions_counter()
+    ));
+    json.push_str("}\n");
+    match std::fs::write(&args.out, &json) {
+        Ok(()) => eprintln!("wrote {}", args.out),
+        Err(e) => {
+            eprintln!("error: cannot write {:?}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,9 @@
 //! hetesim-cli top-k   DIR --path APVC --source NAME [--k 10] [--repeat N]
 //! hetesim-cli pair    DIR --path APVC --source NAME --target NAME [--explain K]
 //! hetesim-cli join    DIR --path APA [--k 10]
+//! hetesim-cli serve   DIR [--addr HOST:PORT] [--workers N] [--deadline-ms MS]
+//!                         [--queue-depth N] [--cache-budget-bytes N]
+//!                         [--warmup-paths FILE]
 //! hetesim-cli help
 //! ```
 //!
@@ -58,6 +61,17 @@ commands:
       Score one object pair; --explain K lists the K biggest meeting points.
   join DIR --path APA [--k 10]
       The k most relevant object pairs across the whole matrix.
+  serve DIR [--addr 127.0.0.1:7878] [--workers 0] [--deadline-ms 0]
+            [--queue-depth 64] [--cache-budget-bytes 0] [--warmup-paths FILE]
+      Serve relevance queries over HTTP (GET /healthz, GET /metrics,
+      POST /query, POST /pair, POST /warmup — see docs/API.md).
+      --workers 0 = auto; --deadline-ms 0 = no per-request deadline;
+      --queue-depth bounds waiting connections (overload answers 503 +
+      Retry-After); --cache-budget-bytes 0 = unlimited path cache, else
+      least-recently-used entries are evicted to stay under the budget;
+      --warmup-paths FILE pre-materializes one meta-path per line
+      ('#' comments allowed). Ctrl-C shuts down gracefully, draining
+      in-flight requests.
   help
       This text.
 
@@ -305,6 +319,51 @@ fn cmd_join(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(p: &Parsed) -> Result<(), String> {
+    use hetesim_serve::{App, ServeConfig, Server};
+    let hin = load(p.one_positional("network directory")?)?;
+    let budget = p.get_u64("cache-budget-bytes", 0)?;
+    let engine = engine_with_threads(p, &hin)?.with_cache_budget(budget);
+    let app = App::new(&hin, engine);
+    // `GET /metrics` serves the observability snapshot, so recording must
+    // be on for the whole server lifetime, not only under `--metrics`.
+    hetesim_obs::enable();
+    if let Some(file) = p.flags.get("warmup-paths") {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read warmup paths from {file:?}: {e}"))?;
+        let specs: Vec<String> = text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        eprintln!("warmup: {}", app.warm_paths(&specs));
+    }
+    let config = ServeConfig {
+        addr: p.get_or("addr", "127.0.0.1:7878").to_string(),
+        workers: p.get_usize("workers", 0)?,
+        queue_depth: p.get_usize("queue-depth", 64)?,
+        deadline_ms: p.get_u64("deadline-ms", 0)?,
+    };
+    let server =
+        Server::bind(&config).map_err(|e| format!("cannot bind {:?}: {e}", config.addr))?;
+    hetesim_serve::install_ctrl_c();
+    let deadline = match config.deadline_ms {
+        0 => "none".to_string(),
+        ms => format!("{ms} ms"),
+    };
+    let workers = match config.workers {
+        0 => "auto".to_string(),
+        n => n.to_string(),
+    };
+    eprintln!(
+        "serving on http://{} (workers: {workers}, queue depth: {}, deadline: {deadline}) — ctrl-c to stop",
+        server.local_addr(),
+        config.queue_depth,
+    );
+    server.run(&app).map_err(|e| e.to_string())
+}
+
 /// Whether this invocation asked for metrics; enables recording if so.
 fn metrics_requested(p: &Parsed) -> bool {
     p.has("metrics") || p.has("metrics-out")
@@ -361,6 +420,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "query" | "top-k" => "cli.query",
             "pair" => "cli.pair",
             "join" => "cli.join",
+            "serve" => "cli.serve",
             _ => "cli.unknown",
         });
         match command {
@@ -370,6 +430,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "query" | "top-k" => cmd_query(&parsed),
             "pair" => cmd_pair(&parsed),
             "join" => cmd_join(&parsed),
+            "serve" => cmd_serve(&parsed),
             other => Err(format!("unknown command {other:?}; try `hetesim-cli help`")),
         }
     };

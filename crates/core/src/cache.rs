@@ -38,7 +38,29 @@ impl Halves {
     }
 }
 
-/// A concurrent memo table from path cache keys to materialized halves.
+/// A cached value plus the bookkeeping the byte-budgeted eviction policy
+/// needs: its residency and the logical clock of its last access.
+#[derive(Debug)]
+struct Entry<T> {
+    value: Arc<T>,
+    bytes: u64,
+    /// Logical access time (ticks of the cache-wide counter). Updated on
+    /// every hit under the read lock, which is why it is atomic.
+    last_used: AtomicU64,
+}
+
+impl<T> Entry<T> {
+    fn new(value: Arc<T>, bytes: u64, tick: u64) -> Self {
+        Entry {
+            value,
+            bytes,
+            last_used: AtomicU64::new(tick),
+        }
+    }
+}
+
+/// A concurrent memo table from path cache keys to materialized halves,
+/// with an optional byte budget enforced by least-recently-used eviction.
 ///
 /// Shared by reference inside [`crate::HeteSimEngine`]; a read-mostly
 /// `RwLock` keeps concurrent access cheap, matching the "frequently-used
@@ -46,23 +68,126 @@ impl Halves {
 /// usage pattern the paper describes. Lookups are mirrored into the
 /// `core.cache.prefix_cache.*` observability counters when metrics are
 /// enabled.
+///
+/// # Byte budget
+///
+/// [`PathCache::set_budget_bytes`] caps the approximate resident bytes of
+/// everything cached (half-path products and step-prefix products
+/// together). When an insert pushes residency past the cap, entries are
+/// evicted least-recently-used first — across both kinds of entry — until
+/// the cache fits again; each eviction increments the
+/// `core.cache.evictions` counter and the current residency is published
+/// as the `core.cache.resident_bytes` gauge. A value whose own footprint
+/// exceeds the whole budget is returned to the caller but never cached, so
+/// resident bytes never exceed the budget. Evicting an entry only drops
+/// the cache's reference: outstanding [`Arc`]s returned from earlier
+/// lookups keep their data alive until released, and a later lookup of an
+/// evicted key simply rebuilds it.
 #[derive(Debug, Default)]
 pub struct PathCache {
-    inner: RwLock<HashMap<String, Arc<Halves>>>,
+    inner: RwLock<HashMap<String, Entry<Halves>>>,
     /// Materialized products of step *prefixes* (Section 4.6,
     /// optimization 2): `C-P-A` is computed once and reused by `C-P-A-P-A`,
     /// `C-P-A-P-C`, … when prefix reuse is enabled on the engine.
-    partial: RwLock<HashMap<String, Arc<CsrMatrix>>>,
+    partial: RwLock<HashMap<String, Entry<CsrMatrix>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Approximate resident bytes of everything cached.
     bytes: AtomicU64,
+    /// Byte budget; `0` means unlimited.
+    budget: AtomicU64,
+    /// Entries evicted to stay under the budget (does not count
+    /// [`PathCache::clear`]).
+    evictions: AtomicU64,
+    /// Logical clock driving LRU ordering.
+    tick: AtomicU64,
 }
 
 impl PathCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         PathCache::default()
+    }
+
+    /// An empty cache that evicts least-recently-used entries once
+    /// resident bytes would exceed `budget_bytes` (`0` = unlimited).
+    pub fn with_budget_bytes(budget_bytes: u64) -> Self {
+        let cache = PathCache::default();
+        cache.budget.store(budget_bytes, Ordering::Relaxed);
+        cache
+    }
+
+    /// Sets the byte budget (`0` = unlimited). Shrinking the budget below
+    /// current residency evicts immediately.
+    pub fn set_budget_bytes(&self, budget_bytes: u64) {
+        self.budget.store(budget_bytes, Ordering::Relaxed);
+        let mut inner = self.inner.write().unwrap();
+        let mut partial = self.partial.write().unwrap();
+        self.evict_locked(&mut inner, &mut partial);
+    }
+
+    /// The configured byte budget (`0` = unlimited).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes currently held by the cache.
+    pub fn resident_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted so far to stay under the budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Evicts least-recently-used entries (across both maps) until
+    /// residency fits the budget again. Caller holds both write locks.
+    fn evict_locked(
+        &self,
+        inner: &mut HashMap<String, Entry<Halves>>,
+        partial: &mut HashMap<String, Entry<CsrMatrix>>,
+    ) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        while self.bytes.load(Ordering::Relaxed) > budget {
+            // LRU scan: entry counts are small (one per distinct path or
+            // prefix), so a linear pass beats maintaining an ordered
+            // structure under the read-mostly lock.
+            let oldest_half = inner
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, e)| (k.clone(), e.last_used.load(Ordering::Relaxed)));
+            let oldest_prefix = partial
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, e)| (k.clone(), e.last_used.load(Ordering::Relaxed)));
+            let freed = match (oldest_half, oldest_prefix) {
+                (Some((hk, ht)), Some((_, pt))) if ht <= pt => inner.remove(&hk).map(|e| e.bytes),
+                (Some(_), Some((pk, _))) => partial.remove(&pk).map(|e| e.bytes),
+                (Some((hk, _)), None) => inner.remove(&hk).map(|e| e.bytes),
+                (None, Some((pk, _))) => partial.remove(&pk).map(|e| e.bytes),
+                (None, None) => None,
+            };
+            match freed {
+                Some(bytes) => {
+                    self.bytes.fetch_sub(bytes, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    hetesim_obs::add("core.cache.evictions", 1);
+                }
+                None => break,
+            }
+        }
+        hetesim_obs::set(
+            "core.cache.resident_bytes",
+            self.bytes.load(Ordering::Relaxed),
+        );
     }
 
     /// Fetches the halves for `key`, or builds and inserts them.
@@ -70,22 +195,32 @@ impl PathCache {
     where
         F: FnOnce() -> Result<Halves, E>,
     {
-        if let Some(h) = self.inner.read().unwrap().get(key) {
+        if let Some(e) = self.inner.read().unwrap().get(key) {
+            e.last_used.store(self.next_tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             hetesim_obs::add("core.cache.prefix_cache.hits", 1);
-            return Ok(Arc::clone(h));
+            return Ok(Arc::clone(&e.value));
         }
         // Build outside the lock; a racing duplicate build is acceptable
         // (both produce identical data, last insert wins).
         let built = Arc::new(build()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         hetesim_obs::add("core.cache.prefix_cache.misses", 1);
-        self.bytes
-            .fetch_add(built.mem_bytes() as u64, Ordering::Relaxed);
-        self.inner
-            .write()
-            .unwrap()
-            .insert(key.to_string(), Arc::clone(&built));
+        let bytes = built.mem_bytes() as u64;
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget != 0 && bytes > budget {
+            // Larger than the whole budget: hand it to the caller uncached
+            // so residency never exceeds the cap.
+            return Ok(built);
+        }
+        let entry = Entry::new(Arc::clone(&built), bytes, self.next_tick());
+        let mut inner = self.inner.write().unwrap();
+        let mut partial = self.partial.write().unwrap();
+        if let Some(old) = inner.insert(key.to_string(), entry) {
+            self.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.evict_locked(&mut inner, &mut partial);
         Ok(built)
     }
 
@@ -97,18 +232,26 @@ impl PathCache {
     where
         F: FnOnce() -> Result<CsrMatrix, E>,
     {
-        if let Some(m) = self.partial.read().unwrap().get(key) {
+        if let Some(e) = self.partial.read().unwrap().get(key) {
+            e.last_used.store(self.next_tick(), Ordering::Relaxed);
             hetesim_obs::add("core.cache.prefix.hits", 1);
-            return Ok(Arc::clone(m));
+            return Ok(Arc::clone(&e.value));
         }
         let built = Arc::new(build()?);
         hetesim_obs::add("core.cache.prefix.misses", 1);
-        self.bytes
-            .fetch_add(built.mem_bytes() as u64, Ordering::Relaxed);
-        self.partial
-            .write()
-            .unwrap()
-            .insert(key.to_string(), Arc::clone(&built));
+        let bytes = built.mem_bytes() as u64;
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget != 0 && bytes > budget {
+            return Ok(built);
+        }
+        let entry = Entry::new(Arc::clone(&built), bytes, self.next_tick());
+        let mut inner = self.inner.write().unwrap();
+        let mut partial = self.partial.write().unwrap();
+        if let Some(old) = partial.insert(key.to_string(), entry) {
+            self.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.evict_locked(&mut inner, &mut partial);
         Ok(built)
     }
 
@@ -150,6 +293,7 @@ impl PathCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
+        hetesim_obs::set("core.cache.resident_bytes", 0);
     }
 }
 
@@ -224,5 +368,114 @@ mod tests {
         // Half-path hit/miss counters are untouched by prefix lookups.
         assert_eq!((stats.hits, stats.misses), (0, 0));
         assert!(stats.bytes > 0);
+    }
+
+    /// Bytes one dummy halves entry occupies, as the cache accounts it.
+    fn entry_bytes() -> u64 {
+        dummy_halves().mem_bytes() as u64
+    }
+
+    #[test]
+    fn resident_bytes_never_exceed_budget() {
+        let per = entry_bytes();
+        // Room for exactly two entries.
+        let cache = PathCache::with_budget_bytes(2 * per);
+        for i in 0..10 {
+            let _: Result<_, ()> = cache.get_or_build(&i.to_string(), || Ok(dummy_halves()));
+            assert!(
+                cache.resident_bytes() <= cache.budget_bytes(),
+                "after insert {i}: resident {} > budget {}",
+                cache.resident_bytes(),
+                cache.budget_bytes()
+            );
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 8);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let per = entry_bytes();
+        let cache = PathCache::with_budget_bytes(2 * per);
+        let _: Result<_, ()> = cache.get_or_build("a", || Ok(dummy_halves()));
+        let _: Result<_, ()> = cache.get_or_build("b", || Ok(dummy_halves()));
+        // Touch "a" so "b" becomes the LRU entry.
+        let _: Result<_, ()> = cache.get_or_build("a", || panic!("a should be cached"));
+        let _: Result<_, ()> = cache.get_or_build("c", || Ok(dummy_halves()));
+        // "b" was evicted; "a" and "c" survive.
+        let _: Result<_, ()> = cache.get_or_build("a", || panic!("a should have survived"));
+        let _: Result<_, ()> = cache.get_or_build("c", || panic!("c should have survived"));
+        let mut rebuilt = false;
+        let _: Result<_, ()> = cache.get_or_build("b", || {
+            rebuilt = true;
+            Ok(dummy_halves())
+        });
+        assert!(rebuilt, "evicted entry must rebuild on re-query");
+    }
+
+    #[test]
+    fn evicted_path_is_rebuilt_correctly() {
+        let per = entry_bytes();
+        let cache = PathCache::with_budget_bytes(per);
+        let _: Result<_, ()> = cache.get_or_build("a", || Ok(dummy_halves()));
+        // Inserting "b" evicts "a" (budget fits one entry).
+        let _: Result<_, ()> = cache.get_or_build("b", || Ok(dummy_halves()));
+        assert_eq!(cache.len(), 1);
+        let again: Result<_, ()> = cache.get_or_build("a", || Ok(dummy_halves()));
+        let h = again.unwrap();
+        // The rebuilt entry carries full, correct data.
+        assert_eq!(h.left.nrows(), 2);
+        assert_eq!(h.left_norms, vec![1.0, 1.0]);
+        assert!(cache.resident_bytes() <= per);
+    }
+
+    #[test]
+    fn oversized_entry_is_served_but_not_cached() {
+        let per = entry_bytes();
+        let cache = PathCache::with_budget_bytes(per / 2);
+        let r: Result<_, ()> = cache.get_or_build("big", || Ok(dummy_halves()));
+        assert_eq!(r.unwrap().left.nrows(), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn prefix_products_share_the_budget() {
+        let halves = entry_bytes();
+        // Two halves entries fit; a halves entry plus the (smaller) prefix
+        // product also fits, but all three together do not.
+        let cache = PathCache::with_budget_bytes(2 * halves);
+        let _: Result<_, ()> = cache.get_or_build_partial("p", || Ok(CsrMatrix::identity(3)));
+        let _: Result<_, ()> = cache.get_or_build("h", || Ok(dummy_halves()));
+        assert_eq!((cache.len(), cache.partial_len()), (1, 1));
+        // A second halves entry must push out the (older) prefix product.
+        let _: Result<_, ()> = cache.get_or_build("h2", || Ok(dummy_halves()));
+        assert!(cache.resident_bytes() <= cache.budget_bytes());
+        assert_eq!(cache.partial_len(), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_immediately() {
+        let per = entry_bytes();
+        let cache = PathCache::new();
+        for key in ["a", "b", "c"] {
+            let _: Result<_, ()> = cache.get_or_build(key, || Ok(dummy_halves()));
+        }
+        assert_eq!(cache.resident_bytes(), 3 * per);
+        cache.set_budget_bytes(per);
+        assert!(cache.resident_bytes() <= per);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn zero_budget_means_unlimited() {
+        let cache = PathCache::with_budget_bytes(0);
+        for i in 0..20 {
+            let _: Result<_, ()> = cache.get_or_build(&i.to_string(), || Ok(dummy_halves()));
+        }
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.evictions(), 0);
     }
 }

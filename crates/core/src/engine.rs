@@ -76,9 +76,28 @@ impl<'a> HeteSimEngine<'a> {
         self
     }
 
+    /// Caps the path cache at approximately `budget_bytes` resident bytes
+    /// (`0` = unlimited, the default). Once the cap is reached, the least
+    /// recently used half-path or prefix products are evicted; re-querying
+    /// an evicted path transparently rebuilds it. This is what makes
+    /// long-running servers safe on bounded memory — see
+    /// [`PathCache`] for the eviction policy.
+    pub fn with_cache_budget(self, budget_bytes: u64) -> Self {
+        self.cache.set_budget_bytes(budget_bytes);
+        self
+    }
+
     /// Number of materialized prefix products currently cached.
     pub fn prefix_cache_len(&self) -> usize {
         self.cache.partial_len()
+    }
+
+    /// Pre-materializes the half-path products of `path` so later queries
+    /// along it are pure cache hits (the paper's Section 4.6 "compute
+    /// frequently-used relevance paths off-line" step). Idempotent: warming
+    /// an already-cached path is a no-op cache hit.
+    pub fn warm(&self, path: &MetaPath) -> Result<()> {
+        self.halves(path).map(|_| ())
     }
 
     /// Materialized product of the row-stochastic transitions of a step

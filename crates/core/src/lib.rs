@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! The HeteSim relevance measure (Shi, Kong, Yu, Xie, Wu — EDBT 2012).
 //!
@@ -66,9 +66,10 @@ pub mod explain;
 pub mod learning;
 pub mod reachable;
 
-pub use cache::{CacheStats, PathCache};
+pub use cache::{CacheStats, Halves, PathCache};
 pub use engine::HeteSimEngine;
 pub use error::CoreError;
+pub use hetesim_sparse::parallel::default_threads;
 pub use measure::{PathMeasure, Ranked};
 pub use topk::{RankedPair, TopK};
 

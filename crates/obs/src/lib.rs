@@ -6,7 +6,7 @@
 //! The engine's hot paths (chain products, sparse matmul, cache lookups,
 //! query entry points) are instrumented with three primitives:
 //!
-//! * **spans** — [`span`] / [`span!`] return an RAII guard that records
+//! * **spans** — [`span()`] / [`span!`] return an RAII guard that records
 //!   wall-clock time into a global thread-safe registry, keyed by the
 //!   nesting path of enclosing spans (so the exporters can show *where
 //!   inside a query* time goes);

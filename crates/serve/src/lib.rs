@@ -1,0 +1,75 @@
+#![deny(missing_docs)]
+
+//! `hetesim-serve` — a dependency-free HTTP/1.1 JSON query server over
+//! the HeteSim engine.
+//!
+//! The paper's Section 4.6 deployment story is an off-line/on-line split:
+//! materialize the half-products of frequently-used relevance paths once,
+//! then answer on-line queries from row reads. This crate is that story
+//! as a server process:
+//!
+//! * **bounded worker pool** — `workers` threads share one
+//!   [`HeteSimEngine`](hetesim_core::HeteSimEngine) (and therefore one
+//!   warm path cache); thread-count conventions match the rest of the
+//!   workspace (`HETESIM_THREADS`, `0` = auto);
+//! * **load shedding** — a bounded accept queue; when it is full new
+//!   connections are answered `503` + `Retry-After` immediately instead
+//!   of queueing without bound ([`ServeConfig::queue_depth`]);
+//! * **deadlines** — every request carries a wall-clock budget from the
+//!   moment it is accepted; requests that overstay — queued *or*
+//!   processing — are answered `504` ([`ServeConfig::deadline_ms`]);
+//! * **graceful shutdown** — SIGINT (via [`install_ctrl_c`]) or a
+//!   [`ShutdownHandle`] stops the acceptor, drains in-flight and queued
+//!   requests, then returns from [`Server::run`];
+//! * **bounded memory** — pair it with
+//!   [`HeteSimEngine::with_cache_budget`](hetesim_core::HeteSimEngine::with_cache_budget)
+//!   so the path cache LRU-evicts instead of growing with the set of
+//!   queried paths.
+//!
+//! Endpoints: `GET /healthz`, `GET /metrics`, `POST /query`,
+//! `POST /pair`, `POST /warmup` — request/response schemas are documented
+//! in `docs/API.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use hetesim_serve::{App, ServeConfig, Server};
+//! use hetesim_core::HeteSimEngine;
+//! # use hetesim_graph::{HinBuilder, Schema};
+//! # let mut s = Schema::new();
+//! # let a = s.add_type("author").unwrap();
+//! # let p = s.add_type("paper").unwrap();
+//! # let w = s.add_relation("writes", a, p).unwrap();
+//! # let mut b = HinBuilder::new(s);
+//! # b.add_edge_by_name(w, "Tom", "P1", 1.0).unwrap();
+//! # let hin = b.build();
+//!
+//! let engine = HeteSimEngine::new(&hin).with_cache_budget(64 << 20);
+//! let app = App::new(&hin, engine);
+//! let server = Server::bind(&ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     deadline_ms: 250,
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let handle = server.handle();
+//! std::thread::scope(|scope| {
+//!     let serving = scope.spawn(|| server.run(&app));
+//!     let health =
+//!         hetesim_serve::client::get(server.local_addr(), "/healthz").unwrap();
+//!     assert_eq!(health.status, 200);
+//!     handle.shutdown();
+//!     serving.join().unwrap().unwrap();
+//! });
+//! ```
+
+mod app;
+pub mod client;
+mod http;
+mod json;
+mod server;
+
+pub use app::App;
+pub use http::{Request, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+pub use json::Json;
+pub use server::{install_ctrl_c, Handler, ServeConfig, Server, ShutdownHandle};

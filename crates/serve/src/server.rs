@@ -1,0 +1,340 @@
+//! The serving loop: bounded worker pool, bounded accept queue with load
+//! shedding, per-request deadlines, graceful shutdown.
+//!
+//! The shape mirrors the rest of the workspace's threading conventions
+//! (explicit `std::thread` pools, no async runtime): one acceptor thread
+//! (the caller of [`Server::run`]) pulls connections off a non-blocking
+//! listener and pushes them onto a bounded queue; `workers` threads pop
+//! and answer them. Every admission decision is made *before* any parsing
+//! happens, so overload is shed for the cost of one small write:
+//!
+//! * queue full → `503` + `Retry-After` and the connection is closed
+//!   (the `serve.server.shed` counter increments);
+//! * per-request wall-clock deadline exceeded — counting queue wait —
+//!   → `504` (the `serve.server.timeouts` counter increments). The
+//!   deadline is re-checked after the handler runs, so a slow query
+//!   returns `504` rather than pretending it met its budget.
+//!
+//! Shutdown is cooperative: [`ShutdownHandle::shutdown`] (or SIGINT once
+//! [`install_ctrl_c`] was called) stops the acceptor, lets the workers
+//! drain everything already queued, then joins them.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Anything that can answer a parsed request. Implemented by
+/// [`crate::app::App`] for the real engine and by closures in tests.
+pub trait Handler: Sync {
+    /// Produces the response for one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Sync,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server tuning knobs. `Default` gives a loopback address with bounds
+/// sized for local load tests.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`; port `0` picks an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads answering requests; `0` = auto (the
+    /// `HETESIM_THREADS` conventions of the rest of the workspace).
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before new arrivals are
+    /// shed with `503`.
+    pub queue_depth: usize,
+    /// Per-request wall-clock budget in milliseconds, measured from
+    /// accept; `0` disables deadlines.
+    pub deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// A connection waiting for a worker, stamped with its arrival time so
+/// queue wait counts against the deadline.
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// State shared by the acceptor, the workers, and shutdown handles.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+/// Cooperatively stops a running server; clonable and cheap to hold from
+/// another thread (tests, signal handlers, drain timers).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: the acceptor stops admitting connections, the
+    /// workers finish everything already queued, then [`Server::run`]
+    /// returns.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+    }
+}
+
+/// Process-wide flag flipped by the SIGINT handler.
+static CTRL_C: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT (ctrl-c) handler that gracefully stops every server
+/// in the process: in-flight and already-queued requests finish, new
+/// connections are refused. Call once from the binary entry point; safe
+/// to call multiple times. On non-Unix platforms this is a no-op.
+pub fn install_ctrl_c() {
+    #[cfg(unix)]
+    {
+        unsafe extern "C" fn on_sigint(_sig: i32) {
+            // Only async-signal-safe work: set the flag, nothing else.
+            CTRL_C.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint as unsafe extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// A bound listener plus its worker-pool configuration. Construct with
+/// [`Server::bind`], then call [`Server::run`] (which blocks until
+/// shutdown).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    workers: usize,
+    queue_depth: usize,
+    deadline: Option<Duration>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket. Fails fast on an unusable address so the
+    /// CLI can report it before any worker starts.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking so the accept loop can poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+        let workers = if config.workers == 0 {
+            hetesim_core::default_threads()
+        } else {
+            config.workers
+        };
+        Ok(Server {
+            listener,
+            local_addr,
+            workers,
+            queue_depth: config.queue_depth.max(1),
+            deadline: (config.deadline_ms > 0).then(|| Duration::from_millis(config.deadline_ms)),
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0` to the ephemeral
+    /// port the OS picked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst) || CTRL_C.load(Ordering::SeqCst)
+    }
+
+    /// Accepts and answers requests until shutdown, then drains the queue
+    /// and returns. Blocks the calling thread; workers are scoped inside.
+    pub fn run<H: Handler>(&self, handler: &H) -> std::io::Result<()> {
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| self.worker_loop(handler));
+            }
+            self.accept_loop();
+            // Scope exit joins the workers, which drain the queue first.
+        });
+        Ok(())
+    }
+
+    fn accept_loop(&self) {
+        while !self.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    self.admit(Job {
+                        stream,
+                        accepted: Instant::now(),
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Wake every worker so they observe the stop flag and drain.
+        self.shared.ready.notify_all();
+    }
+
+    /// Queues the connection, or sheds it with `503` when the queue is at
+    /// capacity. The shed write happens on the acceptor thread but is a
+    /// single small buffer — bounded work per rejected connection.
+    fn admit(&self, job: Job) {
+        hetesim_obs::add("serve.server.accepted", 1);
+        let mut queue = self.shared.queue.lock().unwrap();
+        if queue.len() >= self.queue_depth {
+            drop(queue);
+            hetesim_obs::add("serve.server.shed", 1);
+            let _ = job.stream.set_write_timeout(Some(Duration::from_secs(1)));
+            respond_and_close(
+                job.stream,
+                &Response::error(503, "server overloaded, retry later")
+                    .with_header("retry-after", "1"),
+            );
+            return;
+        }
+        queue.push_back(job);
+        hetesim_obs::set("serve.server.queue_depth", queue.len() as u64);
+        drop(queue);
+        self.shared.ready.notify_one();
+    }
+
+    fn worker_loop<H: Handler>(&self, handler: &H) {
+        loop {
+            let job = {
+                let mut queue = self.shared.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.stopping() {
+                        break None;
+                    }
+                    let (q, _) = self
+                        .shared
+                        .ready
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .unwrap();
+                    queue = q;
+                }
+            };
+            match job {
+                Some(job) => self.serve_one(job, handler),
+                None => return,
+            }
+        }
+    }
+
+    /// Parses, deadline-checks, dispatches, and answers one connection.
+    fn serve_one<H: Handler>(&self, job: Job, handler: &H) {
+        let Job {
+            mut stream,
+            accepted,
+        } = job;
+        let deadline = self.deadline.map(|d| accepted + d);
+        // A slow or stalled client may not hold a worker past the
+        // deadline (or past a hard cap when deadlines are off).
+        let read_budget = match deadline {
+            Some(t) => t
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::from_millis(1)),
+            None => Duration::from_secs(10),
+        };
+        let _ = stream.set_read_timeout(Some(read_budget));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let response = match read_request(&mut stream) {
+            Err(HttpError::TooLarge) => Response::error(413, "request too large"),
+            Err(HttpError::Bad(msg)) => Response::error(400, msg),
+            Err(HttpError::Io(_)) => {
+                // Client went away or stalled past its budget: nothing to
+                // answer.
+                hetesim_obs::add("serve.server.read_errors", 1);
+                return;
+            }
+            Ok(request) => {
+                hetesim_obs::add("serve.server.requests", 1);
+                if expired(deadline) {
+                    hetesim_obs::add("serve.server.timeouts", 1);
+                    Response::error(504, "deadline exceeded while queued")
+                } else {
+                    let response = handler.handle(&request);
+                    if expired(deadline) {
+                        hetesim_obs::add("serve.server.timeouts", 1);
+                        Response::error(504, "deadline exceeded during processing")
+                    } else {
+                        response
+                    }
+                }
+            }
+        };
+        hetesim_obs::record(
+            "serve.server.latency_us",
+            accepted.elapsed().as_micros() as u64,
+        );
+        respond_and_close(stream, &response);
+    }
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|t| Instant::now() > t)
+}
+
+/// Writes the response, half-closes, and drains whatever the client was
+/// still sending. Closing a socket with unread bytes in its receive
+/// buffer makes the kernel send RST, which can destroy the response
+/// before the client reads it — this matters on the shed path, where the
+/// server answers without ever reading the request. The drain is bounded
+/// (read timeout + iteration cap), so a stalled client cannot pin the
+/// thread.
+fn respond_and_close(mut stream: TcpStream, response: &Response) {
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! End-to-end tests: the real app on a synthetic ACM network, served over
+//! real sockets, answers exactly what the offline engine answers.
+
+use hetesim_core::HeteSimEngine;
+use hetesim_data::acm;
+use hetesim_graph::{Hin, MetaPath};
+use hetesim_serve::{client, App, Json, ServeConfig, Server, ShutdownHandle};
+
+/// Stops the server even when the test body panics, so the joining scope
+/// cannot deadlock on assertion failures.
+struct StopOnDrop(ShutdownHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn network() -> (Hin, String) {
+    let data = acm::generate(&acm::AcmConfig::tiny(7));
+    (data.hin, data.star_concentrated)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 3,
+        queue_depth: 32,
+        deadline_ms: 30_000,
+    }
+}
+
+/// Boots the app on an ephemeral port, runs `body`, shuts down cleanly.
+fn with_app<F>(hin: &Hin, engine: HeteSimEngine<'_>, body: F)
+where
+    F: FnOnce(std::net::SocketAddr, &App<'_>),
+{
+    let app = App::new(hin, engine);
+    let server = Server::bind(&config()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&app));
+        let stop = StopOnDrop(handle);
+        body(addr, &app);
+        drop(stop);
+        serving.join().unwrap().unwrap();
+    });
+}
+
+#[test]
+fn healthz_reports_ok() {
+    let (hin, _) = network();
+    with_app(&hin, HeteSimEngine::new(&hin), |addr, _| {
+        let r = client::get(addr, "/healthz").unwrap();
+        assert_eq!(r.status, 200);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert!(v.get("nodes").unwrap().as_u64().unwrap() > 0);
+    });
+}
+
+#[test]
+fn concurrent_queries_match_offline_top_k() {
+    let (hin, star) = network();
+    // Offline reference on its own engine.
+    let reference = HeteSimEngine::new(&hin);
+    let apvc = MetaPath::parse(hin.schema(), "APVC").unwrap();
+    let source = hin.node_id(apvc.source_type(), &star).unwrap();
+    let want = reference.top_k(&apvc, source, 5).unwrap();
+
+    with_app(&hin, HeteSimEngine::new(&hin), |addr, _| {
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let star = star.clone();
+                let want = want.clone();
+                let hin = &hin;
+                let apvc = &apvc;
+                scope.spawn(move || {
+                    let body = format!("{{\"path\":\"APVC\",\"source\":\"{star}\",\"k\":5}}");
+                    let r = client::post_json(addr, "/query", &body).unwrap();
+                    assert_eq!(r.status, 200, "{}", r.body);
+                    let v = Json::parse(&r.body).unwrap();
+                    let results = v.get("results").unwrap().as_array().unwrap();
+                    assert_eq!(results.len(), want.len());
+                    for (got, exp) in results.iter().zip(&want) {
+                        assert_eq!(got.get("id").unwrap().as_u64().unwrap(), exp.index as u64);
+                        let score = got.get("score").unwrap().as_f64().unwrap();
+                        assert_eq!(
+                            score, exp.score,
+                            "served score must be bit-identical to engine.top_k"
+                        );
+                        let name = got.get("name").unwrap().as_str().unwrap();
+                        assert_eq!(name, hin.node_name(apvc.target_type(), exp.index));
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn pair_matches_offline_engine_and_ids_work() {
+    let (hin, star) = network();
+    let reference = HeteSimEngine::new(&hin);
+    let apa = MetaPath::parse(hin.schema(), "APA").unwrap();
+    let a = hin.node_id(apa.source_type(), &star).unwrap();
+    let want = reference.pair(&apa, a, a).unwrap();
+    let want_raw = reference.pair_unnormalized(&apa, a, a).unwrap();
+
+    with_app(&hin, HeteSimEngine::new(&hin), |addr, _| {
+        // By name.
+        let body = format!("{{\"path\":\"APA\",\"source\":\"{star}\",\"target\":\"{star}\"}}");
+        let r = client::post_json(addr, "/pair", &body).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("score").unwrap().as_f64(), Some(want));
+        assert_eq!(v.get("unnormalized").unwrap().as_f64(), Some(want_raw));
+        // By numeric id.
+        let body = format!("{{\"path\":\"APA\",\"source\":{a},\"target\":{a}}}");
+        let v = Json::parse(&client::post_json(addr, "/pair", &body).unwrap().body).unwrap();
+        assert_eq!(v.get("score").unwrap().as_f64(), Some(want));
+    });
+}
+
+#[test]
+fn warmup_then_metrics_shows_cached_paths() {
+    let (hin, _) = network();
+    hetesim_obs::enable();
+    with_app(&hin, HeteSimEngine::new(&hin), |addr, app| {
+        let r =
+            client::post_json(addr, "/warmup", "{\"paths\":[\"APA\",\"APVC\",\"nope!\"]}").unwrap();
+        assert_eq!(r.status, 200);
+        let v = Json::parse(&r.body).unwrap();
+        let warmed = v.get("warmed").unwrap().as_array().unwrap();
+        assert_eq!(warmed.len(), 3);
+        assert_eq!(warmed[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(warmed[1].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(warmed[2].get("ok"), Some(&Json::Bool(false)));
+        assert!(warmed[2].get("error").is_some());
+        assert_eq!(app.engine().cache_stats().entries, 2);
+
+        let m = client::get(addr, "/metrics").unwrap();
+        assert_eq!(m.status, 200);
+        let snap = Json::parse(&m.body).unwrap();
+        let counters = snap.get("counters").unwrap();
+        let resident = counters
+            .get("core.cache.resident_bytes")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(resident > 0, "resident bytes gauge missing: {}", m.body);
+        assert!(
+            counters
+                .get("serve.server.requests")
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 2
+        );
+    });
+}
+
+#[test]
+fn cache_budget_holds_under_multi_path_workload() {
+    let (hin, star) = network();
+    hetesim_obs::enable();
+    let paths = ["APA", "APV", "APVC", "APVCVPA", "AP"];
+    // First measure the unbounded residency of the full workload …
+    let unbounded = HeteSimEngine::new(&hin);
+    for p in paths {
+        let path = MetaPath::parse(hin.schema(), p).unwrap();
+        unbounded.warm(&path).unwrap();
+    }
+    let full = unbounded.cache_stats().bytes;
+    // … then serve the same workload on roughly half that budget.
+    let budget = full / 2;
+    let engine = HeteSimEngine::new(&hin).with_cache_budget(budget);
+    with_app(&hin, engine, |addr, app| {
+        for round in 0..3 {
+            for p in paths {
+                let body = format!("{{\"path\":\"{p}\",\"source\":\"{star}\",\"k\":3}}");
+                let r = client::post_json(addr, "/query", &body).unwrap();
+                assert_eq!(r.status, 200, "round {round} path {p}: {}", r.body);
+                let resident = app.engine().cache_stats().bytes;
+                assert!(
+                    resident <= budget,
+                    "round {round} path {p}: resident {resident} > budget {budget}"
+                );
+            }
+        }
+        // The budget forced real evictions, and /metrics shows residency.
+        let m = client::get(addr, "/metrics").unwrap();
+        let snap = Json::parse(&m.body).unwrap();
+        let counters = snap.get("counters").unwrap();
+        assert!(
+            counters
+                .get("core.cache.evictions")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0,
+            "expected evictions under budget pressure: {}",
+            m.body
+        );
+        let resident = counters
+            .get("core.cache.resident_bytes")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(resident <= budget);
+    });
+}
+
+#[test]
+fn api_errors_are_client_friendly() {
+    let (hin, star) = network();
+    with_app(&hin, HeteSimEngine::new(&hin), |addr, _| {
+        // Unknown endpoint.
+        assert_eq!(client::get(addr, "/nope").unwrap().status, 404);
+        // Wrong method on a known endpoint.
+        assert_eq!(client::get(addr, "/query").unwrap().status, 405);
+        // Bad JSON.
+        assert_eq!(
+            client::post_json(addr, "/query", "{oops").unwrap().status,
+            400
+        );
+        // Unknown path spec.
+        let r = client::post_json(addr, "/query", "{\"path\":\"XYZ\",\"source\":\"a\"}").unwrap();
+        assert_eq!(r.status, 400);
+        assert!(Json::parse(&r.body).unwrap().get("error").is_some());
+        // Unknown source name.
+        let r = client::post_json(
+            addr,
+            "/query",
+            "{\"path\":\"APVC\",\"source\":\"no such author\"}",
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+        // Out-of-range source id.
+        let r = client::post_json(
+            addr,
+            "/pair",
+            &format!("{{\"path\":\"APA\",\"source\":999999,\"target\":\"{star}\"}}"),
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+    });
+}

@@ -49,12 +49,14 @@
 //! | [`baselines`] | PCRW, PathSim, SimRank, random walk with restart |
 //! | [`ml`] | eigensolvers, Normalized Cut, k-means, NMI/AUC |
 //! | [`data`] | synthetic ACM/DBLP generators and paper fixtures |
+//! | [`serve`] | zero-dependency HTTP query server: worker pool, deadlines, load shedding, budgeted cache |
 
 pub use hetesim_baselines as baselines;
 pub use hetesim_core as core;
 pub use hetesim_data as data;
 pub use hetesim_graph as graph;
 pub use hetesim_ml as ml;
+pub use hetesim_serve as serve;
 pub use hetesim_sparse as sparse;
 
 /// The most common imports, bundled.

@@ -56,6 +56,13 @@ impl BenchmarkId {
             name: format!("{}/{}", function.into(), parameter),
         }
     }
+
+    /// A name that is just the parameter (the group supplies the function).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
 }
 
 /// The benchmark harness entry point.

@@ -271,7 +271,7 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: an exact size, a `Range`, or a
+    /// Length specification for [`vec()`]: an exact size, a `Range`, or a
     /// `RangeInclusive`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -314,7 +314,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
