@@ -22,7 +22,8 @@
 
 use hetesim_bench::datasets::{acm_dataset, Scale};
 use hetesim_core::HeteSimEngine;
-use hetesim_serve::{client, App, ServeConfig, Server};
+use hetesim_serve::{client, App, Json, ServeConfig, Server};
+use std::collections::{BTreeMap, HashSet};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -106,6 +107,53 @@ fn evictions_counter() -> u64 {
         .unwrap_or(0)
 }
 
+/// Joins the `/traces/recent` ring against the trace IDs of successful
+/// requests and reduces each named stage to its p95 duration (µs). Stage
+/// durations are summed per trace first, so a stage entered twice in one
+/// request (e.g. two chain products) counts once at its total.
+fn stage_p95(traces_json: Option<&str>, ok_ids: &HashSet<String>) -> BTreeMap<String, f64> {
+    let mut samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let Some(parsed) = traces_json.and_then(|t| Json::parse(t).ok()) else {
+        return BTreeMap::new();
+    };
+    let Some(traces) = parsed.as_array() else {
+        return BTreeMap::new();
+    };
+    for trace in traces {
+        let id = trace.get("trace_id").and_then(Json::as_str).unwrap_or("");
+        if !ok_ids.contains(id) {
+            continue;
+        }
+        let Some(events) = trace.get("events").and_then(Json::as_array) else {
+            continue;
+        };
+        let mut per_stage: BTreeMap<&str, u64> = BTreeMap::new();
+        for event in events {
+            let (Some(name), Some(ns)) = (
+                event.get("name").and_then(Json::as_str),
+                event.get("duration_ns").and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            *per_stage.entry(name).or_insert(0) += ns;
+        }
+        for (name, ns) in per_stage {
+            samples
+                .entry(name.to_string())
+                .or_default()
+                .push(ns / 1_000);
+        }
+    }
+    samples
+        .into_iter()
+        .map(|(name, mut us)| {
+            us.sort_unstable();
+            // percentile() reports ms; stage breakdowns stay in µs.
+            (name, percentile(&us, 0.95) * 1000.0)
+        })
+        .collect()
+}
+
 /// The `q`-th quantile of an already-sorted latency sample (nearest rank).
 fn percentile(sorted_us: &[u64], q: f64) -> f64 {
     if sorted_us.is_empty() {
@@ -138,6 +186,11 @@ fn main() -> ExitCode {
         workers: args.workers,
         queue_depth: args.queue_depth,
         deadline_ms: args.deadline_ms,
+        // Trace every request into a ring big enough to hold the whole
+        // run, so the stage breakdown below covers every success.
+        trace_sample: 1,
+        trace_ring: args.clients * args.requests + 16,
+        ..ServeConfig::default()
     };
     let server = match Server::bind(&config) {
         Ok(s) => s,
@@ -161,53 +214,68 @@ fn main() -> ExitCode {
     let timeouts = AtomicU64::new(0);
     let failures = AtomicU64::new(0);
     let t0 = Instant::now();
-    let (mut latencies_us, elapsed): (Vec<u64>, Duration) = std::thread::scope(|scope| {
-        let serving = scope.spawn(|| server.run(&app));
-        let clients: Vec<_> = (0..args.clients)
-            .map(|c| {
-                let (ok, shed, timeouts, failures) = (&ok, &shed, &timeouts, &failures);
-                scope.spawn(move || {
-                    let mut lats = Vec::with_capacity(args.requests);
-                    for i in 0..args.requests {
-                        let path = PATHS[(c + i) % PATHS.len()];
-                        let source = (c * 131 + i * 17) % n_authors;
-                        let body = format!("{{\"path\":\"{path}\",\"source\":{source},\"k\":10}}");
-                        let t = Instant::now();
-                        match client::post_json(addr, "/query", &body) {
-                            Ok(r) => match r.status {
-                                200 => {
-                                    lats.push(t.elapsed().as_micros() as u64);
-                                    ok.fetch_add(1, Ordering::Relaxed);
-                                }
-                                503 => {
-                                    shed.fetch_add(1, Ordering::Relaxed);
-                                }
-                                504 => {
-                                    timeouts.fetch_add(1, Ordering::Relaxed);
-                                }
-                                _ => {
+    type LoadOutcome = (Vec<u64>, HashSet<String>, Option<String>, Duration);
+    let (mut latencies_us, ok_trace_ids, traces_body, elapsed): LoadOutcome =
+        std::thread::scope(|scope| {
+            let serving = scope.spawn(|| server.run(&app));
+            let clients: Vec<_> = (0..args.clients)
+                .map(|c| {
+                    let (ok, shed, timeouts, failures) = (&ok, &shed, &timeouts, &failures);
+                    scope.spawn(move || {
+                        let mut lats = Vec::with_capacity(args.requests);
+                        let mut ids = Vec::with_capacity(args.requests);
+                        for i in 0..args.requests {
+                            let path = PATHS[(c + i) % PATHS.len()];
+                            let source = (c * 131 + i * 17) % n_authors;
+                            let body =
+                                format!("{{\"path\":\"{path}\",\"source\":{source},\"k\":10}}");
+                            let t = Instant::now();
+                            match client::post_json(addr, "/query", &body) {
+                                Ok(r) => match r.status {
+                                    200 => {
+                                        lats.push(t.elapsed().as_micros() as u64);
+                                        ok.fetch_add(1, Ordering::Relaxed);
+                                        if let Some(id) = r.header("x-trace-id") {
+                                            ids.push(id.to_string());
+                                        }
+                                    }
+                                    503 => {
+                                        shed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    504 => {
+                                        timeouts.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    _ => {
+                                        failures.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                },
+                                Err(_) => {
                                     failures.fetch_add(1, Ordering::Relaxed);
                                 }
-                            },
-                            Err(_) => {
-                                failures.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                    }
-                    lats
+                        (lats, ids)
+                    })
                 })
-            })
-            .collect();
-        let mut all = Vec::new();
-        for client in clients {
-            all.extend(client.join().expect("client thread"));
-        }
-        let elapsed = t0.elapsed();
-        handle.shutdown();
-        serving.join().expect("server thread").expect("clean exit");
-        (all, elapsed)
-    });
+                .collect();
+            let mut all = Vec::new();
+            let mut all_ids = HashSet::new();
+            for client in clients {
+                let (lats, ids) = client.join().expect("client thread");
+                all.extend(lats);
+                all_ids.extend(ids);
+            }
+            let elapsed = t0.elapsed();
+            // Pull the ring before shutdown: it lives in the server.
+            let traces_body = client::get(addr, "/traces/recent").ok().map(|r| r.body);
+            handle.shutdown();
+            serving.join().expect("server thread").expect("clean exit");
+            (all, all_ids, traces_body, elapsed)
+        });
     latencies_us.sort_unstable();
+    // Join each successful request's X-Trace-Id to its stage trace in the
+    // server's ring, yielding per-stage latency distributions.
+    let stage_p95_us = stage_p95(traces_body.as_deref(), &ok_trace_ids);
 
     let total = (args.clients * args.requests) as u64;
     let ok = ok.into_inner();
@@ -257,6 +325,14 @@ fn main() -> ExitCode {
         "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}},\n"
     ));
     json.push_str(&format!("  \"throughput_rps\": {throughput:.1},\n"));
+    json.push_str("  \"stage_p95_us\": {");
+    for (i, (name, us)) in stage_p95_us.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!("\"{name}\": {us:.1}"));
+    }
+    json.push_str("},\n");
     json.push_str(&format!(
         "  \"shed_rate\": {:.4},\n",
         shed as f64 / total as f64

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 /// Flags that do not consume a following value; an explicit value still
 /// works via `--flag=value`.
-const VALUELESS: &[&str] = &["metrics"];
+const VALUELESS: &[&str] = &["metrics", "warm"];
 
 /// A parsed invocation: command, positional arguments, `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -11,7 +11,10 @@
 //! hetesim-cli join    DIR --path APA [--k 10]
 //! hetesim-cli serve   DIR [--addr HOST:PORT] [--workers N] [--deadline-ms MS]
 //!                         [--queue-depth N] [--cache-budget-bytes N]
-//!                         [--warmup-paths FILE]
+//!                         [--warmup-paths FILE] [--trace-sample N]
+//!                         [--slow-ms MS] [--slow-log FILE]
+//!                         [--trace-out FILE] [--trace-ring N]
+//! hetesim-cli trace   DIR --path APVC --source NAME [--k 10] [--warm]
 //! hetesim-cli help
 //! ```
 //!
@@ -63,15 +66,27 @@ commands:
       The k most relevant object pairs across the whole matrix.
   serve DIR [--addr 127.0.0.1:7878] [--workers 0] [--deadline-ms 0]
             [--queue-depth 64] [--cache-budget-bytes 0] [--warmup-paths FILE]
+            [--trace-sample N] [--slow-ms MS] [--slow-log FILE]
+            [--trace-out FILE] [--trace-ring 128]
       Serve relevance queries over HTTP (GET /healthz, GET /metrics,
-      POST /query, POST /pair, POST /warmup — see docs/API.md).
-      --workers 0 = auto; --deadline-ms 0 = no per-request deadline;
-      --queue-depth bounds waiting connections (overload answers 503 +
-      Retry-After); --cache-budget-bytes 0 = unlimited path cache, else
-      least-recently-used entries are evicted to stay under the budget;
-      --warmup-paths FILE pre-materializes one meta-path per line
-      ('#' comments allowed). Ctrl-C shuts down gracefully, draining
+      GET /traces/recent, POST /query, POST /pair, POST /warmup — see
+      docs/API.md). --workers 0 = auto; --deadline-ms 0 = no per-request
+      deadline; --queue-depth bounds waiting connections (overload answers
+      503 + Retry-After); --cache-budget-bytes 0 = unlimited path cache,
+      else least-recently-used entries are evicted to stay under the
+      budget; --warmup-paths FILE pre-materializes one meta-path per line
+      ('#' comments allowed). Every response carries an X-Trace-Id;
+      --trace-sample N keeps every Nth request's stage trace (0 = off) in
+      a ring of --trace-ring entries served at GET /traces/recent and
+      appended to --trace-out as JSONL (rotated once); requests slower
+      than --slow-ms are always kept and logged to --slow-log (JSONL;
+      stderr when unset; 0 = off). Ctrl-C shuts down gracefully, draining
       in-flight requests.
+  trace DIR --path APVC --source NAME [--k 10] [--threads N] [--warm]
+      Replay one query under forced trace capture and print its stage
+      tree: each engine stage with duration and share of the total.
+      --warm pre-materializes the path first, profiling the cache-hit
+      request instead of the cold build.
   help
       This text.
 
@@ -319,6 +334,64 @@ fn cmd_join(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays one query under forced trace capture and pretty-prints the
+/// stage tree: which engine stages the time went to, each with its share
+/// of the total.
+fn cmd_trace(p: &Parsed) -> Result<(), String> {
+    let hin = load(p.one_positional("network directory")?)?;
+    let path = parse_path(&hin, p.require("path")?)?;
+    let source_name = p.require("source")?;
+    let source = hin
+        .node_id(path.source_type(), source_name)
+        .map_err(|e| e.to_string())?;
+    let k = p.get_usize("k", 10)?;
+    let engine = engine_with_threads(p, &hin)?;
+    hetesim_obs::enable();
+    if p.has("warm") {
+        // Materialize the half-products first, so the trace shows the
+        // warm (cache-hit) request profile instead of the cold build.
+        engine.warm(&path).map_err(|e| e.to_string())?;
+    }
+    let trace_id = hetesim_obs::next_trace_id();
+    let scope = hetesim_obs::trace_begin(trace_id, std::time::Instant::now(), true);
+    let ranked = engine.top_k(&path, source, k).map_err(|e| e.to_string())?;
+    match scope.finish() {
+        Some(trace) => {
+            println!(
+                "trace {} — {} along {} (k={k}, {} results, {} total):",
+                trace.id_hex(),
+                source_name,
+                path.display(hin.schema()),
+                ranked.len(),
+                format_ns(trace.duration_ns),
+            );
+            print!("{}", trace.render_tree());
+        }
+        None => {
+            // Tracing compiled out (`--no-default-features`): the query
+            // still ran, there is just nothing to show.
+            eprintln!(
+                "trace capture is compiled out (obs feature disabled); \
+                 query returned {} results",
+                ranked.len()
+            );
+        }
+    }
+    record_cache_gauges(&engine);
+    Ok(())
+}
+
+/// `1234567` ns → `"1.235 ms"` — the trace header's human duration.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    }
+}
+
 fn cmd_serve(p: &Parsed) -> Result<(), String> {
     use hetesim_serve::{App, ServeConfig, Server};
     let hin = load(p.one_positional("network directory")?)?;
@@ -344,6 +417,11 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
         workers: p.get_usize("workers", 0)?,
         queue_depth: p.get_usize("queue-depth", 64)?,
         deadline_ms: p.get_u64("deadline-ms", 0)?,
+        slow_ms: p.get_u64("slow-ms", 0)?,
+        slow_log: p.flags.get("slow-log").cloned(),
+        trace_sample: p.get_u64("trace-sample", 0)?,
+        trace_out: p.flags.get("trace-out").cloned(),
+        trace_ring: p.get_usize("trace-ring", 128)?,
     };
     let server =
         Server::bind(&config).map_err(|e| format!("cannot bind {:?}: {e}", config.addr))?;
@@ -421,6 +499,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "pair" => "cli.pair",
             "join" => "cli.join",
             "serve" => "cli.serve",
+            "trace" => "cli.trace",
             _ => "cli.unknown",
         });
         match command {
@@ -431,6 +510,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "pair" => cmd_pair(&parsed),
             "join" => cmd_join(&parsed),
             "serve" => cmd_serve(&parsed),
+            "trace" => cmd_trace(&parsed),
             other => Err(format!("unknown command {other:?}; try `hetesim-cli help`")),
         }
     };

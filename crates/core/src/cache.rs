@@ -199,10 +199,12 @@ impl PathCache {
             e.last_used.store(self.next_tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             hetesim_obs::add("core.cache.prefix_cache.hits", 1);
+            hetesim_obs::trace_event("core.cache.hit");
             return Ok(Arc::clone(&e.value));
         }
         // Build outside the lock; a racing duplicate build is acceptable
         // (both produce identical data, last insert wins).
+        hetesim_obs::trace_event("core.cache.miss");
         let built = Arc::new(build()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         hetesim_obs::add("core.cache.prefix_cache.misses", 1);

@@ -197,19 +197,31 @@ impl<'a> HeteSimEngine<'a> {
                 odd = (path.steps().len() % 2) as u64,
             );
             let (left, right) = if self.reuse_prefixes {
+                let _stage = hetesim_obs::span("core.engine.chain");
                 self.build_halves_prefix(path)?
             } else {
-                let d = decompose(self.hin, path)?;
-                (
-                    self.chain_product(&normalize_chain_threaded(d.left, self.threads))?,
-                    self.chain_product(&normalize_chain_threaded(d.right_rev, self.threads))?,
-                )
+                let (nl, nr) = {
+                    // Normalize stage: splitting the path into half chains
+                    // and row-normalizing both is one unit of prep work.
+                    let _stage = hetesim_obs::span("core.engine.normalize");
+                    let d = decompose(self.hin, path)?;
+                    (
+                        normalize_chain_threaded(d.left, self.threads),
+                        normalize_chain_threaded(d.right_rev, self.threads),
+                    )
+                };
+                let _stage = hetesim_obs::span("core.engine.chain");
+                (self.chain_product(&nl)?, self.chain_product(&nr)?)
             };
-            left.check_finite("hetesim left half")?;
-            right.check_finite("hetesim right half")?;
-            let left_norms = left.row_l2_norms();
-            let right_norms = right.row_l2_norms();
-            let right_t = right.transpose();
+            // The cosine stage: everything needed to turn raw half
+            // products into normalized scores (norms + transposed right
+            // half + finiteness validation of both operands).
+            let (left_norms, right_norms, right_t) = {
+                let _stage = hetesim_obs::span("core.engine.cosine");
+                left.check_finite("hetesim left half")?;
+                right.check_finite("hetesim right half")?;
+                (left.row_l2_norms(), right.row_l2_norms(), right.transpose())
+            };
             Ok::<_, CoreError>(Halves {
                 left,
                 right,
@@ -372,6 +384,7 @@ impl<'a> HeteSimEngine<'a> {
         let _span = hetesim_obs::span!("core.engine.top_k", k = k);
         self.check_source(path, a)?;
         let h = self.halves(path)?;
+        let _stage = hetesim_obs::span("core.engine.topk");
         crate::topk::top_k_parallel(&h, a, k, self.threads)
     }
 

@@ -24,9 +24,17 @@
 //! the `obs` cargo feature disabled the same entry points compile to
 //! empty inlined functions, removing even that load.
 //!
-//! Two exporters read the registry through [`snapshot`]: a stable JSON
-//! document ([`MetricsSnapshot::to_json`]) and a human-readable tree
-//! ([`MetricsSnapshot::render_tree`]).
+//! Exporters read the registry through [`snapshot`]: a stable JSON
+//! document ([`MetricsSnapshot::to_json`]), a human-readable tree
+//! ([`MetricsSnapshot::render_tree`]), and Prometheus text exposition
+//! ([`MetricsSnapshot::to_prometheus`]).
+//!
+//! On top of the aggregate registry sits **request-scoped tracing**
+//! ([`trace_begin`] and friends): while a [`TraceScope`] is live on a
+//! thread, every span opened there is also appended to a per-request
+//! event buffer with parent/child nesting, flushed on completion to
+//! pluggable [`TraceSink`]s ([`RingSink`], [`JsonlSink`]) under a
+//! 1-in-N + always-if-slow sampling policy ([`set_trace_config`]).
 //!
 //! # Naming convention
 //!
@@ -53,8 +61,15 @@
 //! ```
 
 mod snapshot;
+mod trace;
 
 pub use snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+pub use trace::{
+    add_trace_sink, clear_trace_sinks, flush_trace, next_trace_id, set_trace_config,
+    trace_annotate, trace_begin, trace_event, trace_push_completed, trace_should_capture,
+    trace_slow_ns, CaptureDecision, FinishedTrace, JsonlSink, RingSink, TraceEvent, TraceScope,
+    TraceSink,
+};
 
 /// Number of log₂ histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
 /// holds values in `[2^(i-1), 2^i)`, bucket 64 holds the top of the `u64`

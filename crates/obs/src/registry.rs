@@ -73,11 +73,20 @@ struct SpanCell {
     total_ns: AtomicU64,
 }
 
+/// A counter plus whether [`set`] ever wrote it — gauge semantics matter
+/// to the Prometheus exporter (`counter` families get a `_total` suffix,
+/// gauges do not).
+#[derive(Debug)]
+struct CounterCell {
+    value: AtomicU64,
+    gauge: AtomicBool,
+}
+
 #[derive(Debug, Default)]
 struct Registry {
     /// Keyed by nesting path (`outer/inner`), values aggregated.
     spans: RwLock<HashMap<String, Arc<SpanCell>>>,
-    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    counters: RwLock<HashMap<&'static str, Arc<CounterCell>>>,
     histograms: RwLock<HashMap<&'static str, Arc<AtomicHistogram>>>,
 }
 
@@ -122,7 +131,7 @@ pub fn reset() {
 // an `if let … else` expression would keep the read guard alive through the
 // `else` branch and self-deadlock on the first miss.
 
-fn counter_cell(name: &'static str) -> Arc<AtomicU64> {
+fn counter_cell(name: &'static str) -> Arc<CounterCell> {
     let r = registry();
     {
         let map = r.counters.read().unwrap();
@@ -130,13 +139,12 @@ fn counter_cell(name: &'static str) -> Arc<AtomicU64> {
             return Arc::clone(c);
         }
     }
-    Arc::clone(
-        r.counters
-            .write()
-            .unwrap()
-            .entry(name)
-            .or_insert_with(|| Arc::new(AtomicU64::new(0))),
-    )
+    Arc::clone(r.counters.write().unwrap().entry(name).or_insert_with(|| {
+        Arc::new(CounterCell {
+            value: AtomicU64::new(0),
+            gauge: AtomicBool::new(false),
+        })
+    }))
 }
 
 /// Adds `delta` to the named monotonic counter. No-op while disabled.
@@ -144,7 +152,7 @@ pub fn add(name: &'static str, delta: u64) {
     if !is_enabled() {
         return;
     }
-    counter_cell(name).fetch_add(delta, Ordering::Relaxed);
+    counter_cell(name).value.fetch_add(delta, Ordering::Relaxed);
 }
 
 /// Overwrites the named counter (gauge semantics, e.g. cache residency read
@@ -153,7 +161,9 @@ pub fn set(name: &'static str, value: u64) {
     if !is_enabled() {
         return;
     }
-    counter_cell(name).store(value, Ordering::Relaxed);
+    let cell = counter_cell(name);
+    cell.value.store(value, Ordering::Relaxed);
+    cell.gauge.store(true, Ordering::Relaxed);
 }
 
 /// Records `value` into the named log₂ histogram. No-op while disabled.
@@ -184,34 +194,42 @@ pub fn record(name: &'static str, value: u64) {
 /// RAII guard created by [`span`]; records elapsed wall time on drop.
 #[derive(Debug)]
 pub struct SpanGuard {
-    /// `None` when metrics were disabled at entry (disarmed).
-    armed: Option<(String, Instant)>,
+    /// `None` when metrics were disabled at entry (disarmed). The `bool`
+    /// records whether an active trace on this thread captured the span,
+    /// so the drop knows to close the trace event too.
+    armed: Option<(String, Instant, bool)>,
 }
 
 /// Opens a wall-clock span. The span is keyed by its nesting path — the
 /// names of all spans currently open on this thread joined with `/` — so
-/// exporters can attribute time hierarchically. Disabled ⇒ a disarmed
-/// guard and no other work.
+/// exporters can attribute time hierarchically. While a
+/// [`crate::trace_begin`] scope is active on this thread, the span is
+/// additionally appended to that trace's event buffer. Disabled ⇒ a
+/// disarmed guard and no other work.
 pub fn span(name: &'static str) -> SpanGuard {
     if !is_enabled() {
         return SpanGuard { armed: None };
     }
+    let traced = crate::trace::on_span_open(name);
     let path = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         stack.push(name);
         stack.join("/")
     });
     SpanGuard {
-        armed: Some((path, Instant::now())),
+        armed: Some((path, Instant::now(), traced)),
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((path, start)) = self.armed.take() else {
+        let Some((path, start, traced)) = self.armed.take() else {
             return;
         };
         let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if traced {
+            crate::trace::on_span_close(elapsed_ns);
+        }
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
@@ -257,7 +275,8 @@ pub fn snapshot() -> MetricsSnapshot {
         .iter()
         .map(|(name, cell)| CounterSnapshot {
             name: name.to_string(),
-            value: cell.load(Ordering::Relaxed),
+            value: cell.value.load(Ordering::Relaxed),
+            gauge: cell.gauge.load(Ordering::Relaxed),
         })
         .collect();
     counters.sort_by(|a, b| a.name.cmp(&b.name));

@@ -43,6 +43,10 @@ pub struct CounterSnapshot {
     pub name: String,
     /// Current value.
     pub value: u64,
+    /// `true` when the value was written with gauge semantics
+    /// (`hetesim_obs::set`) rather than accumulated; decides the
+    /// Prometheus metric type.
+    pub gauge: bool,
 }
 
 /// Frozen contents of one log₂ histogram.
@@ -229,7 +233,14 @@ impl MetricsSnapshot {
                 |c| c.name.clone(),
                 |x, y| CounterSnapshot {
                     name: x.name.clone(),
-                    value: x.value + y.value,
+                    // Gauges are point-in-time readings: merging takes the
+                    // larger one instead of a meaningless sum.
+                    value: if x.gauge || y.gauge {
+                        x.value.max(y.value)
+                    } else {
+                        x.value + y.value
+                    },
+                    gauge: x.gauge || y.gauge,
                 },
             ),
             histograms: merge_by(
@@ -305,6 +316,104 @@ impl MetricsSnapshot {
             out.push_str("\n  ");
         }
         out.push_str("}\n}\n");
+        out
+    }
+
+    /// Serializes to Prometheus text exposition format 0.0.4.
+    ///
+    /// * counters become `<name>_total` `counter` families (dots and other
+    ///   invalid characters mapped to `_`);
+    /// * values written via `hetesim_obs::set` become `gauge` families
+    ///   under their sanitized name;
+    /// * spans become two labelled families,
+    ///   `hetesim_span_duration_nanoseconds_total{path="…"}` and
+    ///   `hetesim_span_count_total{path="…"}`;
+    /// * log₂ histograms become cumulative `histogram` families with exact
+    ///   integer bucket bounds (`le="0"`, `le="1"`, `le="3"`, …, `le="+Inf"`)
+    ///   plus `_sum` and `_count`.
+    ///
+    /// Serve this as `text/plain; version=0.0.4`.
+    pub fn to_prometheus(&self) -> String {
+        fn prom_name(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 1);
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            match out.chars().next() {
+                Some(c) if !c.is_ascii_digit() => {}
+                _ => out.insert(0, '_'),
+            }
+            out
+        }
+        fn prom_label(value: &str) -> String {
+            let mut out = String::with_capacity(value.len());
+            for c in value.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for c in &self.counters {
+            let base = prom_name(&c.name);
+            if c.gauge {
+                out.push_str(&format!("# TYPE {base} gauge\n{base} {}\n", c.value));
+            } else {
+                let name = if base.ends_with("_total") {
+                    base
+                } else {
+                    format!("{base}_total")
+                };
+                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE hetesim_span_duration_nanoseconds_total counter\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "hetesim_span_duration_nanoseconds_total{{path=\"{}\"}} {}\n",
+                    prom_label(&s.path),
+                    s.total_ns
+                ));
+            }
+            out.push_str("# TYPE hetesim_span_count_total counter\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "hetesim_span_count_total{{path=\"{}\"}} {}\n",
+                    prom_label(&s.path),
+                    s.count
+                ));
+            }
+        }
+        for h in &self.histograms {
+            let name = prom_name(&h.name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            // Cumulative buckets up to the highest non-empty one; the log₂
+            // layout gives exact inclusive integer bounds (bucket i < 64
+            // holds values ≤ 2^i − 1). The rest collapses into +Inf.
+            let last = h
+                .buckets
+                .iter()
+                .rposition(|&c| c > 0)
+                .map_or(0, |i| i.min(63));
+            let mut cumulative = 0u64;
+            for i in 0..=last {
+                cumulative += h.buckets.get(i).copied().unwrap_or(0);
+                let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
         out
     }
 
@@ -402,6 +511,7 @@ mod tests {
             counters: vec![CounterSnapshot {
                 name: "c.hits".into(),
                 value: 3,
+                gauge: false,
             }],
             histograms: vec![h],
         }
@@ -461,10 +571,12 @@ mod tests {
                 CounterSnapshot {
                     name: "c.hits".into(),
                     value: 2,
+                    gauge: false,
                 },
                 CounterSnapshot {
                     name: "c.other".into(),
                     value: 9,
+                    gauge: false,
                 },
             ],
             histograms: vec![other_hist],
@@ -506,6 +618,68 @@ mod tests {
         // Merge with an empty histogram is the identity.
         let e = HistogramSnapshot::empty("d");
         assert_eq!(m.merge(&e), m);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_wellformed() {
+        let mut snap = sample();
+        snap.counters.push(CounterSnapshot {
+            name: "c.depth".into(),
+            value: 5,
+            gauge: true,
+        });
+        let text = snap.to_prometheus();
+        // Counters get _total, gauges keep their name.
+        assert!(text.contains("# TYPE c_hits_total counter\n"), "{text}");
+        assert!(text.contains("c_hits_total 3\n"), "{text}");
+        assert!(text.contains("# TYPE c_depth gauge\n"), "{text}");
+        assert!(text.contains("c_depth 5\n"), "{text}");
+        // Spans as labelled families.
+        assert!(
+            text.contains("hetesim_span_duration_nanoseconds_total{path=\"a.root/b.child\"} 60"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hetesim_span_count_total{path=\"a.root\"} 2"),
+            "{text}"
+        );
+        // Histogram h.one recorded 0 and 7: buckets le=0 →1, le=1 →1,
+        // le=3 →1, le=7 →2, +Inf = count.
+        assert!(text.contains("# TYPE h_one histogram\n"), "{text}");
+        assert!(text.contains("h_one_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("h_one_bucket{le=\"7\"} 2\n"), "{text}");
+        assert!(text.contains("h_one_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("h_one_sum 7\n"), "{text}");
+        assert!(text.contains("h_one_count 2\n"), "{text}");
+        // Every non-comment line is `name{labels} value` with a numeric
+        // value, and bucket series are cumulative.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+        }
+    }
+
+    #[test]
+    fn gauge_merge_takes_max_not_sum() {
+        let gauge = |v| CounterSnapshot {
+            name: "g.depth".into(),
+            value: v,
+            gauge: true,
+        };
+        let a = MetricsSnapshot {
+            counters: vec![gauge(3)],
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            counters: vec![gauge(9)],
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.counter("g.depth"), Some(9));
+        assert!(m.counters[0].gauge);
     }
 
     #[test]

@@ -136,9 +136,10 @@ impl<'h> App<'h> {
         )
     }
 
-    /// Publishes cache gauges, then returns the whole observability
-    /// snapshot (spans, counters, histograms) as JSON.
-    fn metrics(&self) -> Response {
+    /// Publishes cache gauges, then renders the whole observability
+    /// snapshot (spans, counters, histograms). Prometheus text format
+    /// 0.0.4 by default; `?format=json` keeps the legacy JSON view.
+    fn metrics(&self, req: &Request) -> Response {
         let stats = self.engine.cache_stats();
         hetesim_obs::set("core.cache.resident_bytes", stats.bytes);
         hetesim_obs::set("core.cache.prefix_cache.entries", stats.entries);
@@ -146,34 +147,49 @@ impl<'h> App<'h> {
             "core.cache.hit_rate_permille",
             (stats.hit_rate() * 1000.0) as u64,
         );
-        Response::json(200, hetesim_obs::snapshot().to_json())
+        let snapshot = hetesim_obs::snapshot();
+        match req.query_param("format") {
+            Some("json") => Response::json(200, snapshot.to_json()),
+            _ => Response::text(200, "text/plain; version=0.0.4", snapshot.to_prometheus()),
+        }
     }
 
     fn query(&self, req: &Request) -> Response {
         let _span = hetesim_obs::span("serve.app.query");
-        let body = match Self::body_object(req) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let (path, source, k) = {
+            let _stage = hetesim_obs::span("serve.app.parse");
+            let body = match Self::body_object(req) {
+                Ok(b) => b,
+                Err(r) => return r,
+            };
+            let path = match self.parse_path(&body) {
+                Ok(p) => p,
+                Err(r) => return r,
+            };
+            let source = match self.resolve_node(path.source_type(), &body, "source") {
+                Ok(s) => s,
+                Err(r) => return r,
+            };
+            let k = match body.get("k") {
+                None => 10,
+                Some(v) => match v.as_u64() {
+                    Some(k) => k as usize,
+                    None => return Response::error(400, "\"k\" must be a non-negative integer"),
+                },
+            };
+            (path, source, k)
         };
-        let path = match self.parse_path(&body) {
-            Ok(p) => p,
-            Err(r) => return r,
-        };
-        let source = match self.resolve_node(path.source_type(), &body, "source") {
-            Ok(s) => s,
-            Err(r) => return r,
-        };
-        let k = match body.get("k") {
-            None => 10,
-            Some(v) => match v.as_u64() {
-                Some(k) => k as usize,
-                None => return Response::error(400, "\"k\" must be a non-negative integer"),
-            },
-        };
+        hetesim_obs::trace_annotate("path", path.display(self.hin.schema()));
+        hetesim_obs::trace_annotate(
+            "source",
+            self.hin.node_name(path.source_type(), source).to_string(),
+        );
+        hetesim_obs::trace_annotate("k", k.to_string());
         let ranked = match self.engine.top_k(&path, source, k) {
             Ok(r) => r,
             Err(e) => return Response::error(400, &e.to_string()),
         };
+        let _stage = hetesim_obs::span("serve.app.render");
         let target_ty = path.target_type();
         let results: Vec<Json> = ranked
             .iter()
@@ -266,12 +282,13 @@ impl<'h> App<'h> {
 }
 
 impl Handler for App<'_> {
-    /// Routes by method and target; unknown targets get `404`, known
-    /// targets with the wrong method get `405`.
+    /// Routes by method and path (the target with any query string
+    /// stripped); unknown targets get `404`, known targets with the
+    /// wrong method get `405`.
     fn handle(&self, req: &Request) -> Response {
-        match (req.method.as_str(), req.target.as_str()) {
+        match (req.method.as_str(), req.path()) {
             ("GET", "/healthz") => self.healthz(),
-            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/metrics") => self.metrics(req),
             ("POST", "/query") => self.query(req),
             ("POST", "/pair") => self.pair(req),
             ("POST", "/warmup") => self.warmup(req),

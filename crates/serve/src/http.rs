@@ -37,6 +37,22 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
+    /// The target without its query string (`/metrics?format=json` →
+    /// `/metrics`), which is what routing matches on.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The value of a `name=value` query-string parameter, if present
+    /// (no percent-decoding; the API's parameter values never need it).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+
     /// The body decoded as UTF-8.
     pub fn body_utf8(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body).map_err(|_| HttpError::Bad("body is not valid UTF-8"))
@@ -156,6 +172,9 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 pub struct Response {
     /// Status code (200, 400, 503, …).
     pub status: u16,
+    /// `Content-Type` of the body (`application/json` for every API
+    /// response; Prometheus exposition uses `text/plain; version=0.0.4`).
+    pub content_type: String,
     /// Extra headers beyond the always-present content framing.
     pub headers: Vec<(String, String)>,
     /// Response body.
@@ -167,6 +186,18 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Response {
         Response {
             status,
+            content_type: "application/json".to_string(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A response with an explicit content type (Prometheus exposition,
+    /// plain-text diagnostics).
+    pub fn text(status: u16, content_type: &str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: content_type.to_string(),
             headers: Vec::new(),
             body: body.into(),
         }
@@ -189,9 +220,10 @@ impl Response {
     /// Serializes status line, headers, and body onto the stream.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
             self.status,
             status_reason(self.status),
+            self.content_type,
             self.body.len()
         );
         for (name, value) in &self.headers {
@@ -283,6 +315,39 @@ mod tests {
             roundtrip(raw.as_bytes()),
             Err(HttpError::TooLarge)
         ));
+    }
+
+    #[test]
+    fn path_and_query_params_split() {
+        let req = roundtrip(b"GET /metrics?format=json&x=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.target, "/metrics?format=json&x=1");
+        assert_eq!(req.path(), "/metrics");
+        assert_eq!(req.query_param("format"), Some("json"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("absent"), None);
+        let bare = roundtrip(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.path(), "/metrics");
+        assert_eq!(bare.query_param("format"), None);
+    }
+
+    #[test]
+    fn explicit_content_type_is_emitted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            Response::text(200, "text/plain; version=0.0.4", "x_total 1\n")
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        t.join().unwrap();
+        assert!(
+            text.contains("content-type: text/plain; version=0.0.4\r\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -20,10 +20,11 @@
 //! drain everything already queued, then joins them.
 
 use crate::http::{read_request, HttpError, Request, Response};
+use hetesim_obs::{FinishedTrace, JsonlSink, RingSink, TraceSink};
 use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -59,6 +60,19 @@ pub struct ServeConfig {
     /// Per-request wall-clock budget in milliseconds, measured from
     /// accept; `0` disables deadlines.
     pub deadline_ms: u64,
+    /// Slow-query threshold in milliseconds: requests at least this slow
+    /// (accept → response written) are always traced and logged to the
+    /// slow-query log, regardless of head sampling. `0` disables both.
+    pub slow_ms: u64,
+    /// Where the slow-query JSONL log goes; `None` = stderr.
+    pub slow_log: Option<String>,
+    /// Head sampling: trace 1 in `trace_sample` requests (`0` disables
+    /// head sampling; slow requests are still traced when `slow_ms` > 0).
+    pub trace_sample: u64,
+    /// Optional JSONL file receiving every kept trace (size-rotated).
+    pub trace_out: Option<String>,
+    /// Kept traces in the in-memory ring served by `GET /traces/recent`.
+    pub trace_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +82,11 @@ impl Default for ServeConfig {
             workers: 0,
             queue_depth: 64,
             deadline_ms: 0,
+            slow_ms: 0,
+            slow_log: None,
+            trace_sample: 0,
+            trace_out: None,
+            trace_ring: 128,
         }
     }
 }
@@ -137,6 +156,34 @@ pub struct Server {
     queue_depth: usize,
     deadline: Option<Duration>,
     shared: Arc<Shared>,
+    /// Slow threshold in nanoseconds (`0` = off).
+    slow_ns: u64,
+    /// Slow-query JSONL destination; `None` = stderr.
+    slow_log: Option<Mutex<std::fs::File>>,
+    /// Head sampling period (`0` = off) and its request counter. Kept
+    /// per-server (not the process-global `hetesim_obs` policy) so
+    /// servers in one process — tests, embedded uses — don't fight.
+    trace_sample: u64,
+    trace_counter: AtomicU64,
+    /// Newest kept traces, served by `GET /traces/recent`.
+    ring: Arc<RingSink>,
+    /// Optional rotating JSONL sink receiving every kept trace.
+    trace_out: Option<JsonlSink>,
+}
+
+/// How big a trace JSONL file may grow before rotating to `<path>.1`.
+const TRACE_OUT_MAX_BYTES: u64 = 64 << 20;
+
+/// Per-request trace capture decision (the serve-side mirror of
+/// [`hetesim_obs::CaptureDecision`], driven by per-server knobs).
+#[derive(Clone, Copy, PartialEq)]
+enum Capture {
+    /// Head-sampled: keep the trace unconditionally.
+    Head,
+    /// Capture provisionally; keep only if the request turns out slow.
+    Provisional,
+    /// Don't capture.
+    No,
 }
 
 impl Server {
@@ -152,6 +199,24 @@ impl Server {
         } else {
             config.workers
         };
+        let slow_log = match &config.slow_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
+        };
+        let trace_out = match &config.trace_out {
+            Some(path) => Some(JsonlSink::create(path, TRACE_OUT_MAX_BYTES)?),
+            None => None,
+        };
+        if config.trace_sample > 0 || config.slow_ms > 0 {
+            // Traces are recorded through the span machinery, which is
+            // inert until metrics are on.
+            hetesim_obs::enable();
+        }
         Ok(Server {
             listener,
             local_addr,
@@ -163,6 +228,12 @@ impl Server {
                 ready: Condvar::new(),
                 stop: AtomicBool::new(false),
             }),
+            slow_ns: config.slow_ms.saturating_mul(1_000_000),
+            slow_log,
+            trace_sample: config.trace_sample,
+            trace_counter: AtomicU64::new(0),
+            ring: Arc::new(RingSink::new(config.trace_ring)),
+            trace_out,
         })
     }
 
@@ -265,6 +336,99 @@ impl Server {
         }
     }
 
+    /// Draws this request's trace-capture ticket against the per-server
+    /// sampling knobs.
+    fn capture_decision(&self) -> Capture {
+        if self.trace_sample > 0
+            && self.trace_counter.fetch_add(1, Ordering::Relaxed) % self.trace_sample == 0
+        {
+            return Capture::Head;
+        }
+        if self.slow_ns > 0 {
+            return Capture::Provisional;
+        }
+        Capture::No
+    }
+
+    /// `GET /traces/recent`: the ring buffer as a JSON array, oldest
+    /// first. `?n=` caps the result to the newest `n`.
+    fn traces_recent(&self, req: &Request) -> Response {
+        let mut traces = self.ring.recent();
+        if let Some(n) = req.query_param("n").and_then(|v| v.parse::<usize>().ok()) {
+            let drop = traces.len().saturating_sub(n);
+            traces.drain(..drop);
+        }
+        let mut body = String::from("[");
+        for (i, t) in traces.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&t.to_json_line());
+        }
+        body.push(']');
+        Response::json(200, body)
+    }
+
+    /// Appends one structured line to the slow-query log (file or stderr).
+    fn log_slow(
+        &self,
+        trace: &FinishedTrace,
+        method: &str,
+        target: &str,
+        status: u16,
+        verdict: &str,
+    ) {
+        use std::io::Write;
+        let cache = if trace.events.iter().any(|e| e.name == "core.cache.miss") {
+            "miss"
+        } else if trace.events.iter().any(|e| e.name == "core.cache.hit") {
+            "hit"
+        } else {
+            "none"
+        };
+        let mut stages = String::new();
+        for (i, (name, ns)) in trace.stage_totals().iter().enumerate() {
+            if i > 0 {
+                stages.push(',');
+            }
+            stages.push_str(&format!("\"{}\":{}", crate::json::escape(name), ns / 1_000));
+        }
+        let mut annotations = String::new();
+        for (i, (k, v)) in trace.annotations.iter().enumerate() {
+            if i > 0 {
+                annotations.push(',');
+            }
+            annotations.push_str(&format!(
+                "\"{}\":\"{}\"",
+                crate::json::escape(k),
+                crate::json::escape(v)
+            ));
+        }
+        let line = format!(
+            "{{\"ts_unix_ms\":{},\"trace_id\":\"{}\",\"method\":\"{}\",\"target\":\"{}\",\
+             \"status\":{},\"verdict\":\"{}\",\"duration_us\":{},\"cache\":\"{}\",\
+             \"annotations\":{{{}}},\"stages_us\":{{{}}}}}",
+            trace.started_unix_ms,
+            trace.id_hex(),
+            crate::json::escape(method),
+            crate::json::escape(target),
+            status,
+            verdict,
+            trace.duration_ns / 1_000,
+            cache,
+            annotations,
+            stages,
+        );
+        hetesim_obs::add("serve.server.slow_queries", 1);
+        match &self.slow_log {
+            Some(file) => {
+                let mut file = file.lock().unwrap();
+                let _ = writeln!(file, "{line}");
+            }
+            None => eprintln!("slow-query {line}"),
+        }
+    }
+
     /// Parses, deadline-checks, dispatches, and answers one connection.
     fn serve_one<H: Handler>(&self, job: Job, handler: &H) {
         let Job {
@@ -282,24 +446,69 @@ impl Server {
         };
         let _ = stream.set_read_timeout(Some(read_budget));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-        let response = match read_request(&mut stream) {
-            Err(HttpError::TooLarge) => Response::error(413, "request too large"),
-            Err(HttpError::Bad(msg)) => Response::error(400, msg),
+
+        // One trace per connection, measured from accept so queue wait is
+        // part of the picture; the scope is started on this worker thread
+        // and back-dates its clock to `accepted`.
+        let trace_id = hetesim_obs::next_trace_id();
+        let capture = self.capture_decision();
+        let scope = match capture {
+            Capture::No => None,
+            head => Some(hetesim_obs::trace_begin(
+                trace_id,
+                accepted,
+                head == Capture::Head,
+            )),
+        };
+        if scope.is_some() {
+            let waited = accepted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            hetesim_obs::trace_push_completed("serve.server.queue_wait", 0, waited);
+        }
+
+        let parsed = {
+            let _stage = hetesim_obs::span("serve.server.parse");
+            read_request(&mut stream)
+        };
+        // Request identity for the slow log, captured before the request
+        // is consumed by the handler.
+        let mut method = String::new();
+        let mut target = String::new();
+        let mut verdict = "ok";
+        let response = match parsed {
+            Err(HttpError::TooLarge) => {
+                verdict = "too_large";
+                Response::error(413, "request too large")
+            }
+            Err(HttpError::Bad(msg)) => {
+                verdict = "bad_request";
+                Response::error(400, msg)
+            }
             Err(HttpError::Io(_)) => {
                 // Client went away or stalled past its budget: nothing to
-                // answer.
+                // answer (and nothing worth tracing).
                 hetesim_obs::add("serve.server.read_errors", 1);
                 return;
             }
             Ok(request) => {
                 hetesim_obs::add("serve.server.requests", 1);
+                method = request.method.clone();
+                target = request.target.clone();
                 if expired(deadline) {
                     hetesim_obs::add("serve.server.timeouts", 1);
+                    verdict = "deadline";
                     Response::error(504, "deadline exceeded while queued")
+                } else if request.method == "GET" && request.path() == "/traces/recent" {
+                    // Served here rather than by the handler: the ring
+                    // belongs to the server, not the application.
+                    self.traces_recent(&request)
                 } else {
-                    let response = handler.handle(&request);
+                    let response = {
+                        let _stage = hetesim_obs::span("serve.server.handle");
+                        handler.handle(&request)
+                    };
                     if expired(deadline) {
                         hetesim_obs::add("serve.server.timeouts", 1);
+                        verdict = "deadline";
                         Response::error(504, "deadline exceeded during processing")
                     } else {
                         response
@@ -307,11 +516,30 @@ impl Server {
                 }
             }
         };
+        let response = response.with_header("x-trace-id", &format!("{trace_id:016x}"));
+        {
+            let _stage = hetesim_obs::span("serve.server.write");
+            respond_and_close(stream, &response);
+        }
         hetesim_obs::record(
             "serve.server.latency_us",
             accepted.elapsed().as_micros() as u64,
         );
-        respond_and_close(stream, &response);
+        if let Some(scope) = scope {
+            if let Some(trace) = scope.finish() {
+                let slow = self.slow_ns > 0 && trace.duration_ns >= self.slow_ns;
+                if trace.head_sampled || slow {
+                    self.ring.record(&trace);
+                    if let Some(sink) = &self.trace_out {
+                        sink.record(&trace);
+                    }
+                    hetesim_obs::add("serve.server.traces_kept", 1);
+                }
+                if slow {
+                    self.log_slow(&trace, &method, &target, response.status, verdict);
+                }
+            }
+        }
     }
 }
 

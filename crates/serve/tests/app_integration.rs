@@ -27,6 +27,7 @@ fn config() -> ServeConfig {
         workers: 3,
         queue_depth: 32,
         deadline_ms: 30_000,
+        ..ServeConfig::default()
     }
 }
 
@@ -140,7 +141,7 @@ fn warmup_then_metrics_shows_cached_paths() {
         assert!(warmed[2].get("error").is_some());
         assert_eq!(app.engine().cache_stats().entries, 2);
 
-        let m = client::get(addr, "/metrics").unwrap();
+        let m = client::get(addr, "/metrics?format=json").unwrap();
         assert_eq!(m.status, 200);
         let snap = Json::parse(&m.body).unwrap();
         let counters = snap.get("counters").unwrap();
@@ -188,7 +189,7 @@ fn cache_budget_holds_under_multi_path_workload() {
             }
         }
         // The budget forced real evictions, and /metrics shows residency.
-        let m = client::get(addr, "/metrics").unwrap();
+        let m = client::get(addr, "/metrics?format=json").unwrap();
         let snap = Json::parse(&m.body).unwrap();
         let counters = snap.get("counters").unwrap();
         assert!(

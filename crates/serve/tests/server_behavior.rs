@@ -41,6 +41,7 @@ fn config() -> ServeConfig {
         workers: 2,
         queue_depth: 16,
         deadline_ms: 0,
+        ..ServeConfig::default()
     }
 }
 

@@ -1,0 +1,319 @@
+//! End-to-end tracing tests: trace IDs on the wire, stage decomposition
+//! via `/traces/recent`, slow-query capture, and `/metrics` content
+//! negotiation — the real app over real sockets.
+
+use hetesim_core::HeteSimEngine;
+use hetesim_data::acm;
+use hetesim_graph::Hin;
+use hetesim_serve::{client, App, Json, Request, Response, ServeConfig, Server, ShutdownHandle};
+
+/// Stops the server even when the test body panics, so the joining scope
+/// cannot deadlock on assertion failures.
+struct StopOnDrop(ShutdownHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn network() -> (Hin, String) {
+    let data = acm::generate(&acm::AcmConfig::tiny(7));
+    (data.hin, data.star_concentrated)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        deadline_ms: 30_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// Boots the app on an ephemeral port with `config`, runs `body`, shuts
+/// down cleanly.
+fn with_app<F>(config: &ServeConfig, hin: &Hin, engine: HeteSimEngine<'_>, body: F)
+where
+    F: FnOnce(std::net::SocketAddr),
+{
+    let app = App::new(hin, engine);
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&app));
+        let stop = StopOnDrop(handle);
+        body(addr);
+        drop(stop);
+        serving.join().unwrap().unwrap();
+    });
+}
+
+/// Boots a raw server with a closure handler (no engine), for tests that
+/// need a handler with controlled latency.
+fn with_handler<H, F>(config: &ServeConfig, handler: H, body: F)
+where
+    H: Fn(&Request) -> Response + Sync,
+    F: FnOnce(std::net::SocketAddr),
+{
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&handler));
+        let stop = StopOnDrop(handle);
+        body(addr);
+        drop(stop);
+        serving.join().unwrap().unwrap();
+    });
+}
+
+/// Sums `duration_ns` over every event named `name` in a trace object.
+fn stage_ns(trace: &Json, name: &str) -> u64 {
+    trace
+        .get("events")
+        .and_then(Json::as_array)
+        .map(|events| {
+            events
+                .iter()
+                .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .filter_map(|e| e.get("duration_ns").and_then(Json::as_u64))
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn every_response_carries_a_trace_id_even_unsampled() {
+    let (hin, _) = network();
+    // No head sampling, no slow threshold: nothing is captured, but the
+    // trace ID header is still minted per connection.
+    with_app(&config(), &hin, HeteSimEngine::new(&hin), |addr| {
+        let r = client::get(addr, "/healthz").unwrap();
+        let id = r.header("x-trace-id").expect("x-trace-id header");
+        assert_eq!(id.len(), 16, "trace id is 16 hex chars: {id:?}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+
+        let traces = client::get(addr, "/traces/recent").unwrap();
+        assert_eq!(traces.status, 200);
+        let parsed = Json::parse(&traces.body).unwrap();
+        assert_eq!(parsed.as_array().map(|a| a.len()), Some(0));
+    });
+}
+
+#[test]
+fn sampled_query_decomposes_into_engine_stages() {
+    let (hin, star) = network();
+    hetesim_obs::enable();
+    let cfg = ServeConfig {
+        trace_sample: 1,
+        ..config()
+    };
+    with_app(&cfg, &hin, HeteSimEngine::new(&hin), |addr| {
+        // A cold query: the engine builds half-products from scratch, so
+        // engine stages dominate the handler span.
+        let body = format!("{{\"path\":\"APVC\",\"source\":\"{star}\",\"k\":5}}");
+        let r = client::post_json(addr, "/query", &body).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let id = r
+            .header("x-trace-id")
+            .expect("x-trace-id header")
+            .to_string();
+
+        let traces = client::get(addr, "/traces/recent").unwrap();
+        let parsed = Json::parse(&traces.body).unwrap();
+        let trace = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|t| t.get("trace_id").and_then(Json::as_str) == Some(&id))
+            .unwrap_or_else(|| panic!("trace {id} not in ring: {}", traces.body))
+            .clone();
+
+        // The request annotated itself with its query parameters.
+        let annotations = trace.get("annotations").expect("annotations");
+        assert_eq!(annotations.get("k").and_then(Json::as_str), Some("5"));
+        assert!(annotations.get("path").is_some());
+        assert!(annotations.get("source").is_some());
+
+        // Stage decomposition: named engine stages nest under the handler
+        // span and account for the bulk of it on a cold query.
+        let handle = stage_ns(&trace, "serve.server.handle");
+        assert!(handle > 0, "handler span missing: {}", traces.body);
+        let engine: u64 = [
+            "core.engine.normalize",
+            "core.engine.chain",
+            "core.engine.cosine",
+            "core.engine.topk",
+        ]
+        .iter()
+        .map(|s| stage_ns(&trace, s))
+        .sum();
+        assert!(engine > 0, "engine stages missing: {}", traces.body);
+        assert!(
+            engine <= handle,
+            "engine stages ({engine} ns) exceed handler span ({handle} ns)"
+        );
+        // The trace itself spans accept→write, so it bounds the handler.
+        let total = trace.get("duration_ns").and_then(Json::as_u64).unwrap();
+        assert!(total >= handle);
+        // Cold build work dominates: at least half the handler span. (CI
+        // asserts the >=90% bound on the larger DBLP fixture.)
+        assert!(
+            engine * 2 >= handle,
+            "engine stages {engine} ns < 50% of handler {handle} ns"
+        );
+        // A cold query misses the path cache, and the event says so.
+        assert!(
+            trace
+                .get("events")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("core.cache.miss")),
+            "cache miss marker missing: {}",
+            traces.body
+        );
+    });
+}
+
+#[test]
+fn slow_requests_are_captured_even_when_head_sampling_drops_them() {
+    hetesim_obs::enable();
+    let dir = std::env::temp_dir().join(format!("hetesim-slowlog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("slow.jsonl");
+    let cfg = ServeConfig {
+        // Head sampling off: only the slow path can capture anything.
+        trace_sample: 0,
+        slow_ms: 10,
+        slow_log: Some(log_path.display().to_string()),
+        ..config()
+    };
+    let handler = |req: &Request| {
+        if req.path() == "/slow" {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+        }
+        Response::json(200, "{\"ok\":true}")
+    };
+    with_handler(&cfg, handler, |addr| {
+        // Fast request: under the threshold, dropped.
+        let fast = client::get(addr, "/fast").unwrap();
+        assert!(fast.header("x-trace-id").is_some());
+        // Slow request: over the threshold, kept despite sampling being off.
+        let slow = client::get(addr, "/slow").unwrap();
+        let slow_id = slow.header("x-trace-id").unwrap().to_string();
+
+        let traces = client::get(addr, "/traces/recent").unwrap();
+        let parsed = Json::parse(&traces.body).unwrap();
+        let kept: Vec<String> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|t| t.get("trace_id").and_then(Json::as_str).map(String::from))
+            .collect();
+        assert!(kept.contains(&slow_id), "slow trace not kept: {kept:?}");
+        let slow_trace = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|t| t.get("trace_id").and_then(Json::as_str) == Some(&slow_id))
+            .unwrap();
+        assert_eq!(
+            slow_trace.get("head_sampled"),
+            Some(&Json::Bool(false)),
+            "slow capture must not be attributed to head sampling"
+        );
+        assert!(
+            slow_trace
+                .get("duration_ns")
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 10_000_000
+        );
+    });
+    // The slow-query log has exactly the slow request, with its stage
+    // breakdown and verdict.
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 1, "expected one slow-log line: {log:?}");
+    let entry = Json::parse(lines[0]).unwrap();
+    assert_eq!(entry.get("target").and_then(Json::as_str), Some("/slow"));
+    assert_eq!(entry.get("verdict").and_then(Json::as_str), Some("ok"));
+    assert_eq!(entry.get("status").and_then(Json::as_u64), Some(200));
+    assert!(entry.get("duration_us").and_then(Json::as_u64).unwrap() >= 10_000);
+    assert!(
+        entry
+            .get("stages_us")
+            .and_then(|s| s.get("serve.server.handle"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_ring_serves_newest_first_capped_by_query_param() {
+    let (hin, _) = network();
+    hetesim_obs::enable();
+    let cfg = ServeConfig {
+        trace_sample: 1,
+        trace_ring: 4,
+        ..config()
+    };
+    with_app(&cfg, &hin, HeteSimEngine::new(&hin), |addr| {
+        let mut ids = Vec::new();
+        for _ in 0..6 {
+            let r = client::get(addr, "/healthz").unwrap();
+            ids.push(r.header("x-trace-id").unwrap().to_string());
+        }
+        let traces = client::get(addr, "/traces/recent?n=2").unwrap();
+        let parsed = Json::parse(&traces.body).unwrap();
+        let got = parsed.as_array().unwrap();
+        assert!(got.len() <= 2, "n=2 cap ignored: {} traces", got.len());
+        // The bounded ring evicted the oldest entries (the `/traces/recent`
+        // requests themselves are traced too, pushing out even more).
+        let all = client::get(addr, "/traces/recent").unwrap();
+        let all = Json::parse(&all.body).unwrap();
+        let kept: Vec<&str> = all
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|t| t.get("trace_id").and_then(Json::as_str))
+            .collect();
+        assert!(kept.len() <= 4, "ring of 4 held {} traces", kept.len());
+        assert!(
+            !kept.contains(&ids[0].as_str()) && !kept.contains(&ids[1].as_str()),
+            "oldest traces not evicted: {kept:?} vs {ids:?}"
+        );
+    });
+}
+
+#[test]
+fn metrics_negotiates_prometheus_and_json() {
+    let (hin, _) = network();
+    hetesim_obs::enable();
+    with_app(&config(), &hin, HeteSimEngine::new(&hin), |addr| {
+        let prom = client::get(addr, "/metrics").unwrap();
+        assert_eq!(prom.status, 200);
+        assert_eq!(
+            prom.header("content-type"),
+            Some("text/plain; version=0.0.4")
+        );
+        assert!(prom.body.contains("# TYPE"), "{}", prom.body);
+        assert!(
+            prom.body.contains("core_cache_resident_bytes"),
+            "{}",
+            prom.body
+        );
+
+        let json = client::get(addr, "/metrics?format=json").unwrap();
+        assert_eq!(json.status, 200);
+        assert_eq!(json.header("content-type"), Some("application/json"));
+        let v = Json::parse(&json.body).expect("JSON body");
+        assert!(v.get("counters").is_some());
+    });
+}

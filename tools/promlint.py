@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Minimal Prometheus text-exposition (version 0.0.4) lint, stdlib only.
+
+Reads the exposition from stdin (or a file argument) and checks:
+
+  * metric and label names match the Prometheus grammar;
+  * every sample parses as ``name{labels} value``, value a float;
+  * ``# TYPE`` lines are well-formed and name a known type, appear at
+    most once per metric, and precede that metric's samples;
+  * counter sample names end in ``_total`` (per current naming practice);
+  * histograms are complete and coherent: ``_bucket`` samples carry an
+    ``le`` label, cumulative counts are monotone in ``le`` order, a
+    ``+Inf`` bucket exists, and its count equals ``_count``, with
+    ``_sum``/``_count`` both present.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+
+Usage:  curl -s host:port/metrics | python3 tools/promlint.py
+        python3 tools/promlint.py exposition.txt
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_name(sample_name: str) -> str:
+    """The metric family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_le(value: str) -> float:
+    return float("inf") if value == "+Inf" else float(value)
+
+
+def lint(text: str):
+    errors = []
+    types = {}  # family -> declared type
+    seen_samples = {}  # family -> True once a sample was emitted
+    # histogram family -> {"buckets": [(le, count)], "sum": x, "count": n}
+    histograms = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+
+        def err(msg):
+            errors.append(f"line {lineno}: {msg}: {line!r}")
+
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    err("malformed # TYPE line")
+                    continue
+                _, _, name, typ = parts
+                if not METRIC_NAME.match(name):
+                    err(f"bad metric name {name!r} in # TYPE")
+                if typ not in TYPES:
+                    err(f"unknown type {typ!r}")
+                if name in types:
+                    err(f"duplicate # TYPE for {name!r}")
+                if name in seen_samples:
+                    err(f"# TYPE for {name!r} after its samples")
+                types[name] = typ
+            # HELP and comments pass through unchecked.
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            err("unparsable sample line")
+            continue
+        name = m.group("name")
+        family = base_name(name)
+        seen_samples[family] = True
+        seen_samples[name] = True
+
+        labels = {}
+        raw_labels = m.group("labels")
+        if raw_labels is not None:
+            consumed = LABEL.findall(raw_labels)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            stripped = raw_labels.rstrip(",")
+            if rebuilt != stripped:
+                err(f"malformed label set {raw_labels!r}")
+            for key, value in consumed:
+                if not LABEL_NAME.match(key):
+                    err(f"bad label name {key!r}")
+                labels[key] = value
+
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err(f"sample value {m.group('value')!r} is not a float")
+            continue
+
+        declared = types.get(family) or types.get(name)
+        if declared == "counter":
+            if not name.endswith("_total"):
+                err(f"counter sample {name!r} does not end in _total")
+            if value < 0:
+                err(f"counter {name!r} is negative")
+        if declared == "histogram":
+            h = histograms.setdefault(
+                family, {"buckets": [], "sum": None, "count": None}
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    err(f"histogram bucket {name!r} lacks an le label")
+                else:
+                    try:
+                        h["buckets"].append((parse_le(labels["le"]), value))
+                    except ValueError:
+                        err(f"unparsable le value {labels['le']!r}")
+            elif name.endswith("_sum"):
+                h["sum"] = value
+            elif name.endswith("_count"):
+                h["count"] = value
+            else:
+                err(f"histogram family {family!r} has stray sample {name!r}")
+
+    for family, h in sorted(histograms.items()):
+        if not h["buckets"]:
+            errors.append(f"histogram {family!r} has no buckets")
+            continue
+        les = [le for le, _ in h["buckets"]]
+        counts = [c for _, c in h["buckets"]]
+        if les != sorted(les):
+            errors.append(f"histogram {family!r} buckets out of le order")
+        for (le_a, c_a), (le_b, c_b) in zip(h["buckets"], h["buckets"][1:]):
+            if c_b < c_a:
+                errors.append(
+                    f"histogram {family!r} not cumulative: "
+                    f"bucket le={le_b} count {c_b} < le={le_a} count {c_a}"
+                )
+        if les[-1] != float("inf"):
+            errors.append(f"histogram {family!r} lacks a +Inf bucket")
+        if h["count"] is None:
+            errors.append(f"histogram {family!r} lacks _count")
+        elif les[-1] == float("inf") and counts[-1] != h["count"]:
+            errors.append(
+                f"histogram {family!r}: +Inf bucket {counts[-1]} != _count {h['count']}"
+            )
+        if h["sum"] is None:
+            errors.append(f"histogram {family!r} lacks _sum")
+
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("promlint: empty exposition", file=sys.stderr)
+        return 1
+    errors = lint(text)
+    for e in errors:
+        print(f"promlint: {e}", file=sys.stderr)
+    if not errors:
+        families = sum(1 for line in text.splitlines() if line.startswith("# TYPE"))
+        print(f"promlint: OK ({families} metric families)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
