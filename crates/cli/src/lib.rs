@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `hetesim-cli` — relevance search over heterogeneous networks from the
 //! shell.
 //!

@@ -1,7 +1,7 @@
 use hetesim_sparse::CsrMatrix;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 pub use hetesim_obs::CacheStats;
 
@@ -121,8 +121,8 @@ impl PathCache {
     /// current residency evicts immediately.
     pub fn set_budget_bytes(&self, budget_bytes: u64) {
         self.budget.store(budget_bytes, Ordering::Relaxed);
-        let mut inner = self.inner.write().unwrap();
-        let mut partial = self.partial.write().unwrap();
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        let mut partial = self.partial.write().unwrap_or_else(PoisonError::into_inner);
         self.evict_locked(&mut inner, &mut partial);
     }
 
@@ -195,7 +195,7 @@ impl PathCache {
     where
         F: FnOnce() -> Result<Halves, E>,
     {
-        if let Some(e) = self.inner.read().unwrap().get(key) {
+        if let Some(e) = self.inner.read().unwrap_or_else(PoisonError::into_inner).get(key) {
             e.last_used.store(self.next_tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             hetesim_obs::add("core.cache.prefix_cache.hits", 1);
@@ -216,8 +216,8 @@ impl PathCache {
             return Ok(built);
         }
         let entry = Entry::new(Arc::clone(&built), bytes, self.next_tick());
-        let mut inner = self.inner.write().unwrap();
-        let mut partial = self.partial.write().unwrap();
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        let mut partial = self.partial.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(old) = inner.insert(key.to_string(), entry) {
             self.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
         }
@@ -234,7 +234,7 @@ impl PathCache {
     where
         F: FnOnce() -> Result<CsrMatrix, E>,
     {
-        if let Some(e) = self.partial.read().unwrap().get(key) {
+        if let Some(e) = self.partial.read().unwrap_or_else(PoisonError::into_inner).get(key) {
             e.last_used.store(self.next_tick(), Ordering::Relaxed);
             hetesim_obs::add("core.cache.prefix.hits", 1);
             return Ok(Arc::clone(&e.value));
@@ -247,8 +247,8 @@ impl PathCache {
             return Ok(built);
         }
         let entry = Entry::new(Arc::clone(&built), bytes, self.next_tick());
-        let mut inner = self.inner.write().unwrap();
-        let mut partial = self.partial.write().unwrap();
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        let mut partial = self.partial.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(old) = partial.insert(key.to_string(), entry) {
             self.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
         }
@@ -259,12 +259,12 @@ impl PathCache {
 
     /// Number of materialized prefix products.
     pub fn partial_len(&self) -> usize {
-        self.partial.read().unwrap().len()
+        self.partial.read().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Number of cached paths.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().len()
+        self.inner.read().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// True if nothing is cached.
@@ -290,8 +290,8 @@ impl PathCache {
     pub fn clear(&self) {
         let evicted = (self.len() + self.partial_len()) as u64;
         hetesim_obs::add("core.cache.prefix_cache.evictions", evicted);
-        self.inner.write().unwrap().clear();
-        self.partial.write().unwrap().clear();
+        self.inner.write().unwrap_or_else(PoisonError::into_inner).clear();
+        self.partial.write().unwrap_or_else(PoisonError::into_inner).clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 //! The HeteSim relevance measure (Shi, Kong, Yu, Xie, Wu — EDBT 2012).

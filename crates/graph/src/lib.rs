@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Heterogeneous information network (HIN) storage, schema, and meta-path

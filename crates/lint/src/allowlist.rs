@@ -1,0 +1,279 @@
+//! `lint-allow.toml` — the checked-in, ratcheted allowlist.
+//!
+//! The linter never silences a finding on its own: every suppression is
+//! an explicit `[[allow]]` entry carrying a justification, and every
+//! declared lock order is a `[[lock-order]]` entry. Entries that match
+//! nothing are themselves findings (dead entries rot the ratchet), and
+//! the entry/matched counts land in the JSON report so later PRs can
+//! prove the list only shrinks.
+//!
+//! The parser handles exactly the TOML subset the file uses — `[[table]]`
+//! array headers, `key = "string"` pairs, `#` comments — by hand, keeping
+//! the linter dependency-free.
+
+use crate::report::{Finding, Pass};
+
+/// One `[[allow]]` entry: suppress `pass` findings in `path` on lines
+/// containing `pattern`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Pass name (`panic-freedom`, …); empty = any pass.
+    pub pass: String,
+    /// Workspace-relative file the entry applies to.
+    pub path: String,
+    /// Substring the offending source line must contain.
+    pub pattern: String,
+    /// Why this is acceptable; must be non-empty.
+    pub justification: String,
+    /// Defining line in `lint-allow.toml` (for hygiene findings).
+    pub line: u32,
+}
+
+/// One `[[lock-order]]` entry: while a `first` guard is held in `path`,
+/// acquiring `second` is declared safe (that order — and only that
+/// order — is blessed).
+#[derive(Debug, Clone)]
+pub struct LockOrderEntry {
+    /// Workspace-relative file the order applies to.
+    pub path: String,
+    /// Lock held first (field/binding name as it appears in source).
+    pub first: String,
+    /// Lock acquired second.
+    pub second: String,
+    /// Why the nesting is sound; must be non-empty.
+    pub justification: String,
+    /// Defining line in `lint-allow.toml`.
+    pub line: u32,
+}
+
+/// Parsed allowlist plus per-entry match counters filled during linting.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Suppression entries in file order.
+    pub allows: Vec<AllowEntry>,
+    /// Declared lock orders in file order.
+    pub lock_orders: Vec<LockOrderEntry>,
+    /// Parallel to `allows`: findings suppressed by each entry.
+    pub matched: Vec<usize>,
+    /// Parallel to `lock_orders`: acquisitions blessed by each entry.
+    pub lock_matched: Vec<usize>,
+}
+
+impl Allowlist {
+    /// Parses the TOML subset. Syntax problems become findings rather
+    /// than hard errors — a broken allowlist must fail the build visibly.
+    pub fn parse(text: &str, findings: &mut Vec<Finding>, file_label: &str) -> Allowlist {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Allow,
+            LockOrder,
+        }
+        let mut list = Allowlist::default();
+        let mut section = Section::None;
+        let mut current: Vec<(String, String)> = Vec::new();
+        let mut section_line = 0u32;
+
+        let flush =
+            |section: &Section, kv: &mut Vec<(String, String)>, line: u32, list: &mut Allowlist| {
+                if kv.is_empty() {
+                    return;
+                }
+                let get = |k: &str| {
+                    kv.iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default()
+                };
+                match section {
+                    Section::Allow => list.allows.push(AllowEntry {
+                        pass: get("pass"),
+                        path: get("path"),
+                        pattern: get("pattern"),
+                        justification: get("justification"),
+                        line,
+                    }),
+                    Section::LockOrder => list.lock_orders.push(LockOrderEntry {
+                        path: get("path"),
+                        first: get("first"),
+                        second: get("second"),
+                        justification: get("justification"),
+                        line,
+                    }),
+                    Section::None => {}
+                }
+                kv.clear();
+            };
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush(&section, &mut current, section_line, &mut list);
+                section = Section::Allow;
+                section_line = lineno;
+                continue;
+            }
+            if line == "[[lock-order]]" {
+                flush(&section, &mut current, section_line, &mut list);
+                section = Section::LockOrder;
+                section_line = lineno;
+                continue;
+            }
+            if let Some((key, value)) = parse_kv(line) {
+                if section == Section::None {
+                    findings.push(Finding {
+                        pass: Pass::Allowlist,
+                        file: file_label.to_string(),
+                        line: lineno,
+                        message: format!("key `{key}` outside any [[allow]]/[[lock-order]] entry"),
+                    });
+                } else {
+                    current.push((key, value));
+                }
+                continue;
+            }
+            findings.push(Finding {
+                pass: Pass::Allowlist,
+                file: file_label.to_string(),
+                line: lineno,
+                message: format!("unparsable line: {line}"),
+            });
+        }
+        flush(&section, &mut current, section_line, &mut list);
+
+        // Hygiene: every entry carries a justification and enough keys to
+        // ever match.
+        for e in &list.allows {
+            if e.justification.trim().is_empty() {
+                findings.push(Finding {
+                    pass: Pass::Allowlist,
+                    file: file_label.to_string(),
+                    line: e.line,
+                    message: format!(
+                        "[[allow]] entry for `{}` has no justification",
+                        if e.path.is_empty() { "<no path>" } else { &e.path }
+                    ),
+                });
+            }
+            if e.path.is_empty() || e.pattern.is_empty() {
+                findings.push(Finding {
+                    pass: Pass::Allowlist,
+                    file: file_label.to_string(),
+                    line: e.line,
+                    message: "[[allow]] entry needs both `path` and `pattern`".to_string(),
+                });
+            }
+        }
+        for e in &list.lock_orders {
+            if e.justification.trim().is_empty() {
+                findings.push(Finding {
+                    pass: Pass::Allowlist,
+                    file: file_label.to_string(),
+                    line: e.line,
+                    message: format!(
+                        "[[lock-order]] {} -> {} has no justification",
+                        e.first, e.second
+                    ),
+                });
+            }
+        }
+        list.matched = vec![0; list.allows.len()];
+        list.lock_matched = vec![0; list.lock_orders.len()];
+        list
+    }
+
+    /// Whether a finding is suppressed; counts the first matching entry.
+    /// `line_text` is the source line the finding points at.
+    pub fn suppresses(&mut self, f: &Finding, line_text: &str) -> bool {
+        for (i, e) in self.allows.iter().enumerate() {
+            let pass_ok = e.pass.is_empty() || e.pass == f.pass.name();
+            if pass_ok && e.path == f.file && line_text.contains(&e.pattern) {
+                self.matched[i] += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether acquiring `second` while holding `first` in `file` is a
+    /// declared order; counts the blessing.
+    pub fn order_declared(&mut self, file: &str, first: &str, second: &str) -> bool {
+        for (i, e) in self.lock_orders.iter().enumerate() {
+            if e.path == file && e.first == first && e.second == second {
+                self.lock_matched[i] += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emits a finding per entry that suppressed/blessed nothing.
+    pub fn report_dead(&self, findings: &mut Vec<Finding>, file_label: &str) -> usize {
+        let mut dead = 0;
+        for (e, &n) in self.allows.iter().zip(&self.matched) {
+            if n == 0 {
+                dead += 1;
+                findings.push(Finding {
+                    pass: Pass::Allowlist,
+                    file: file_label.to_string(),
+                    line: e.line,
+                    message: format!(
+                        "dead [[allow]] entry (pattern `{}` in `{}` matches nothing) — \
+                         delete it to keep the ratchet honest",
+                        e.pattern, e.path
+                    ),
+                });
+            }
+        }
+        for (e, &n) in self.lock_orders.iter().zip(&self.lock_matched) {
+            if n == 0 {
+                dead += 1;
+                findings.push(Finding {
+                    pass: Pass::Allowlist,
+                    file: file_label.to_string(),
+                    line: e.line,
+                    message: format!(
+                        "dead [[lock-order]] entry ({} -> {} in `{}` blesses nothing)",
+                        e.first, e.second, e.path
+                    ),
+                });
+            }
+        }
+        dead
+    }
+}
+
+/// Parses `key = "value"` with basic `\"`/`\\` escapes.
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+        return None;
+    }
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    let mut value = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                Some('n') => value.push('\n'),
+                Some('t') => value.push('\t'),
+                Some(other) => {
+                    value.push('\\');
+                    value.push(other);
+                }
+                None => value.push('\\'),
+            }
+        } else {
+            value.push(c);
+        }
+    }
+    Some((key.to_string(), value))
+}

@@ -1,0 +1,463 @@
+//! A string/char/comment/raw-string-aware Rust token stream.
+//!
+//! The linter does not need a parse tree: every pass works on token
+//! shapes (`ident` `::` `ident` `(` …). What it *does* need is to never
+//! mistake the inside of a string literal, comment, or char literal for
+//! code — that is the whole job of this lexer. Tokens keep their source
+//! line so findings are clickable.
+
+/// What a token is. Punctuation keeps its text; `::` is fused into one
+/// token because the rule engine matches on it constantly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `let`, `unwrap`, …).
+    Ident,
+    /// String literal (normal, raw, byte); `text` holds the unescaped
+    /// content without quotes.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`) — kept distinct so char-literal logic stays honest.
+    Lifetime,
+    /// Line or block comment; `text` holds the comment body.
+    Comment,
+    /// Any other punctuation (`.`, `(`, `!`, fused `::`, …).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each class stores).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Tokenizes Rust source. Unterminated constructs (string running off the
+/// end of the file) terminate the token quietly at EOF — the linter must
+/// never panic on weird input, it reports on it.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let (tok_line, start) = (line, i);
+                i += 2;
+                let mut depth = 1;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                let (text, ni, nl) = scan_string(b, src, i, line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: tok_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let tok_line = line;
+                let (text, ni, nl) = scan_prefixed_string(b, src, i, line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: tok_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+                // Byte literal b'x'.
+                let tok_line = line;
+                let ni = scan_char_literal(b, i + 1);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: src[i..ni].to_string(),
+                    line: tok_line,
+                });
+                i = ni;
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident NOT
+                // followed by a closing quote; everything else is a char.
+                let mut j = i + 1;
+                if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') {
+                    let mut k = j;
+                    while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k] == b'\'' && k == j + 1 {
+                        // 'x' — single ident char closed by a quote: char.
+                        toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: src[i..k + 1].to_string(),
+                            line,
+                        });
+                        i = k + 1;
+                        continue;
+                    }
+                    // 'static, 'a in `&'a str` — lifetime.
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i..k].to_string(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // '\n', '\'', '\u{..}' — escaped char literal.
+                if j < b.len() && b[j] == b'\\' {
+                    let ni = scan_char_literal(b, i);
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: src[i..ni].to_string(),
+                        line,
+                    });
+                    i = ni;
+                    continue;
+                }
+                // Multibyte char like 'é' or stray quote.
+                while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'\'' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part, but never swallow a `..` range.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b':' if i + 1 < b.len() && b[i + 1] == b':' => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "::".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                // Any other byte (covers multibyte UTF-8 leading bytes in
+                // operators-free positions too): single-char punct.
+                let ch_len = utf8_len(c);
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..(i + ch_len).min(b.len())].to_string(),
+                    line,
+                });
+                i += ch_len;
+            }
+        }
+    }
+    toks
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// True at `r"`, `r#"`, `b"`, `br"`, `br#"` etc.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+        return j < b.len() && b[j] == b'"';
+    }
+    // b"...": byte string without raw marker.
+    b[i] == b'b' && j < b.len() && b[j] == b'"'
+}
+
+/// Scans a normal `"…"` string starting at the opening quote. Returns the
+/// unescaped content, the index after the closing quote, and the new line.
+fn scan_string(b: &[u8], src: &str, start: usize, mut line: u32) -> (String, usize, u32) {
+    let mut i = start + 1;
+    let mut out = String::new();
+    while i < b.len() {
+        match b[i] {
+            b'"' => return (out, i + 1, line),
+            b'\\' if i + 1 < b.len() => {
+                match b[i + 1] {
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'0' => out.push('\0'),
+                    b'\\' => out.push('\\'),
+                    b'"' => out.push('"'),
+                    b'\'' => out.push('\''),
+                    b'\n' => line += 1, // line-continuation escape
+                    other => {
+                        // \x.., \u{..}: keep the raw escape; the linter
+                        // only needs plain-ASCII names to survive intact.
+                        out.push('\\');
+                        out.push(other as char);
+                    }
+                }
+                i += 2;
+            }
+            b'\n' => {
+                line += 1;
+                out.push('\n');
+                i += 1;
+            }
+            _ => {
+                let l = utf8_len(b[i]);
+                out.push_str(&src[i..(i + l).min(b.len())]);
+                i += l;
+            }
+        }
+    }
+    (out, i, line)
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` starting at the prefix.
+fn scan_prefixed_string(b: &[u8], src: &str, start: usize, mut line: u32) -> (String, usize, u32) {
+    let mut i = start;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    let raw = i < b.len() && b[i] == b'r';
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return (String::new(), i, line);
+    }
+    if !raw {
+        // Plain byte string: same escape rules as a normal string.
+        return scan_string(b, src, i, line);
+    }
+    i += 1;
+    let content_start = i;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            line += 1;
+        }
+        if b[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return (src[content_start..i].to_string(), k, line);
+            }
+        }
+        i += 1;
+    }
+    (src[content_start..i.min(b.len())].to_string(), i, line)
+}
+
+/// Scans a (possibly escaped) char literal starting at the opening `'`.
+fn scan_char_literal(b: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    if i < b.len() && b[i] == b'\\' {
+        i += 2;
+        // \u{…}
+        if i <= b.len() && i >= 1 && b.get(i - 1) == Some(&b'{') {
+            while i < b.len() && b[i] != b'}' {
+                i += 1;
+            }
+            i += 1;
+        }
+    } else {
+        i += utf8_len(*b.get(i).unwrap_or(&b' '));
+    }
+    while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        i += 1;
+    }
+    i
+}
+
+/// Marks which tokens are inside `#[cfg(test)]` / `#[test]` items. The
+/// returned mask is parallel to `toks`.
+///
+/// Strategy: on every `#` `[` attribute, collect the attribute's idents;
+/// if any of them is `test`, skip attributes that follow (stacked attrs)
+/// and mark the next item — up to the matching `}` of its first top-level
+/// brace, or to the first `;` when no brace opens — as test code.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            let (attr_end, is_test) = scan_attr(toks, i + 1);
+            if is_test {
+                // Mark the attribute itself, any stacked attributes, and
+                // the item that follows.
+                let mut j = attr_end;
+                while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+                    let (e, _) = scan_attr(toks, j + 1);
+                    j = e;
+                }
+                let item_end = scan_item(toks, j);
+                for m in mask.iter_mut().take(item_end).skip(i) {
+                    *m = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans an attribute starting at its `[`. Returns (index after `]`,
+/// whether the attribute mentions the ident `test`).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, is_test);
+            }
+        } else if t.is_ident("test") {
+            // `#[cfg(not(test))]` guards code that is *absent* from test
+            // builds — that is production code and must still be linted.
+            let negated = i >= 2 && toks[i - 1].is_punct("(") && toks[i - 2].is_ident("not");
+            if !negated {
+                is_test = true;
+            }
+        }
+        i += 1;
+    }
+    (i, is_test)
+}
+
+/// Scans the item starting at `start`: to the matching `}` of its first
+/// top-level `{`, or to the first `;` before any brace opens.
+fn scan_item(toks: &[Tok], start: usize) -> usize {
+    let mut i = start;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}

@@ -1,0 +1,256 @@
+//! `hetesim-lint` — workspace static analysis for the HeteSim repo.
+//!
+//! The workspace carries invariants no compiler checks: observability
+//! names form a contract with `/metrics` consumers and CI assertions;
+//! hand-rolled concurrency (the serve worker pool, the budgeted-LRU
+//! `PathCache`, the two-phase SpGEMM) must not deadlock; numeric kernels
+//! must stay bit-deterministic; panics must not reach request paths.
+//! This crate machine-checks them with five passes over a hand-rolled,
+//! string/comment-aware token stream (no full parse — token shapes are
+//! enough, see [`lexer`]):
+//!
+//! * **L1 `obs-names`** ([`passes::obs_names`]) — every `span!`/counter/
+//!   histogram/trace-event name in source matches the `crate.area.name`
+//!   grammar ([`hetesim_obs::is_valid_metric_name`], the same function
+//!   the runtime `debug_assert!`s) and is listed in
+//!   `crates/obs/NAMES.md`; registry entries that match no source are
+//!   dead; docs that mention unregistered names are stale.
+//! * **L2 `panic-freedom`** ([`passes::panics`]) — no `unwrap()` /
+//!   `expect()` / `panic!` / `unreachable!` / `todo!` outside
+//!   `#[cfg(test)]` in the panic-scoped crates; remaining sites live in
+//!   `lint-allow.toml` with justifications and are counted so the list
+//!   only ratchets down.
+//! * **L3 `unsafe-audit`** ([`passes::unsafety`]) — every `unsafe` block
+//!   or fn is immediately preceded by a `// SAFETY:` comment; crates with
+//!   zero unsafe must carry `#![forbid(unsafe_code)]`.
+//! * **L4 `lock-discipline`** ([`passes::locks`]) — acquiring a second
+//!   lock while a `.lock()`/`.read()`/`.write()` guard is held requires a
+//!   declared `[[lock-order]]` entry.
+//! * **L5 `determinism`** ([`passes::determinism`]) — no `Instant::now`,
+//!   `SystemTime::now`, or RNG construction inside numeric-kernel files;
+//!   timing belongs behind the `hetesim-obs` facade.
+//!
+//! The binary (`cargo run -p hetesim-lint -- --workspace`) renders a
+//! pretty tree or `--format json` and exits non-zero on any finding.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod passes;
+pub mod registry;
+pub mod report;
+
+use allowlist::Allowlist;
+use lexer::{lex, test_mask, Tok};
+use registry::NameRegistry;
+use report::{Finding, Report};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Workspace-relative path of the name registry.
+pub const REGISTRY_PATH: &str = "crates/obs/NAMES.md";
+/// Workspace-relative path of the allowlist.
+pub const ALLOWLIST_PATH: &str = "lint-allow.toml";
+
+/// What to lint and how. [`Config::for_workspace`] encodes the repo's
+/// policy; tests build narrower configs by hand.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (the directory holding `Cargo.toml` + `crates/`).
+    pub root: PathBuf,
+    /// Crate names (directory names under `crates/`) in L2 scope.
+    pub panic_crates: Vec<String>,
+    /// Workspace-relative path prefixes in L5 scope.
+    pub determinism_files: Vec<String>,
+    /// Workspace-relative docs whose backticked names must be registered.
+    pub docs: Vec<String>,
+}
+
+impl Config {
+    /// The repo's shipped policy rooted at `root`.
+    pub fn for_workspace(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            panic_crates: ["core", "sparse", "serve", "obs"]
+                .map(String::from)
+                .to_vec(),
+            determinism_files: [
+                // All sparse kernels…
+                "crates/sparse/src/",
+                // …and the core chain/cosine/query pipeline. `learning.rs`
+                // is excluded: supervised weighting legitimately samples
+                // (seeded) training pairs.
+                "crates/core/src/engine.rs",
+                "crates/core/src/measure.rs",
+                "crates/core/src/decompose.rs",
+                "crates/core/src/topk.rs",
+                "crates/core/src/reachable.rs",
+                "crates/core/src/cache.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            docs: ["docs/API.md"].map(String::from).to_vec(),
+        }
+    }
+}
+
+/// One tokenized source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/core/src/cache.rs`).
+    pub rel: String,
+    /// Crate directory name (`core`).
+    pub crate_name: String,
+    /// Raw source lines (for allowlist pattern matching).
+    pub lines: Vec<String>,
+    /// Token stream including comments.
+    pub toks: Vec<Tok>,
+    /// Parallel to `toks`: true inside `#[cfg(test)]` / `#[test]` items.
+    pub mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Builds a source file from text (public so tests can lint snippets
+    /// without touching the filesystem).
+    pub fn from_source(rel: &str, crate_name: &str, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            lines: src.lines().map(String::from).collect(),
+            toks,
+            mask,
+        }
+    }
+
+    /// The source line a finding points at (1-based), or "".
+    pub fn line_text(&self, line: u32) -> &str {
+        if line == 0 {
+            return "";
+        }
+        self.lines
+            .get(line as usize - 1)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+}
+
+/// Reads and tokenizes every `.rs` file under `crates/*/src`, sorted by
+/// path so runs are deterministic.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src_dir = dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut rs_files = Vec::new();
+        collect_rs(&src_dir, &mut rs_files)?;
+        rs_files.sort();
+        for path in rs_files {
+            let src = std::fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::from_source(&rel, &crate_name, &src));
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full lint using the registry and allowlist files on disk.
+pub fn run(cfg: &Config) -> std::io::Result<Report> {
+    let registry_text = std::fs::read_to_string(cfg.root.join(REGISTRY_PATH)).unwrap_or_default();
+    let allowlist_text = std::fs::read_to_string(cfg.root.join(ALLOWLIST_PATH)).unwrap_or_default();
+    let files = load_workspace(&cfg.root)?;
+    Ok(run_with(cfg, &files, &registry_text, &allowlist_text))
+}
+
+/// Runs the full lint with injected registry/allowlist text — the seam
+/// the self-tests use to prove that removing a registry entry or renaming
+/// a span site turns the build red.
+pub fn run_with(
+    cfg: &Config,
+    files: &[SourceFile],
+    registry_text: &str,
+    allowlist_text: &str,
+) -> Report {
+    let mut findings: Vec<Finding> = Vec::new();
+    let registry = NameRegistry::parse(registry_text, &mut findings, REGISTRY_PATH);
+    let mut allow = Allowlist::parse(allowlist_text, &mut findings, ALLOWLIST_PATH);
+
+    // Passes produce raw findings; the allowlist then gets one chance to
+    // suppress each (except allowlist-hygiene findings, which are about
+    // the allowlist itself).
+    let mut raw: Vec<Finding> = Vec::new();
+    let names_in_source = passes::obs_names::run(files, &registry, cfg, &mut raw);
+    passes::panics::run(files, cfg, &mut raw);
+    passes::unsafety::run(files, &mut raw);
+    passes::locks::run(files, &mut allow, &mut raw);
+    passes::determinism::run(files, cfg, &mut raw);
+
+    let mut matched = 0usize;
+    for f in raw {
+        let line_text = files
+            .iter()
+            .find(|s| s.rel == f.file)
+            .map(|s| s.line_text(f.line))
+            .unwrap_or("");
+        if allow.suppresses(&f, line_text) {
+            matched += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    let dead = allow.report_dead(&mut findings, ALLOWLIST_PATH);
+
+    findings.sort_by(|a, b| {
+        (a.pass, &a.file, a.line, &a.message).cmp(&(b.pass, &b.file, b.line, &b.message))
+    });
+    Report {
+        findings,
+        files_scanned: files.len(),
+        names_in_source,
+        registry_entries: registry.names.len(),
+        allowlist_entries: allow.allows.len() + allow.lock_orders.len(),
+        allowlist_matched: matched,
+        allowlist_dead: dead,
+    }
+}
+
+/// Every obs name used in source (including `span!`-derived field
+/// counters), for bootstrapping/refreshing `crates/obs/NAMES.md`.
+pub fn collect_names(files: &[SourceFile]) -> BTreeSet<String> {
+    passes::obs_names::collect(files)
+        .into_iter()
+        .map(|(name, _, _)| name)
+        .collect()
+}

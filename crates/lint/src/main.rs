@@ -1,0 +1,130 @@
+//! `hetesim-lint` binary — see the crate docs ([`hetesim_lint`]) for the
+//! five passes. Zero dependencies, hand-rolled flag parsing, exit code 1
+//! when findings survive the allowlist.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use hetesim_lint::{collect_names, load_workspace, run, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hetesim-lint — static analysis for the HeteSim workspace
+
+USAGE:
+    hetesim-lint --workspace [OPTIONS]
+
+OPTIONS:
+    --workspace         lint every crate under <root>/crates (required)
+    --root <PATH>       workspace root (default: current directory)
+    --format <FMT>      tree (default) or json
+    --out <FILE>        also write the report to FILE
+    --list-names        print every obs name found in source and exit
+                        (for refreshing crates/obs/NAMES.md)
+    -h, --help          this text
+
+EXIT STATUS: 0 clean, 1 findings, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = String::from("tree");
+    let mut out_file: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut list_names = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list-names" => list_names = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("tree") => format = "tree".into(),
+                Some("json") => format = "json".into(),
+                _ => return usage_error("--format must be tree or json"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out_file = Some(PathBuf::from(v)),
+                None => return usage_error("--out needs a file"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage_error("pass --workspace (the only supported scope)");
+    }
+
+    // When invoked via `cargo run -p hetesim-lint` the cwd is already the
+    // workspace root; if not, walk up until a Cargo.toml + crates/ pair.
+    let root = resolve_root(root);
+    let cfg = Config::for_workspace(&root);
+
+    if list_names {
+        let files = match load_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => return io_error(&root, e),
+        };
+        for name in collect_names(&files) {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => return io_error(&root, e),
+    };
+    let rendered = match format.as_str() {
+        "json" => report.to_json(),
+        _ => report.render_tree(),
+    };
+    print!("{rendered}");
+    if let Some(path) = out_file {
+        // The artifact is always JSON regardless of the console format —
+        // that is what CI uploads.
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("hetesim-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from `start` to the first directory holding both Cargo.toml
+/// and crates/ — tolerant of being launched from a crate subdirectory.
+fn resolve_root(start: PathBuf) -> PathBuf {
+    let mut dir = start
+        .canonicalize()
+        .unwrap_or(start);
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return PathBuf::from("."),
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("hetesim-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn io_error(root: &std::path::Path, e: std::io::Error) -> ExitCode {
+    eprintln!("hetesim-lint: scanning {}: {e}", root.display());
+    ExitCode::from(2)
+}

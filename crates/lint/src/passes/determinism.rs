@@ -1,0 +1,69 @@
+//! L5 — determinism.
+//!
+//! The numeric kernels (`crates/sparse`, and the core chain / cosine /
+//! top-k / cache pipeline) must be bit-reproducible: same input, same
+//! relevance matrix, same ranking. Wall clocks (`Instant::now`,
+//! `SystemTime::now`) and entropy-seeded RNGs (`thread_rng`, `OsRng`,
+//! `from_entropy`) inside those files break that — timing belongs behind
+//! the `hetesim-obs` facade ([`hetesim_obs::Stopwatch`]) where the
+//! disabled build compiles it away, and randomness belongs in explicitly
+//! seeded generators owned by the caller.
+
+use crate::lexer::TokKind;
+use crate::passes::next_code;
+use crate::report::{Finding, Pass};
+use crate::{Config, SourceFile};
+
+/// Clock types whose `::now` is wall time.
+const CLOCKS: [&str; 2] = ["Instant", "SystemTime"];
+/// Identifiers that construct or name an entropy-seeded RNG.
+const ENTROPY_RNGS: [&str; 4] = ["thread_rng", "ThreadRng", "OsRng", "from_entropy"];
+
+/// Runs L5 over the determinism-scoped files.
+pub fn run(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    for file in files {
+        if !cfg
+            .determinism_files
+            .iter()
+            .any(|prefix| file.rel.starts_with(prefix.as_str()))
+        {
+            continue;
+        }
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            if file.mask[i] || toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let name = toks[i].text.as_str();
+            if CLOCKS.contains(&name) {
+                let now = next_code(toks, i + 1)
+                    .filter(|&j| toks[j].is_punct("::"))
+                    .and_then(|j| next_code(toks, j + 1))
+                    .is_some_and(|k| toks[k].is_ident("now"));
+                if now {
+                    findings.push(Finding {
+                        pass: Pass::Determinism,
+                        file: file.rel.clone(),
+                        line: toks[i].line,
+                        message: format!(
+                            "{name}::now() in a numeric kernel — move timing behind the \
+                             hetesim-obs Stopwatch facade"
+                        ),
+                    });
+                }
+                continue;
+            }
+            if ENTROPY_RNGS.contains(&name) {
+                findings.push(Finding {
+                    pass: Pass::Determinism,
+                    file: file.rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "entropy-seeded RNG `{name}` in a numeric kernel — take an \
+                         explicitly seeded generator from the caller"
+                    ),
+                });
+            }
+        }
+    }
+}

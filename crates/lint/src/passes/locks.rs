@@ -1,0 +1,211 @@
+//! L4 — lock-discipline.
+//!
+//! The deadlock the repo already dodged once: `PathCache::get_or_build`
+//! takes `inner.write()` and then `partial.write()` inside the same
+//! critical section; a second code path taking them in the opposite
+//! order would deadlock under load and no test would catch it. This pass
+//! flags every acquisition of a lock while another guard is held, unless
+//! `lint-allow.toml` declares that exact order with a justification:
+//!
+//! ```text
+//! [[lock-order]]
+//! path = "crates/core/src/cache.rs"
+//! first = "inner"
+//! second = "partial"
+//! justification = "evict_locked needs both; all sites take inner first"
+//! ```
+//!
+//! The model is syntactic, tuned for this workspace's std-only locking:
+//!
+//! * An acquisition is a zero-argument `.lock()` / `.read()` / `.write()`
+//!   call (the zero-arg requirement keeps `io::Read::read(&mut buf)` and
+//!   `io::Write::write(&buf)` out).
+//! * A `let`-bound acquisition whose adapter chain (`unwrap`, `expect`,
+//!   `unwrap_or_else`) ends the statement is a **named guard**, held
+//!   until its enclosing brace scope closes or `drop(name)` runs.
+//! * Any other acquisition is a **transient** guard, held until the next
+//!   `;` in the same scope (covers `match x.lock() { … }` holding the
+//!   guard for the whole match).
+//! * Guards are named by the receiver field (`self.inner.write()` →
+//!   `inner`) — that is what `[[lock-order]]` entries reference.
+
+use crate::allowlist::Allowlist;
+use crate::lexer::TokKind;
+use crate::passes::{matching_paren, next_code, prev_code};
+use crate::report::{Finding, Pass};
+use crate::SourceFile;
+
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+const ADAPTERS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+#[derive(Debug)]
+struct Guard {
+    /// Receiver field name (`inner` for `self.inner.write()`).
+    base: String,
+    /// `let` binding name, when there is one (for `drop(name)`).
+    binding: Option<String>,
+    line: u32,
+    transient: bool,
+}
+
+/// Runs L4 over the whole workspace.
+pub fn run(files: &[SourceFile], allow: &mut Allowlist, findings: &mut Vec<Finding>) {
+    for file in files {
+        run_file(file, allow, findings);
+    }
+}
+
+fn run_file(file: &SourceFile, allow: &mut Allowlist, findings: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    // Scope stack: scopes[0] is file level; `{` pushes, `}` pops.
+    let mut scopes: Vec<Vec<Guard>> = vec![Vec::new()];
+    // Whether the current statement started with `let`, and its binding.
+    let mut stmt_let: Option<Option<String>> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if file.mask[i] || t.kind == TokKind::Comment {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => {
+                scopes.push(Vec::new());
+                stmt_let = None;
+                i += 1;
+                continue;
+            }
+            "}" => {
+                if scopes.len() > 1 {
+                    scopes.pop();
+                }
+                stmt_let = None;
+                i += 1;
+                continue;
+            }
+            ";" => {
+                if let Some(scope) = scopes.last_mut() {
+                    scope.retain(|g| !g.transient);
+                }
+                stmt_let = None;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        if t.text == "let" {
+            // Record the binding name for drop()-tracking; patterns like
+            // `let (a, b)` just record no name.
+            let mut j = next_code(toks, i + 1);
+            if j.is_some_and(|j| toks[j].is_ident("mut")) {
+                j = next_code(toks, j.unwrap() + 1);
+            }
+            let binding = j
+                .filter(|&j| toks[j].kind == TokKind::Ident)
+                .map(|j| toks[j].text.clone());
+            stmt_let = Some(binding);
+            i += 1;
+            continue;
+        }
+        if t.text == "drop" {
+            // drop(name) releases the named guard early.
+            let name = next_code(toks, i + 1)
+                .filter(|&j| toks[j].is_punct("("))
+                .and_then(|j| next_code(toks, j + 1))
+                .filter(|&j| toks[j].kind == TokKind::Ident)
+                .map(|j| toks[j].text.clone());
+            if let Some(name) = name {
+                for scope in &mut scopes {
+                    scope.retain(|g| {
+                        g.base != name && g.binding.as_deref() != Some(name.as_str())
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        let is_lock_method = LOCK_METHODS.contains(&t.text.as_str())
+            && prev_code(toks, i).is_some_and(|j| toks[j].is_punct("."));
+        if !is_lock_method {
+            i += 1;
+            continue;
+        }
+        // Zero-argument call: `(` immediately closing with `)`.
+        let Some(open) = next_code(toks, i + 1).filter(|&j| toks[j].is_punct("(")) else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = next_code(toks, open + 1).filter(|&j| toks[j].is_punct(")")) else {
+            i += 1;
+            continue;
+        };
+
+        // Receiver field: the ident just before the `.` we matched.
+        let base = prev_code(toks, i)
+            .and_then(|dot| prev_code(toks, dot))
+            .filter(|&j| toks[j].kind == TokKind::Ident)
+            .map(|j| toks[j].text.clone())
+            .unwrap_or_else(|| "<expr>".to_string());
+
+        // Order check against every guard currently held.
+        for scope in &scopes {
+            for g in scope {
+                if !allow.order_declared(&file.rel, &g.base, &base) {
+                    findings.push(Finding {
+                        pass: Pass::LockDiscipline,
+                        file: file.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "acquiring `{base}.{}()` while `{}` guard (line {}) is held — \
+                             declare a [[lock-order]] entry or drop the first guard",
+                            t.text, g.base, g.line
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Scan the adapter chain to decide guard longevity.
+        let mut end = close;
+        loop {
+            let Some(dot) = next_code(toks, end + 1).filter(|&j| toks[j].is_punct(".")) else {
+                break;
+            };
+            let Some(m) = next_code(toks, dot + 1)
+                .filter(|&j| toks[j].kind == TokKind::Ident && ADAPTERS.contains(&toks[j].text.as_str()))
+            else {
+                break;
+            };
+            let Some(aopen) = next_code(toks, m + 1).filter(|&j| toks[j].is_punct("(")) else {
+                break;
+            };
+            end = matching_paren(toks, aopen);
+        }
+        let ends_stmt = next_code(toks, end + 1).is_some_and(|j| toks[j].is_punct(";"));
+
+        let guard = match (&stmt_let, ends_stmt) {
+            (Some(binding), true) => Guard {
+                base,
+                binding: binding.clone(),
+                line: t.line,
+                transient: false,
+            },
+            _ => Guard {
+                base,
+                binding: None,
+                line: t.line,
+                transient: true,
+            },
+        };
+        if let Some(scope) = scopes.last_mut() {
+            scope.push(guard);
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,59 @@
+//! The five lint passes. Each is a free function over the tokenized
+//! workspace appending [`crate::report::Finding`]s; the shared helpers
+//! here keep the token-walking idioms consistent.
+
+pub mod determinism;
+pub mod locks;
+pub mod obs_names;
+pub mod panics;
+pub mod unsafety;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Index of the next non-comment token at or after `i`.
+pub fn next_code(toks: &[Tok], mut i: usize) -> Option<usize> {
+    while i < toks.len() {
+        if toks[i].kind != TokKind::Comment {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the previous non-comment token strictly before `i`.
+pub fn prev_code(toks: &[Tok], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if toks[j].kind != TokKind::Comment {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Given `open` = index of a `(`, returns the index of its matching `)`
+/// (or the last token when unbalanced — the linter stays total on broken
+/// input).
+pub fn matching_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Comment {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}

@@ -1,0 +1,236 @@
+//! L1 — observability-name registry.
+//!
+//! Finds every name passed to the `hetesim_obs` recording entry points
+//! (`span`, `span!`, `add`, `set`, `record`, `trace_event`,
+//! `trace_push_completed`) in non-test source, checks each against the
+//! `crate.area.name` grammar and against `crates/obs/NAMES.md`, and
+//! reports registry entries no source uses (dead) as well as names that
+//! docs mention but the registry does not know (stale docs).
+//!
+//! Names are recognized syntactically: the call must be path-qualified
+//! (`hetesim_obs::add(…)`, `crate::add(…)`) or the `span!(…)` macro, so
+//! unrelated local methods named `add`/`set` never trigger. Dynamic
+//! names (`span(match … { … })`) are handled by collecting every
+//! grammar-shaped string literal inside the call's parentheses — that is
+//! how the CLI's per-subcommand span names stay covered.
+
+use crate::lexer::TokKind;
+use crate::passes::{matching_paren, next_code, prev_code};
+use crate::registry::NameRegistry;
+use crate::report::{Finding, Pass};
+use crate::{Config, SourceFile};
+use std::collections::BTreeSet;
+
+/// Entry points whose string arguments are metric/span names.
+const OBS_FNS: [&str; 6] = [
+    "span",
+    "add",
+    "set",
+    "record",
+    "trace_event",
+    "trace_push_completed",
+];
+
+/// Crate prefixes that make a dotted literal in docs a metric name.
+const NAME_PREFIXES: [&str; 10] = [
+    "core", "sparse", "serve", "graph", "obs", "cli", "bench", "data", "ml", "baselines",
+];
+
+/// Collects `(name, file:line, is_declared_literal)` for every obs name
+/// used in non-test source. `is_declared_literal` is false for names
+/// harvested out of dynamic-call bodies (match arms).
+pub fn collect(files: &[SourceFile]) -> Vec<(String, (String, u32), bool)> {
+    let mut out = Vec::new();
+    for file in files {
+        let toks = &file.toks;
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if file.mask[i] || t.kind != TokKind::Ident || !OBS_FNS.contains(&t.text.as_str()) {
+                i += 1;
+                continue;
+            }
+            // Macro form: span!( … )
+            let is_macro = next_code(toks, i + 1)
+                .is_some_and(|j| toks[j].is_punct("!"))
+                && t.text == "span";
+            // Function form must be path-qualified to avoid unrelated
+            // methods that happen to share a name.
+            let qualified = prev_code(toks, i).is_some_and(|j| toks[j].is_punct("::"));
+            if !is_macro && !qualified {
+                i += 1;
+                continue;
+            }
+            let open = match next_code(toks, i + 1) {
+                Some(j) if toks[j].is_punct("(") => j,
+                Some(j) if toks[j].is_punct("!") => match next_code(toks, j + 1) {
+                    Some(k) if toks[k].is_punct("(") => k,
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                },
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let close = matching_paren(toks, open);
+
+            // The first code token inside the parens: a literal there is
+            // the declared name.
+            let first = next_code(toks, open + 1).filter(|&j| j < close);
+            let declared: Option<usize> =
+                first.filter(|&j| toks[j].kind == TokKind::Str);
+            if let Some(j) = declared {
+                out.push((toks[j].text.clone(), (file.rel.clone(), toks[j].line), true));
+            } else {
+                // Dynamic name: harvest grammar-shaped literals from the
+                // whole call body (covers `span(match cmd { … })`).
+                let mut j = open + 1;
+                while j < close {
+                    if toks[j].kind == TokKind::Str
+                        && hetesim_obs::is_valid_metric_name(&toks[j].text)
+                    {
+                        out.push((
+                            toks[j].text.clone(),
+                            (file.rel.clone(), toks[j].line),
+                            false,
+                        ));
+                    }
+                    j += 1;
+                }
+            }
+
+            // span! field counters: `span!("a.b.c", rows = …)` also
+            // records `a.b.c.rows`.
+            if is_macro {
+                if let Some(base_idx) = declared {
+                    let base = toks[base_idx].text.clone();
+                    let mut j = base_idx + 1;
+                    let mut depth = 0i64;
+                    while j < close {
+                        let t = &toks[j];
+                        if t.kind == TokKind::Comment {
+                            j += 1;
+                            continue;
+                        }
+                        match t.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "," if depth == 0 => {
+                                if let Some(f) = next_code(toks, j + 1).filter(|&f| f < close) {
+                                    let eq = next_code(toks, f + 1);
+                                    if toks[f].kind == TokKind::Ident
+                                        && eq.is_some_and(|e| toks[e].is_punct("="))
+                                    {
+                                        out.push((
+                                            format!("{base}.{}", toks[f].text),
+                                            (file.rel.clone(), toks[f].line),
+                                            true,
+                                        ));
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            i = close + 1;
+        }
+    }
+    out
+}
+
+/// Runs L1. Returns the number of distinct names seen in source.
+pub fn run(
+    files: &[SourceFile],
+    registry: &NameRegistry,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let used = collect(files);
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (name, (file, line), declared) in &used {
+        seen.insert(name.clone());
+        if !hetesim_obs::is_valid_metric_name(name) {
+            findings.push(Finding {
+                pass: Pass::ObsNames,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "obs name `{name}` violates the crate.area.name grammar \
+                     (2–4 lowercase dot-separated segments)"
+                ),
+            });
+            continue;
+        }
+        if !registry.contains(name) {
+            let how = if *declared { "" } else { " (dynamic call site)" };
+            findings.push(Finding {
+                pass: Pass::ObsNames,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "obs name `{name}` is not registered in crates/obs/NAMES.md{how}"
+                ),
+            });
+        }
+    }
+
+    // Reverse direction: registry entries nothing uses are dead weight —
+    // they mask typos (the renamed site would otherwise look registered).
+    for (name, line) in &registry.names {
+        if !seen.contains(name) {
+            findings.push(Finding {
+                pass: Pass::ObsNames,
+                file: crate::REGISTRY_PATH.to_string(),
+                line: *line,
+                message: format!("dead registry entry `{name}`: no source records it"),
+            });
+        }
+    }
+
+    // Docs: any backticked metric-shaped name must be registered, so API
+    // docs cannot drift from the exposition.
+    for doc in &cfg.docs {
+        let Ok(text) = std::fs::read_to_string(cfg.root.join(doc)) else {
+            continue;
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            for name in backticked(line) {
+                let metric_shaped = hetesim_obs::is_valid_metric_name(name)
+                    && name
+                        .split('.')
+                        .next()
+                        .is_some_and(|p| NAME_PREFIXES.contains(&p));
+                if metric_shaped && !registry.contains(name) {
+                    findings.push(Finding {
+                        pass: Pass::ObsNames,
+                        file: doc.clone(),
+                        line: lineno as u32 + 1,
+                        message: format!(
+                            "docs mention `{name}` but crates/obs/NAMES.md does not register it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    seen.len()
+}
+
+/// The contents of every `` `…` `` span in a markdown line.
+fn backticked(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        out.push(&after[..end]);
+        rest = &after[end + 1..];
+    }
+    out
+}

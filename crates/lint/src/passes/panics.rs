@@ -1,0 +1,59 @@
+//! L2 — panic-freedom.
+//!
+//! In the panic-scoped crates (`core`, `sparse`, `serve`, `obs` — the
+//! crates on the query/serve path), non-test code must not contain
+//! `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, or
+//! `unimplemented!`. A panic inside a worker thread kills a request (or
+//! poisons a shared lock); the path to green is a typed error, a
+//! poison-recovering `unwrap_or_else(PoisonError::into_inner)`, or an
+//! explicit `[[allow]]` entry in `lint-allow.toml` whose justification
+//! says why the invariant cannot fail.
+
+use crate::lexer::TokKind;
+use crate::passes::{next_code, prev_code};
+use crate::report::{Finding, Pass};
+use crate::{Config, SourceFile};
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs L2 over the panic-scoped crates.
+pub fn run(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    for file in files {
+        if !cfg.panic_crates.contains(&file.crate_name) {
+            continue;
+        }
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            if file.mask[i] || toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let name = toks[i].text.as_str();
+            let after_dot = prev_code(toks, i).is_some_and(|j| toks[j].is_punct("."));
+            let called = next_code(toks, i + 1).is_some_and(|j| toks[j].is_punct("("));
+            if (name == "unwrap" || name == "expect") && after_dot && called {
+                findings.push(Finding {
+                    pass: Pass::PanicFreedom,
+                    file: file.rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        ".{name}() in non-test code — return a typed error, recover \
+                         (PoisonError::into_inner), or add a justified [[allow]] entry"
+                    ),
+                });
+                continue;
+            }
+            let banged = next_code(toks, i + 1).is_some_and(|j| toks[j].is_punct("!"));
+            if PANIC_MACROS.contains(&name) && banged {
+                // `panic` as an ident also appears in e.g.
+                // `std::panic::catch_unwind` — the `!` requirement keeps
+                // those out.
+                findings.push(Finding {
+                    pass: Pass::PanicFreedom,
+                    file: file.rel.clone(),
+                    line: toks[i].line,
+                    message: format!("{name}! in non-test code"),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! L3 — unsafe-audit.
+//!
+//! Every `unsafe` block or `unsafe fn` must be immediately preceded by a
+//! `// SAFETY:` comment explaining why the invariants hold (modifier
+//! tokens like `pub`/`extern` may sit between the comment and the
+//! keyword). `unsafe` appearing inside a type position (`as unsafe
+//! extern "C" fn(i32)`) is a mention, not a site, and is skipped.
+//!
+//! Crates with zero unsafe sites must say so in the type system: some
+//! file (conventionally the crate root) must carry
+//! `#![forbid(unsafe_code)]` so a future `unsafe` is a compile error,
+//! not just a lint finding.
+
+use crate::lexer::TokKind;
+use crate::passes::prev_code;
+use crate::report::{Finding, Pass};
+use crate::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tokens allowed between the SAFETY comment and the `unsafe` keyword.
+const MODIFIERS: [&str; 8] = ["pub", "crate", "super", "in", "(", ")", "const", "async"];
+
+/// Runs L3 over the whole workspace.
+pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    // crate name -> (has unsafe site, has #![forbid(unsafe_code)])
+    let mut per_crate: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
+    let mut crate_order: BTreeSet<&str> = BTreeSet::new();
+
+    for file in files {
+        crate_order.insert(&file.crate_name);
+        let entry = per_crate.entry(&file.crate_name).or_default();
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "forbid" {
+                // #![forbid(unsafe_code)] — token shape: forbid ( unsafe_code )
+                let arg_is_unsafe_code = toks
+                    .get(i + 1)
+                    .is_some_and(|p| p.is_punct("("))
+                    && toks.get(i + 2).is_some_and(|a| a.is_ident("unsafe_code"));
+                if arg_is_unsafe_code {
+                    entry.1 = true;
+                }
+                continue;
+            }
+            if t.text != "unsafe" || file.mask[i] {
+                continue;
+            }
+            // Type mention, not a site: `as unsafe extern "C" fn(..)`.
+            if prev_code(toks, i).is_some_and(|j| toks[j].is_ident("as")) {
+                continue;
+            }
+            entry.0 = true;
+            if !has_safety_comment(file, i) {
+                findings.push(Finding {
+                    pass: Pass::UnsafeAudit,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: "unsafe without an immediately preceding `// SAFETY:` comment"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    for name in crate_order {
+        let (has_unsafe, has_forbid) = per_crate[name];
+        if !has_unsafe && !has_forbid {
+            findings.push(Finding {
+                pass: Pass::UnsafeAudit,
+                file: format!("crates/{name}"),
+                line: 0,
+                message: format!(
+                    "crate `{name}` has no unsafe code but does not declare \
+                     #![forbid(unsafe_code)]"
+                ),
+            });
+        }
+    }
+}
+
+/// Walks backwards from the `unsafe` token over modifiers, then requires
+/// the consecutive comment run there to mention `SAFETY:`.
+fn has_safety_comment(file: &SourceFile, unsafe_idx: usize) -> bool {
+    let toks = &file.toks;
+    let mut j = unsafe_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokKind::Comment {
+            if t.text.contains("SAFETY:") {
+                return true;
+            }
+            // Other comment lines of the same run: keep scanning upward so
+            // multi-line SAFETY explanations ending in a plain line count.
+            continue;
+        }
+        if t.kind == TokKind::Str || MODIFIERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        return false;
+    }
+    false
+}

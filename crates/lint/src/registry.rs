@@ -1,0 +1,70 @@
+//! Parser for `crates/obs/NAMES.md`, the checked-in observability-name
+//! registry.
+//!
+//! Format: markdown bullet lines, one name each —
+//!
+//! ```text
+//! - `core.engine.top_k` — span: one top-k query
+//! ```
+//!
+//! Everything that is not a `- `…`` bullet is prose and ignored, so the
+//! registry can carry headings and explanation freely.
+
+use crate::report::{Finding, Pass};
+use std::collections::BTreeMap;
+
+/// The registry: name → defining line in NAMES.md.
+#[derive(Debug, Default, Clone)]
+pub struct NameRegistry {
+    /// Registered names, sorted (BTreeMap for stable iteration).
+    pub names: BTreeMap<String, u32>,
+}
+
+impl NameRegistry {
+    /// Parses NAMES.md text. Malformed bullets and names that violate the
+    /// grammar become findings — the registry itself is linted.
+    pub fn parse(text: &str, findings: &mut Vec<Finding>, file_label: &str) -> NameRegistry {
+        let mut reg = NameRegistry::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno as u32 + 1;
+            let line = raw.trim_start();
+            let Some(rest) = line.strip_prefix("- `") else {
+                continue;
+            };
+            let Some((name, _)) = rest.split_once('`') else {
+                findings.push(Finding {
+                    pass: Pass::ObsNames,
+                    file: file_label.to_string(),
+                    line: lineno,
+                    message: format!("unterminated name bullet: {line}"),
+                });
+                continue;
+            };
+            if !hetesim_obs::is_valid_metric_name(name) {
+                findings.push(Finding {
+                    pass: Pass::ObsNames,
+                    file: file_label.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "registry entry `{name}` violates the crate.area.name grammar"
+                    ),
+                });
+                continue;
+            }
+            if reg.names.insert(name.to_string(), lineno).is_some() {
+                findings.push(Finding {
+                    pass: Pass::ObsNames,
+                    file: file_label.to_string(),
+                    line: lineno,
+                    message: format!("duplicate registry entry `{name}`"),
+                });
+            }
+        }
+        reg
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains_key(name)
+    }
+}

@@ -1,0 +1,186 @@
+//! Finding types and the two output formats (pretty tree, JSON).
+
+use std::fmt::Write as _;
+
+/// Which lint pass produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// L1 — every obs name in source ⊆ registry and vice versa.
+    ObsNames,
+    /// L2 — no `unwrap`/`expect`/`panic!`/`unreachable!` outside tests.
+    PanicFreedom,
+    /// L3 — `unsafe` requires `// SAFETY:`, clean crates forbid unsafe.
+    UnsafeAudit,
+    /// L4 — nested lock acquisitions must follow a declared order.
+    LockDiscipline,
+    /// L5 — no wall clocks or RNG construction in numeric kernels.
+    Determinism,
+    /// Allowlist hygiene — dead entries, missing justifications.
+    Allowlist,
+}
+
+impl Pass {
+    /// Stable kebab-case name used in reports and `lint-allow.toml`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::ObsNames => "obs-names",
+            Pass::PanicFreedom => "panic-freedom",
+            Pass::UnsafeAudit => "unsafe-audit",
+            Pass::LockDiscipline => "lock-discipline",
+            Pass::Determinism => "determinism",
+            Pass::Allowlist => "allowlist",
+        }
+    }
+
+    /// All passes, report order.
+    pub fn all() -> [Pass; 6] {
+        [
+            Pass::ObsNames,
+            Pass::PanicFreedom,
+            Pass::UnsafeAudit,
+            Pass::LockDiscipline,
+            Pass::Determinism,
+            Pass::Allowlist,
+        ]
+    }
+}
+
+/// One problem the linter wants a human to fix (or allowlist with a
+/// justification).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Producing pass.
+    pub pass: Pass,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 for file- or crate-level findings).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by pass/file/line.
+    pub findings: Vec<Finding>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Distinct obs names discovered in source (incl. `span!` fields).
+    pub names_in_source: usize,
+    /// Entries parsed from `crates/obs/NAMES.md`.
+    pub registry_entries: usize,
+    /// Entries parsed from `lint-allow.toml`.
+    pub allowlist_entries: usize,
+    /// Findings suppressed by allowlist entries.
+    pub allowlist_matched: usize,
+    /// Allowlist entries that matched nothing (also emitted as findings).
+    pub allowlist_dead: usize,
+}
+
+impl Report {
+    /// True when the tree is clean: lint exits 0.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of one pass.
+    pub fn of(&self, pass: Pass) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.pass == pass)
+    }
+
+    /// Human-readable tree: pass → file:line message.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "hetesim-lint: {} file(s), {} obs name(s) in source, {} registry entr(ies), \
+             allowlist {} entr(ies) ({} matched, {} dead)",
+            self.files_scanned,
+            self.names_in_source,
+            self.registry_entries,
+            self.allowlist_entries,
+            self.allowlist_matched,
+            self.allowlist_dead,
+        );
+        if self.is_clean() {
+            let _ = writeln!(out, "clean: all passes green");
+            return out;
+        }
+        for pass in Pass::all() {
+            let of_pass: Vec<&Finding> = self.of(pass).collect();
+            if of_pass.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "{} ({} finding(s))", pass.name(), of_pass.len());
+            for f in of_pass {
+                if f.line > 0 {
+                    let _ = writeln!(out, "  {}:{}  {}", f.file, f.line, f.message);
+                } else {
+                    let _ = writeln!(out, "  {}  {}", f.file, f.message);
+                }
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON (stable key order, no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"status\": \"{}\",",
+            if self.is_clean() { "clean" } else { "findings" }
+        );
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"names_in_source\": {},", self.names_in_source);
+        let _ = writeln!(out, "  \"registry_entries\": {},", self.registry_entries);
+        let _ = writeln!(
+            out,
+            "  \"allowlist\": {{\"entries\": {}, \"matched_findings\": {}, \"dead\": {}}},",
+            self.allowlist_entries, self.allowlist_matched, self.allowlist_dead
+        );
+        out.push_str("  \"passes\": {");
+        for (i, pass) in Pass::all().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", pass.name(), self.of(*pass).count());
+        }
+        out.push_str("},\n");
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                f.pass.name(),
+                escape_json(&f.file),
+                f.line,
+                escape_json(&f.message)
+            );
+            out.push_str(if i + 1 < self.findings.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,365 @@
+//! Negative fixtures: one or more snippets per pass that MUST produce a
+//! finding, plus the mirror-image positive snippet that must stay clean.
+//! These pin down the token-level semantics of each pass — if a lexer or
+//! pass refactor stops flagging any of these, the suite goes red.
+
+use hetesim_lint::report::{Pass, Report};
+use hetesim_lint::{run_with, Config, SourceFile};
+use std::path::PathBuf;
+
+/// A config scoped like the real workspace policy but with no docs (so
+/// nothing touches the filesystem) and a nonexistent root.
+fn cfg() -> Config {
+    Config {
+        root: PathBuf::from("/nonexistent-lint-fixture-root"),
+        panic_crates: vec!["core".to_string()],
+        determinism_files: vec!["crates/sparse/src/".to_string()],
+        docs: Vec::new(),
+    }
+}
+
+fn lint_one(rel: &str, krate: &str, src: &str, registry: &str, allow: &str) -> Report {
+    let file = SourceFile::from_source(rel, krate, src);
+    run_with(&cfg(), &[file], registry, allow)
+}
+
+fn count(report: &Report, pass: Pass) -> usize {
+    report.of(pass).count()
+}
+
+// --- L1 obs-names ------------------------------------------------------
+
+#[test]
+fn l1_unregistered_name_is_flagged() {
+    let src = r#"fn f() { hetesim_obs::add("core.cache.bogus_counter", 1); }"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(count(&report, Pass::ObsNames), 1, "{}", report.render_tree());
+    assert!(report
+        .of(Pass::ObsNames)
+        .any(|f| f.message.contains("core.cache.bogus_counter")));
+}
+
+#[test]
+fn l1_registered_name_is_clean() {
+    let src = r#"fn f() { hetesim_obs::add("core.cache.hits_total", 1); }"#;
+    let registry = "- `core.cache.hits_total` — counter: fixture\n";
+    let report = lint_one("crates/core/src/a.rs", "core", src, registry, "");
+    assert_eq!(count(&report, Pass::ObsNames), 0, "{}", report.render_tree());
+}
+
+#[test]
+fn l1_grammar_violation_is_flagged() {
+    // Uppercase segment violates [a-z][a-z0-9_]*.
+    let src = r#"fn f() { hetesim_obs::add("core.Cache.hits", 1); }"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert!(report
+        .of(Pass::ObsNames)
+        .any(|f| f.message.contains("grammar")));
+}
+
+#[test]
+fn l1_dead_registry_entry_is_flagged() {
+    let registry = "- `core.cache.never_recorded` — counter: orphaned\n";
+    let report = lint_one("crates/core/src/a.rs", "core", "fn f() {}", registry, "");
+    assert!(report
+        .of(Pass::ObsNames)
+        .any(|f| f.message.contains("dead registry entry")));
+}
+
+#[test]
+fn l1_span_macro_derives_field_counters() {
+    let src = r#"fn f() { let _g = hetesim_obs::span!("core.engine.fix", k = 1u64); }"#;
+    let registry = "- `core.engine.fix` — span: fixture\n";
+    let report = lint_one("crates/core/src/a.rs", "core", src, registry, "");
+    // The derived `core.engine.fix.k` counter is used but unregistered.
+    assert!(
+        report
+            .of(Pass::ObsNames)
+            .any(|f| f.message.contains("core.engine.fix.k")),
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l1_multiline_call_site_is_seen() {
+    // A regex over single lines misses this; the token stream must not.
+    let src = "fn f(v: u64) {\n    hetesim_obs::record(\n        \"serve.server.fix_latency\",\n        v,\n    );\n}\n";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert!(report
+        .of(Pass::ObsNames)
+        .any(|f| f.message.contains("serve.server.fix_latency")));
+}
+
+#[test]
+fn l1_dynamic_match_names_are_harvested() {
+    let src = r#"
+fn f(c: u32) {
+    let _g = hetesim_obs::span(match c {
+        0 => "cli.fix_query",
+        _ => "cli.fix_other",
+    });
+}
+"#;
+    let registry = "- `cli.fix_query` — span: fixture\n";
+    let report = lint_one("crates/core/src/a.rs", "core", src, registry, "");
+    // Only the unregistered arm is flagged, and as a dynamic site.
+    let msgs: Vec<&str> = report
+        .of(Pass::ObsNames)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(msgs.len(), 1, "{msgs:?}");
+    assert!(msgs[0].contains("cli.fix_other") && msgs[0].contains("dynamic"));
+}
+
+// --- L2 panic-freedom --------------------------------------------------
+
+#[test]
+fn l2_unwrap_in_scoped_crate_is_flagged() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(count(&report, Pass::PanicFreedom), 1);
+}
+
+#[test]
+fn l2_panic_macro_is_flagged_but_catch_unwind_is_not() {
+    let src = "fn f() { std::panic::catch_unwind(|| 1).ok(); panic!(\"boom\"); }";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(count(&report, Pass::PanicFreedom), 1, "{}", report.render_tree());
+}
+
+#[test]
+fn l2_test_code_is_masked() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(count(&report, Pass::PanicFreedom), 0, "{}", report.render_tree());
+}
+
+#[test]
+fn l2_cfg_not_test_is_not_masked() {
+    let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(count(&report, Pass::PanicFreedom), 1, "{}", report.render_tree());
+}
+
+#[test]
+fn l2_out_of_scope_crate_is_ignored() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let report = lint_one("crates/bench/src/a.rs", "bench", src, "", "");
+    assert_eq!(count(&report, Pass::PanicFreedom), 0);
+}
+
+#[test]
+fn l2_allowlist_suppresses_with_justification() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"fixture invariant\") }";
+    let allow = r#"
+[[allow]]
+pass = "panic-freedom"
+path = "crates/core/src/a.rs"
+pattern = "expect(\"fixture invariant\")"
+justification = "fixtures never pass None here"
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", allow);
+    assert_eq!(count(&report, Pass::PanicFreedom), 0, "{}", report.render_tree());
+    assert_eq!(report.allowlist_matched, 1);
+    assert_eq!(report.allowlist_dead, 0);
+}
+
+// --- L3 unsafe-audit ---------------------------------------------------
+
+#[test]
+fn l3_unsafe_without_safety_comment_is_flagged() {
+    let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert!(report
+        .of(Pass::UnsafeAudit)
+        .any(|f| f.message.contains("SAFETY")));
+}
+
+#[test]
+fn l3_unsafe_with_safety_comment_is_clean() {
+    let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(count(&report, Pass::UnsafeAudit), 0, "{}", report.render_tree());
+}
+
+#[test]
+fn l3_clean_crate_must_forbid_unsafe() {
+    let report = lint_one("crates/core/src/a.rs", "core", "fn f() {}", "", "");
+    assert!(report
+        .of(Pass::UnsafeAudit)
+        .any(|f| f.message.contains("forbid(unsafe_code)")));
+
+    let src = "#![forbid(unsafe_code)]\nfn f() {}";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(count(&report, Pass::UnsafeAudit), 0, "{}", report.render_tree());
+}
+
+// --- L4 lock-discipline ------------------------------------------------
+
+const NESTED_LOCKS: &str = r#"
+use std::sync::RwLock;
+struct S { inner: RwLock<u32>, partial: RwLock<u32> }
+fn f(s: &S) -> u32 {
+    let a = s.inner.write().unwrap();
+    let b = s.partial.write().unwrap();
+    *a + *b
+}
+"#;
+
+#[test]
+fn l4_undeclared_nested_acquisition_is_flagged() {
+    let report = lint_one("crates/core/src/a.rs", "x", NESTED_LOCKS, "", "");
+    assert_eq!(count(&report, Pass::LockDiscipline), 1, "{}", report.render_tree());
+    assert!(report
+        .of(Pass::LockDiscipline)
+        .any(|f| f.message.contains("`partial.write()`") && f.message.contains("`inner` guard")));
+}
+
+#[test]
+fn l4_declared_lock_order_is_blessed() {
+    let allow = r#"
+[[lock-order]]
+path = "crates/core/src/a.rs"
+first = "inner"
+second = "partial"
+justification = "fixture: all sites take inner first"
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", NESTED_LOCKS, "", allow);
+    assert_eq!(count(&report, Pass::LockDiscipline), 0, "{}", report.render_tree());
+    assert_eq!(report.allowlist_dead, 0, "{}", report.render_tree());
+}
+
+#[test]
+fn l4_dropped_guard_releases() {
+    let src = r#"
+use std::sync::RwLock;
+struct S { inner: RwLock<u32>, partial: RwLock<u32> }
+fn f(s: &S) {
+    let a = s.inner.write().unwrap();
+    drop(a);
+    let b = s.partial.write().unwrap();
+    drop(b);
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
+    assert_eq!(count(&report, Pass::LockDiscipline), 0, "{}", report.render_tree());
+}
+
+#[test]
+fn l4_sequential_scopes_are_clean() {
+    let src = r#"
+use std::sync::Mutex;
+struct S { q: Mutex<u32>, r: Mutex<u32> }
+fn f(s: &S) {
+    { let _a = s.q.lock().unwrap(); }
+    { let _b = s.r.lock().unwrap(); }
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
+    assert_eq!(count(&report, Pass::LockDiscipline), 0, "{}", report.render_tree());
+}
+
+#[test]
+fn l4_io_read_with_args_is_not_an_acquisition() {
+    let src = r#"
+use std::io::Read;
+fn f(mut r: impl Read, lock: &std::sync::Mutex<u32>) {
+    let mut buf = [0u8; 4];
+    let _g = lock.lock().unwrap();
+    let _ = r.read(&mut buf);
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
+    assert_eq!(count(&report, Pass::LockDiscipline), 0, "{}", report.render_tree());
+}
+
+// --- L5 determinism ----------------------------------------------------
+
+#[test]
+fn l5_instant_now_in_kernel_is_flagged() {
+    let src = "fn f() -> std::time::Instant { std::time::Instant::now() }";
+    let report = lint_one("crates/sparse/src/kernel.rs", "sparse", src, "", "");
+    assert_eq!(count(&report, Pass::Determinism), 1, "{}", report.render_tree());
+}
+
+#[test]
+fn l5_entropy_rng_in_kernel_is_flagged() {
+    let src = "fn f() { let _r = rand::thread_rng(); }";
+    let report = lint_one("crates/sparse/src/kernel.rs", "sparse", src, "", "");
+    assert_eq!(count(&report, Pass::Determinism), 1);
+}
+
+#[test]
+fn l5_out_of_scope_file_is_ignored() {
+    let src = "fn f() -> std::time::Instant { std::time::Instant::now() }";
+    let report = lint_one("crates/serve/src/server.rs", "serve", src, "", "");
+    assert_eq!(count(&report, Pass::Determinism), 0);
+}
+
+#[test]
+fn l5_test_code_may_use_clocks() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}";
+    let report = lint_one("crates/sparse/src/kernel.rs", "sparse", src, "", "");
+    assert_eq!(count(&report, Pass::Determinism), 0, "{}", report.render_tree());
+}
+
+// --- allowlist hygiene -------------------------------------------------
+
+#[test]
+fn allowlist_entry_without_justification_is_flagged() {
+    let allow = r#"
+[[allow]]
+pass = "panic-freedom"
+path = "crates/core/src/a.rs"
+pattern = "unwrap()"
+justification = ""
+"#;
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", allow);
+    assert!(report
+        .of(Pass::Allowlist)
+        .any(|f| f.message.contains("no justification")));
+}
+
+#[test]
+fn dead_allowlist_entry_is_flagged() {
+    let allow = r#"
+[[allow]]
+pass = "panic-freedom"
+path = "crates/core/src/gone.rs"
+pattern = "unwrap()"
+justification = "the file this matched was deleted"
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", "fn f() {}", "", allow);
+    assert_eq!(report.allowlist_dead, 1);
+    assert!(report
+        .of(Pass::Allowlist)
+        .any(|f| f.message.contains("dead [[allow]] entry")));
+}
+
+// --- report plumbing ---------------------------------------------------
+
+#[test]
+fn json_report_carries_allowlist_counts() {
+    let allow = r#"
+[[allow]]
+pass = "panic-freedom"
+path = "crates/core/src/a.rs"
+pattern = "unwrap()"
+justification = "fixture"
+"#;
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", allow);
+    let json = report.to_json();
+    assert!(json.contains("\"allowlist\": {\"entries\": 1, \"matched_findings\": 1, \"dead\": 0}"));
+    assert!(json.contains("\"files_scanned\": 1"));
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `hetesim-obs` — zero-dependency tracing and metrics for the HeteSim
@@ -70,6 +71,93 @@ pub use trace::{
     trace_slow_ns, CaptureDecision, FinishedTrace, JsonlSink, RingSink, TraceEvent, TraceScope,
     TraceSink,
 };
+
+/// Whether `name` matches the observability naming grammar: 2–4
+/// dot-separated segments, each `[a-z][a-z0-9_]*` (`crate.area.name`,
+/// with an optional fourth segment for `span!` field counters, and a
+/// 2-segment short form for top-level CLI spans like `cli.query`).
+///
+/// This is the single source of truth shared by the runtime
+/// (`debug_assert!`s at every registration point) and by `hetesim-lint`'s
+/// static `obs-names` pass, so the two can never disagree. Defined
+/// unconditionally — it must exist even when the `obs` feature is off.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        segments += 1;
+        let mut chars = seg.chars();
+        let head_ok = matches!(chars.next(), Some('a'..='z'));
+        if !head_ok || !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+    }
+    (2..=4).contains(&segments)
+}
+
+/// A wall-clock stopwatch that only ticks while metrics are enabled —
+/// the sanctioned way for numeric kernels to time themselves without
+/// calling `Instant::now` directly (which the `determinism` lint pass
+/// forbids inside kernel files).
+///
+/// Disarmed (all zeros) when metrics are disabled at [`start`] time or
+/// when the `obs` cargo feature is off, so hot loops pay one relaxed
+/// atomic load, not a syscall.
+///
+/// [`start`]: Stopwatch::start
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    #[cfg(feature = "obs")]
+    started: Option<std::time::Instant>,
+}
+
+impl Stopwatch {
+    /// Starts timing if metrics are enabled; otherwise returns a
+    /// disarmed stopwatch whose readings are all zero.
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            #[cfg(feature = "obs")]
+            started: if is_enabled() {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Whether this stopwatch is actually measuring time.
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            self.started.is_some()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            false
+        }
+    }
+
+    /// Microseconds since [`start`](Stopwatch::start); `0` when disarmed.
+    #[inline]
+    pub fn elapsed_us(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        if let Some(t) = self.started {
+            return t.elapsed().as_micros() as u64;
+        }
+        0
+    }
+
+    /// Nanoseconds since [`start`](Stopwatch::start); `0` when disarmed.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        if let Some(t) = self.started {
+            return t.elapsed().as_nanos() as u64;
+        }
+        0
+    }
+}
 
 /// Number of log₂ histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
 /// holds values in `[2^(i-1), 2^i)`, bucket 64 holds the top of the `u64`
@@ -225,6 +313,34 @@ mod tests {
         assert_eq!(bucket_of(u64::MAX), 64);
         assert_eq!(bucket_of(1 << 63), 64);
         assert_eq!(bucket_of((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn metric_name_grammar() {
+        assert!(is_valid_metric_name("cli.query"));
+        assert!(is_valid_metric_name("core.engine.top_k"));
+        assert!(is_valid_metric_name("core.cache.prefix_cache.hits"));
+        assert!(is_valid_metric_name("sparse.csr.matmul.nnz2"));
+        assert!(!is_valid_metric_name("core"));
+        assert!(!is_valid_metric_name("a.b.c.d.e"));
+        assert!(!is_valid_metric_name("Core.engine.top_k"));
+        assert!(!is_valid_metric_name("core..top_k"));
+        assert!(!is_valid_metric_name("core.engine."));
+        assert!(!is_valid_metric_name("core.engine.3ms"));
+        assert!(!is_valid_metric_name("core.engine.top-k"));
+        assert!(!is_valid_metric_name(""));
+    }
+
+    #[test]
+    fn stopwatch_reads_are_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        if !sw.is_armed() {
+            assert_eq!(sw.elapsed_us(), 0);
+            assert_eq!(sw.elapsed_ns(), 0);
+        }
     }
 
     #[test]

@@ -13,8 +13,15 @@ use crate::HIST_BUCKETS;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
+
+/// The registry guards only plain maps of `Arc` cells — a panic while one
+/// is held cannot leave them torn, so recording keeps working after a
+/// worker thread dies (exactly when you most want the metrics).
+fn lock_ok<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -121,9 +128,9 @@ pub fn is_enabled() -> bool {
 /// left as-is).
 pub fn reset() {
     let r = registry();
-    r.spans.write().unwrap().clear();
-    r.counters.write().unwrap().clear();
-    r.histograms.write().unwrap().clear();
+    lock_ok(r.spans.write()).clear();
+    lock_ok(r.counters.write()).clear();
+    lock_ok(r.histograms.write()).clear();
 }
 
 // NOTE on lock discipline: the fast-path read guard must be dropped (the
@@ -132,14 +139,18 @@ pub fn reset() {
 // `else` branch and self-deadlock on the first miss.
 
 fn counter_cell(name: &'static str) -> Arc<CounterCell> {
+    debug_assert!(
+        crate::is_valid_metric_name(name),
+        "obs name `{name}` violates the crate.area.name grammar"
+    );
     let r = registry();
     {
-        let map = r.counters.read().unwrap();
+        let map = lock_ok(r.counters.read());
         if let Some(c) = map.get(name) {
             return Arc::clone(c);
         }
     }
-    Arc::clone(r.counters.write().unwrap().entry(name).or_insert_with(|| {
+    Arc::clone(lock_ok(r.counters.write()).entry(name).or_insert_with(|| {
         Arc::new(CounterCell {
             value: AtomicU64::new(0),
             gauge: AtomicBool::new(false),
@@ -171,9 +182,13 @@ pub fn record(name: &'static str, value: u64) {
     if !is_enabled() {
         return;
     }
+    debug_assert!(
+        crate::is_valid_metric_name(name),
+        "obs name `{name}` violates the crate.area.name grammar"
+    );
     let r = registry();
     {
-        let map = r.histograms.read().unwrap();
+        let map = lock_ok(r.histograms.read());
         if let Some(h) = map.get(name) {
             let cell = Arc::clone(h);
             drop(map);
@@ -182,9 +197,7 @@ pub fn record(name: &'static str, value: u64) {
         }
     }
     let cell = Arc::clone(
-        r.histograms
-            .write()
-            .unwrap()
+        lock_ok(r.histograms.write())
             .entry(name)
             .or_insert_with(|| Arc::new(AtomicHistogram::new())),
     );
@@ -210,6 +223,10 @@ pub fn span(name: &'static str) -> SpanGuard {
     if !is_enabled() {
         return SpanGuard { armed: None };
     }
+    debug_assert!(
+        crate::is_valid_metric_name(name),
+        "obs name `{name}` violates the crate.area.name grammar"
+    );
     let traced = crate::trace::on_span_open(name);
     let path = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
@@ -235,12 +252,12 @@ impl Drop for SpanGuard {
         });
         let r = registry();
         let existing = {
-            let map = r.spans.read().unwrap();
+            let map = lock_ok(r.spans.read());
             map.get(&path).map(Arc::clone)
         };
         let cell = match existing {
             Some(c) => c,
-            None => Arc::clone(r.spans.write().unwrap().entry(path).or_insert_with(|| {
+            None => Arc::clone(lock_ok(r.spans.write()).entry(path).or_insert_with(|| {
                 Arc::new(SpanCell {
                     count: AtomicU64::new(0),
                     total_ns: AtomicU64::new(0),
@@ -256,10 +273,7 @@ impl Drop for SpanGuard {
 /// are sorted by name/path so the output is stable.
 pub fn snapshot() -> MetricsSnapshot {
     let r = registry();
-    let mut spans: Vec<SpanSnapshot> = r
-        .spans
-        .read()
-        .unwrap()
+    let mut spans: Vec<SpanSnapshot> = lock_ok(r.spans.read())
         .iter()
         .map(|(path, cell)| SpanSnapshot {
             path: path.clone(),
@@ -268,10 +282,7 @@ pub fn snapshot() -> MetricsSnapshot {
         })
         .collect();
     spans.sort_by(|a, b| a.path.cmp(&b.path));
-    let mut counters: Vec<CounterSnapshot> = r
-        .counters
-        .read()
-        .unwrap()
+    let mut counters: Vec<CounterSnapshot> = lock_ok(r.counters.read())
         .iter()
         .map(|(name, cell)| CounterSnapshot {
             name: name.to_string(),
@@ -280,10 +291,7 @@ pub fn snapshot() -> MetricsSnapshot {
         })
         .collect();
     counters.sort_by(|a, b| a.name.cmp(&b.name));
-    let mut histograms: Vec<HistogramSnapshot> = r
-        .histograms
-        .read()
-        .unwrap()
+    let mut histograms: Vec<HistogramSnapshot> = lock_ok(r.histograms.read())
         .iter()
         .map(|(name, cell)| cell.snapshot(name))
         .collect();

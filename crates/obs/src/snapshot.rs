@@ -440,12 +440,10 @@ impl MetricsSnapshot {
         if !self.spans.is_empty() {
             out.push_str("spans:\n");
             for s in &self.spans {
-                let parent_total = if s.depth() == 0 {
-                    None
-                } else {
-                    let parent_path = &s.path[..s.path.rfind('/').unwrap()];
-                    self.span_total_ns(parent_path)
-                };
+                let parent_total = s
+                    .path
+                    .rfind('/')
+                    .and_then(|cut| self.span_total_ns(&s.path[..cut]));
                 let pct = match parent_total {
                     Some(p) if p > 0 => {
                         format!("  ({:.0}% of parent)", 100.0 * s.total_ns as f64 / p as f64)

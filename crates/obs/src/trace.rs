@@ -28,7 +28,14 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+
+/// Trace buffers and sink lists stay structurally sound if a panic lands
+/// while a guard is held (worst case: one half-written trace line), so
+/// recover from poisoning instead of cascading the panic into serving.
+fn lock_ok<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One timed event inside a trace — one `span!` activation, or a
 /// zero-duration marker from [`trace_event`].
@@ -246,12 +253,12 @@ impl RingSink {
 
     /// The retained traces, oldest first.
     pub fn recent(&self) -> Vec<FinishedTrace> {
-        self.buf.lock().unwrap().iter().cloned().collect()
+        lock_ok(self.buf.lock()).iter().cloned().collect()
     }
 
     /// Number of retained traces.
     pub fn len(&self) -> usize {
-        self.buf.lock().unwrap().len()
+        lock_ok(self.buf.lock()).len()
     }
 
     /// `true` when no traces are retained.
@@ -265,7 +272,7 @@ impl TraceSink for RingSink {
         if self.cap == 0 {
             return;
         }
-        let mut buf = self.buf.lock().unwrap();
+        let mut buf = lock_ok(self.buf.lock());
         if buf.len() >= self.cap {
             buf.pop_front();
         }
@@ -316,7 +323,7 @@ impl TraceSink for JsonlSink {
         use std::io::Write;
         let mut line = trace.to_json_line();
         line.push('\n');
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_ok(self.state.lock());
         if self.max_bytes > 0
             && state.written > 0
             && state.written + line.len() as u64 > self.max_bytes
@@ -417,17 +424,17 @@ fn global_sinks() -> &'static RwLock<Vec<Arc<dyn TraceSink>>> {
 /// Registers a process-wide sink receiving every trace passed to
 /// [`flush_trace`] (and traces auto-flushed by [`TraceScope`]'s drop).
 pub fn add_trace_sink(sink: Arc<dyn TraceSink>) {
-    global_sinks().write().unwrap().push(sink);
+    lock_ok(global_sinks().write()).push(sink);
 }
 
 /// Removes all process-wide sinks (tests, reconfiguration).
 pub fn clear_trace_sinks() {
-    global_sinks().write().unwrap().clear();
+    lock_ok(global_sinks().write()).clear();
 }
 
 /// Delivers a completed trace to every registered process-wide sink.
 pub fn flush_trace(trace: &FinishedTrace) {
-    for sink in global_sinks().read().unwrap().iter() {
+    for sink in lock_ok(global_sinks().read()).iter() {
         sink.record(trace);
     }
 }

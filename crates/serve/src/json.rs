@@ -162,7 +162,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -214,7 +214,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -239,8 +239,8 @@ impl<'a> Parser<'a> {
                             let hi = self.hex4()?;
                             let c = if (0xD800..0xDC00).contains(&hi) {
                                 // Surrogate pair: a second \uXXXX must follow.
-                                self.expect(b'\\')?;
-                                self.expect(b'u')?;
+                                self.expect_byte(b'\\')?;
+                                self.expect_byte(b'u')?;
                                 let lo = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err("invalid low surrogate".into());
@@ -262,7 +262,9 @@ impl<'a> Parser<'a> {
                     // boundaries are valid by construction).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid UTF-8")?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err("truncated string".into());
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -282,7 +284,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -293,7 +295,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value(depth + 1)?;
             members.push((key, value));
             self.skip_ws();
@@ -309,7 +311,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {

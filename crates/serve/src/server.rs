@@ -25,7 +25,7 @@ use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Anything that can answer a parsed request. Implemented by
@@ -132,6 +132,8 @@ static CTRL_C: AtomicBool = AtomicBool::new(false);
 pub fn install_ctrl_c() {
     #[cfg(unix)]
     {
+        // SAFETY: the handler body is async-signal-safe — it performs a
+        // single atomic store, with no allocation, locking, or I/O.
         unsafe extern "C" fn on_sigint(_sig: i32) {
             // Only async-signal-safe work: set the flag, nothing else.
             CTRL_C.store(true, Ordering::SeqCst);
@@ -140,6 +142,10 @@ pub fn install_ctrl_c() {
             fn signal(signum: i32, handler: usize) -> usize;
         }
         const SIGINT: i32 = 2;
+        // SAFETY: `signal(2)` with a valid signal number and a handler
+        // address of matching `extern "C" fn(i32)` ABI; the handler above
+        // is async-signal-safe, and re-registering on repeat calls is
+        // explicitly allowed by POSIX.
         unsafe {
             signal(SIGINT, on_sigint as unsafe extern "C" fn(i32) as usize);
         }
@@ -292,7 +298,11 @@ impl Server {
     /// single small buffer — bounded work per rejected connection.
     fn admit(&self, job: Job) {
         hetesim_obs::add("serve.server.accepted", 1);
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if queue.len() >= self.queue_depth {
             drop(queue);
             hetesim_obs::add("serve.server.shed", 1);
@@ -313,7 +323,11 @@ impl Server {
     fn worker_loop<H: Handler>(&self, handler: &H) {
         loop {
             let job = {
-                let mut queue = self.shared.queue.lock().unwrap();
+                let mut queue = self
+                    .shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 loop {
                     if let Some(job) = queue.pop_front() {
                         break Some(job);
@@ -325,7 +339,7 @@ impl Server {
                         .shared
                         .ready
                         .wait_timeout(queue, Duration::from_millis(50))
-                        .unwrap();
+                        .unwrap_or_else(PoisonError::into_inner);
                     queue = q;
                 }
             };
@@ -422,7 +436,7 @@ impl Server {
         hetesim_obs::add("serve.server.slow_queries", 1);
         match &self.slow_log {
             Some(file) => {
-                let mut file = file.lock().unwrap();
+                let mut file = file.lock().unwrap_or_else(PoisonError::into_inner);
                 let _ = writeln!(file, "{line}");
             }
             None => eprintln!("slow-query {line}"),

@@ -43,8 +43,8 @@ impl CsrMatrix {
             "indices/values length mismatch"
         );
         assert_eq!(
-            *indptr.last().unwrap(),
-            indices.len(),
+            indptr.last().copied(),
+            Some(indices.len()),
             "indptr end mismatch"
         );
         debug_assert!(

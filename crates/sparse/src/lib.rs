@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Sparse and dense linear-algebra kernels used throughout the HeteSim

@@ -33,8 +33,7 @@
 
 use crate::{CsrMatrix, Result, SparseError};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::sync::{Mutex, PoisonError};
 
 /// Environment variable overriding [`default_threads`]; `0` or unset
 /// means "auto" (one worker per available core).
@@ -302,7 +301,7 @@ fn two_phase(
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let started = Instant::now();
+                    let started = hetesim_obs::Stopwatch::start();
                     let mut mark = vec![0u64; ncols];
                     let mut stamp = 0u64;
                     loop {
@@ -310,17 +309,16 @@ fn two_phase(
                         if c >= nchunks {
                             break;
                         }
-                        let out = slots.lock().unwrap()[c].take().expect("chunk claimed once");
+                        let out = slots.lock().unwrap_or_else(PoisonError::into_inner)[c]
+                            .take()
+                            .expect("chunk claimed once");
                         let (lo, _hi) = chunks[c];
                         for (i, slot) in out.iter_mut().enumerate() {
                             stamp += 1;
                             *slot = symbolic_row(lhs, rhs, lo + i, &mut mark, stamp);
                         }
                     }
-                    hetesim_obs::record(
-                        "sparse.parallel.worker_busy_us",
-                        started.elapsed().as_micros() as u64,
-                    );
+                    hetesim_obs::record("sparse.parallel.worker_busy_us", started.elapsed_us());
                 });
             }
         });
@@ -342,7 +340,7 @@ fn two_phase(
     // `actual` records how many entries each row really produced; it can
     // fall short of the symbolic count only under exact cancellation.
     let mut actual = vec![0usize; nrows];
-    let mut busy: Vec<Duration> = Vec::new();
+    let mut busy_us: Vec<u64> = Vec::new();
     {
         let _num = hetesim_obs::span("sparse.parallel.numeric");
         let entry_bounds = chunks.iter().map(|&(lo, hi)| (indptr[lo], indptr[hi]));
@@ -354,7 +352,7 @@ fn two_phase(
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 handles.push(scope.spawn(|| {
-                    let started = Instant::now();
+                    let started = hetesim_obs::Stopwatch::start();
                     let mut acc = vec![0f64; ncols];
                     let mut mark = vec![false; ncols];
                     let mut touched: Vec<u32> = Vec::new();
@@ -363,9 +361,15 @@ fn two_phase(
                         if c >= nchunks {
                             break;
                         }
-                        let ind = ind_slots.lock().unwrap()[c].take().expect("claimed once");
-                        let val = val_slots.lock().unwrap()[c].take().expect("claimed once");
-                        let act = act_slots.lock().unwrap()[c].take().expect("claimed once");
+                        let ind = ind_slots.lock().unwrap_or_else(PoisonError::into_inner)[c]
+                            .take()
+                            .expect("claimed once");
+                        let val = val_slots.lock().unwrap_or_else(PoisonError::into_inner)[c]
+                            .take()
+                            .expect("claimed once");
+                        let act = act_slots.lock().unwrap_or_else(PoisonError::into_inner)[c]
+                            .take()
+                            .expect("claimed once");
                         let (lo, hi) = chunks[c];
                         let base = indptr[lo];
                         for (i, r) in (lo..hi).enumerate() {
@@ -382,15 +386,15 @@ fn two_phase(
                             );
                         }
                     }
-                    started.elapsed()
+                    started.elapsed_us()
                 }));
             }
             for h in handles {
-                busy.push(h.join().expect("spgemm worker panicked"));
+                busy_us.push(h.join().expect("spgemm worker panicked"));
             }
         });
     }
-    record_balance(&busy);
+    record_balance(&busy_us);
 
     let actual_nnz: usize = actual.iter().sum();
     if actual_nnz != symbolic_nnz {
@@ -419,20 +423,20 @@ fn two_phase(
 /// fixed-point thousandths (1000 ⇔ perfectly balanced). With the old
 /// contiguous row blocks this ratio was unbounded on Zipfian-skewed
 /// inputs; flop-balanced chunks keep it near 1.
-fn record_balance(busy: &[Duration]) {
-    if busy.is_empty() || !hetesim_obs::is_enabled() {
+fn record_balance(busy_us: &[u64]) {
+    if busy_us.is_empty() || !hetesim_obs::is_enabled() {
         return;
     }
-    let mut max = Duration::ZERO;
-    let mut sum = Duration::ZERO;
-    for &b in busy {
-        hetesim_obs::record("sparse.parallel.worker_busy_us", b.as_micros() as u64);
+    let mut max = 0u64;
+    let mut sum = 0u64;
+    for &b in busy_us {
+        hetesim_obs::record("sparse.parallel.worker_busy_us", b);
         max = max.max(b);
         sum += b;
     }
-    let mean = sum.as_secs_f64() / busy.len() as f64;
+    let mean = sum as f64 / busy_us.len() as f64;
     if mean > 0.0 {
-        let ratio = max.as_secs_f64() / mean;
+        let ratio = max as f64 / mean;
         hetesim_obs::set("sparse.parallel.imbalance", (ratio * 1000.0) as u64);
     }
 }

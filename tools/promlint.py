@@ -13,10 +13,15 @@ Reads the exposition from stdin (or a file argument) and checks:
     ``+Inf`` bucket exists, and its count equals ``_count``, with
     ``_sum``/``_count`` both present.
 
+With ``--content-type VALUE`` the server's Content-Type header is checked
+against the text-exposition contract (``text/plain`` with
+``version=0.0.4``; charset, if present, must be utf-8).
+
 Exit status 0 when clean; 1 with one line per problem otherwise.
 
 Usage:  curl -s host:port/metrics | python3 tools/promlint.py
         python3 tools/promlint.py exposition.txt
+        python3 tools/promlint.py --content-type "$ct" exposition.txt
 """
 
 import re
@@ -159,9 +164,43 @@ def lint(text: str):
     return errors
 
 
+def check_content_type(value: str):
+    """Errors for a /metrics Content-Type header value, [] when conformant."""
+    errors = []
+    parts = [p.strip() for p in value.split(";")]
+    media = parts[0] if parts else ""
+    if media.lower() != "text/plain":
+        errors.append(f"content-type media type {media!r} is not text/plain")
+    params = {}
+    for p in parts[1:]:
+        if "=" in p:
+            k, v = p.split("=", 1)
+            params[k.strip().lower()] = v.strip()
+        elif p:
+            errors.append(f"content-type has malformed parameter {p!r}")
+    version = params.get("version")
+    if version is None:
+        errors.append("content-type lacks a version parameter (expected version=0.0.4)")
+    elif version != "0.0.4":
+        errors.append(f"content-type version {version!r} is not 0.0.4")
+    charset = params.get("charset")
+    if charset is not None and charset.lower() != "utf-8":
+        errors.append(f"content-type charset {charset!r} is not utf-8")
+    return errors
+
+
 def main() -> int:
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], encoding="utf-8") as f:
+    args = sys.argv[1:]
+    content_type = None
+    if "--content-type" in args:
+        i = args.index("--content-type")
+        if i + 1 >= len(args):
+            print("promlint: --content-type needs a value", file=sys.stderr)
+            return 1
+        content_type = args[i + 1]
+        del args[i : i + 2]
+    if args:
+        with open(args[0], encoding="utf-8") as f:
             text = f.read()
     else:
         text = sys.stdin.read()
@@ -169,6 +208,8 @@ def main() -> int:
         print("promlint: empty exposition", file=sys.stderr)
         return 1
     errors = lint(text)
+    if content_type is not None:
+        errors.extend(check_content_type(content_type))
     for e in errors:
         print(f"promlint: {e}", file=sys.stderr)
     if not errors:

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Offline unit tests for tools/promlint.py (stdlib unittest, no network).
+
+Run:  python3 tools/test_promlint.py
+Each fixture is a small hand-written exposition exercising one rule, so a
+promlint regression points at exactly the rule that broke.
+"""
+
+import unittest
+
+from promlint import check_content_type, lint
+
+VALID = """\
+# HELP hetesim_requests_total HTTP requests fully handled.
+# TYPE hetesim_requests_total counter
+hetesim_requests_total 42
+# TYPE hetesim_queue_depth gauge
+hetesim_queue_depth 3
+# TYPE hetesim_latency_seconds histogram
+hetesim_latency_seconds_bucket{le="0.1"} 10
+hetesim_latency_seconds_bucket{le="1"} 15
+hetesim_latency_seconds_bucket{le="+Inf"} 17
+hetesim_latency_seconds_sum 4.2
+hetesim_latency_seconds_count 17
+"""
+
+
+class LintValid(unittest.TestCase):
+    def test_valid_exposition_is_clean(self):
+        self.assertEqual(lint(VALID), [])
+
+    def test_labels_and_timestamps_parse(self):
+        text = (
+            "# TYPE hs_hits_total counter\n"
+            'hs_hits_total{path="APA",node="a"} 7 1700000000\n'
+        )
+        self.assertEqual(lint(text), [])
+
+
+class LintTypeLines(unittest.TestCase):
+    def test_duplicate_type_family_is_flagged(self):
+        text = (
+            "# TYPE hs_hits_total counter\n"
+            "hs_hits_total 1\n"
+            "# TYPE hs_hits_total counter\n"
+        )
+        errors = lint(text)
+        self.assertTrue(any("duplicate # TYPE" in e for e in errors), errors)
+
+    def test_type_after_samples_is_flagged(self):
+        text = "hs_x_total 1\n# TYPE hs_x_total counter\n"
+        errors = lint(text)
+        self.assertTrue(any("after its samples" in e for e in errors), errors)
+
+    def test_unknown_type_is_flagged(self):
+        errors = lint("# TYPE hs_x enum\nhs_x 1\n")
+        self.assertTrue(any("unknown type" in e for e in errors), errors)
+
+    def test_malformed_type_line_is_flagged(self):
+        errors = lint("# TYPE hs_x\nhs_x 1\n")
+        self.assertTrue(any("malformed # TYPE" in e for e in errors), errors)
+
+
+class LintCounters(unittest.TestCase):
+    def test_counter_missing_total_suffix_is_flagged(self):
+        text = "# TYPE hs_hits counter\nhs_hits 5\n"
+        errors = lint(text)
+        self.assertTrue(any("does not end in _total" in e for e in errors), errors)
+
+    def test_negative_counter_is_flagged(self):
+        text = "# TYPE hs_hits_total counter\nhs_hits_total -1\n"
+        errors = lint(text)
+        self.assertTrue(any("is negative" in e for e in errors), errors)
+
+
+class LintHistograms(unittest.TestCase):
+    def test_missing_inf_bucket_is_flagged(self):
+        text = (
+            "# TYPE hs_lat histogram\n"
+            'hs_lat_bucket{le="1"} 3\n'
+            "hs_lat_sum 1.5\n"
+            "hs_lat_count 3\n"
+        )
+        errors = lint(text)
+        self.assertTrue(any("lacks a +Inf bucket" in e for e in errors), errors)
+
+    def test_non_cumulative_buckets_are_flagged(self):
+        text = (
+            "# TYPE hs_lat histogram\n"
+            'hs_lat_bucket{le="1"} 5\n'
+            'hs_lat_bucket{le="+Inf"} 3\n'
+            "hs_lat_sum 1.5\n"
+            "hs_lat_count 3\n"
+        )
+        errors = lint(text)
+        self.assertTrue(any("not cumulative" in e for e in errors), errors)
+
+    def test_missing_sum_and_count_are_flagged(self):
+        text = "# TYPE hs_lat histogram\n" 'hs_lat_bucket{le="+Inf"} 3\n'
+        errors = lint(text)
+        self.assertTrue(any("lacks _count" in e for e in errors), errors)
+        self.assertTrue(any("lacks _sum" in e for e in errors), errors)
+
+    def test_inf_bucket_count_mismatch_is_flagged(self):
+        text = (
+            "# TYPE hs_lat histogram\n"
+            'hs_lat_bucket{le="+Inf"} 3\n'
+            "hs_lat_sum 1.5\n"
+            "hs_lat_count 4\n"
+        )
+        errors = lint(text)
+        self.assertTrue(any("!= _count" in e for e in errors), errors)
+
+    def test_bucket_without_le_label_is_flagged(self):
+        text = (
+            "# TYPE hs_lat histogram\n"
+            'hs_lat_bucket{quantile="0.5"} 3\n'
+            "hs_lat_sum 1.5\n"
+            "hs_lat_count 3\n"
+        )
+        errors = lint(text)
+        self.assertTrue(any("lacks an le label" in e for e in errors), errors)
+
+
+class LintSamples(unittest.TestCase):
+    def test_malformed_label_set_is_flagged(self):
+        errors = lint("hs_x{label=unquoted} 1\n")
+        self.assertTrue(any("malformed label set" in e for e in errors), errors)
+
+    def test_non_float_value_is_flagged(self):
+        errors = lint("hs_x many\n")
+        self.assertTrue(any("is not a float" in e for e in errors), errors)
+
+    def test_unparsable_line_is_flagged(self):
+        errors = lint("!!! not a sample\n")
+        self.assertTrue(any("unparsable sample line" in e for e in errors), errors)
+
+
+class ContentType(unittest.TestCase):
+    def test_exact_exposition_content_type_is_clean(self):
+        self.assertEqual(
+            check_content_type("text/plain; version=0.0.4; charset=utf-8"), []
+        )
+        self.assertEqual(check_content_type("text/plain; version=0.0.4"), [])
+
+    def test_wrong_media_type_is_flagged(self):
+        errors = check_content_type("application/json")
+        self.assertTrue(any("not text/plain" in e for e in errors), errors)
+
+    def test_missing_version_is_flagged(self):
+        errors = check_content_type("text/plain")
+        self.assertTrue(any("lacks a version" in e for e in errors), errors)
+
+    def test_wrong_version_is_flagged(self):
+        errors = check_content_type("text/plain; version=1.0.0")
+        self.assertTrue(any("is not 0.0.4" in e for e in errors), errors)
+
+    def test_wrong_charset_is_flagged(self):
+        errors = check_content_type("text/plain; version=0.0.4; charset=latin-1")
+        self.assertTrue(any("charset" in e for e in errors), errors)
+
+
+if __name__ == "__main__":
+    unittest.main()
