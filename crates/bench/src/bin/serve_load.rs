@@ -3,7 +3,7 @@
 //! ```text
 //! serve-load [--scale tiny|default|paper] [--clients N] [--requests N]
 //!            [--workers N] [--queue-depth N] [--deadline-ms MS]
-//!            [--cache-budget-bytes N] [--out FILE]
+//!            [--cache-budget-bytes N] [--out FILE] [--profile-out FILE]
 //! ```
 //!
 //! Boots the real server (ephemeral port, in-process) on an ACM-like
@@ -18,7 +18,9 @@
 //! Writes `BENCH_serve.json` (or `--out`) with p50/p95/p99 latency over
 //! the successful requests, aggregate throughput, the shed / timeout
 //! rates, and the engine's path-cache hit rate — the run-level view of
-//! the same counters `GET /metrics` exposes per process.
+//! the same counters `GET /metrics` exposes per process. `--profile-out`
+//! additionally writes the run's aggregated span profile as a flamegraph
+//! SVG (or folded stacks unless the name ends in `.svg`).
 
 use hetesim_bench::datasets::{acm_dataset, Scale};
 use hetesim_core::HeteSimEngine;
@@ -41,6 +43,7 @@ struct Args {
     deadline_ms: u64,
     cache_budget_bytes: u64,
     out: String,
+    profile_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: 0,
         cache_budget_bytes: 0,
         out: "BENCH_serve.json".to_string(),
+        profile_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,11 +80,12 @@ fn parse_args() -> Result<Args, String> {
                     parse_num(&value("--cache-budget-bytes")?, "--cache-budget-bytes")? as u64
             }
             "--out" => parsed.out = value("--out")?,
+            "--profile-out" => parsed.profile_out = Some(value("--profile-out")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: serve-load [--scale tiny|default|paper] [--clients N] \
                      [--requests N] [--workers N] [--queue-depth N] [--deadline-ms MS] \
-                     [--cache-budget-bytes N] [--out FILE]"
+                     [--cache-budget-bytes N] [--out FILE] [--profile-out FILE]"
                         .into(),
                 )
             }
@@ -351,6 +356,21 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: cannot write {:?}: {e}", args.out);
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.profile_out {
+        let snap = hetesim_obs::snapshot();
+        let payload = if path.ends_with(".svg") {
+            hetesim_obs::flamegraph_svg(&snap)
+        } else {
+            hetesim_obs::folded_stacks(&snap)
+        };
+        match std::fs::write(path, payload) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

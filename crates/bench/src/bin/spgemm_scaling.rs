@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! spgemm-scaling [--scale tiny|default|paper] [--repeats N] [--out FILE]
+//!                [--profile-out FILE]
 //! ```
 //!
 //! Multiplies the ACM co-paper product `(Wᵀ)̂ · Ŵ` (both factors
@@ -14,11 +15,15 @@
 //! bit-identical to serial before any number is reported.
 //!
 //! Writes `BENCH_spgemm.json` (or `--out`) with per-thread milliseconds,
-//! speedup over serial, and the `sparse.parallel.imbalance` gauge
-//! (max/mean worker busy time; 1.0 = perfectly balanced). The file also
+//! speedup over serial, the `sparse.parallel.imbalance` gauge
+//! (max/mean worker busy time; 1.0 = perfectly balanced), and each run's
+//! per-worker `worker_busy_us`/`worker_idle_us` breakdown from the
+//! numeric pass (the last repeat's pool accounting). The file also
 //! records `available_parallelism` — on a machine with fewer cores than
 //! threads, speedups are naturally capped and the curve should be read
-//! against that field.
+//! against that field. `--profile-out` additionally writes the span
+//! profile of the last timed configuration as a flamegraph SVG (or
+//! folded stacks unless the name ends in `.svg`).
 
 use hetesim_bench::datasets::{acm_dataset, Scale};
 use hetesim_sparse::{parallel, CsrMatrix};
@@ -31,12 +36,14 @@ struct Args {
     scale: Scale,
     repeats: usize,
     out: String,
+    profile_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Default;
     let mut repeats = 3usize;
     let mut out = "BENCH_spgemm.json".to_string();
+    let mut profile_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,9 +58,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--repeats expects an integer, got {v:?}"))?;
             }
             "--out" => out = args.next().ok_or("--out needs a value")?.to_string(),
+            "--profile-out" => {
+                profile_out = Some(args.next().ok_or("--profile-out needs a value")?.to_string())
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: spgemm-scaling [--scale tiny|default|paper] [--repeats N] [--out FILE]"
+                    "usage: spgemm-scaling [--scale tiny|default|paper] [--repeats N] [--out FILE] [--profile-out FILE]"
                         .into(),
                 )
             }
@@ -64,7 +74,20 @@ fn parse_args() -> Result<Args, String> {
         scale,
         repeats: repeats.max(1),
         out,
+        profile_out,
     })
+}
+
+/// Renders the current span aggregates as a flamegraph SVG, or folded
+/// stacks unless `path` ends in `.svg`.
+fn write_profile(path: &str) -> std::io::Result<()> {
+    let snap = hetesim_obs::snapshot();
+    let payload = if path.ends_with(".svg") {
+        hetesim_obs::flamegraph_svg(&snap)
+    } else {
+        hetesim_obs::folded_stacks(&snap)
+    };
+    std::fs::write(path, payload)
 }
 
 /// Exact SpGEMM flops: one multiply-add per (lhs entry, matching rhs row
@@ -93,6 +116,16 @@ struct Run {
     speedup: f64,
     /// max/mean worker busy time; 0.0 when not measured.
     imbalance: f64,
+    /// Per-worker numeric-pass busy microseconds (last repeat).
+    worker_busy_us: Vec<u64>,
+    /// Per-worker numeric-pass idle microseconds (last repeat).
+    worker_idle_us: Vec<u64>,
+}
+
+/// Renders a `u64` slice as a JSON array.
+fn json_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
 }
 
 fn main() -> ExitCode {
@@ -145,13 +178,29 @@ fn main() -> ExitCode {
         assert_eq!(par, serial, "two-phase result differs at {threads} threads");
         let imbalance = imbalance_gauge() as f64 / 1000.0;
         let speedup = serial_ms / ms;
+        // The last repeat's per-worker busy/idle split (empty when the
+        // serial fallback ran, i.e. at 1 thread).
+        let pool = parallel::take_pool_stats().unwrap_or_default();
         eprintln!("threads {threads}: {ms:.2} ms, speedup {speedup:.2}x, imbalance {imbalance:.3}");
         runs.push(Run {
             threads,
             ms,
             speedup,
             imbalance,
+            worker_busy_us: pool.numeric_busy_us,
+            worker_idle_us: pool.numeric_idle_us,
         });
+    }
+    if let Some(path) = &args.profile_out {
+        // Spans were reset per configuration, so this is the profile of
+        // the last (highest thread count) timed configuration.
+        match write_profile(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     let cores = std::thread::available_parallelism()
@@ -181,11 +230,14 @@ fn main() -> ExitCode {
     json.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"imbalance\": {:.3}}}{}\n",
+            "    {{\"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"imbalance\": {:.3}, \
+             \"worker_busy_us\": {}, \"worker_idle_us\": {}}}{}\n",
             r.threads,
             r.ms,
             r.speedup,
             r.imbalance,
+            json_array(&r.worker_busy_us),
+            json_array(&r.worker_idle_us),
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }

@@ -17,6 +17,8 @@
 //!                         [--slow-ms MS] [--slow-log FILE]
 //!                         [--trace-out FILE] [--trace-ring N]
 //! hetesim-cli trace   DIR --path APVC --source NAME [--k 10] [--warm]
+//! hetesim-cli profile DIR --path APVC --source NAME [--k 10] [--repeat 20]
+//!                         [--warm] [--out flame.svg] [--folded-out FILE]
 //! hetesim-cli help
 //! ```
 //!
@@ -71,8 +73,8 @@ commands:
             [--trace-sample N] [--slow-ms MS] [--slow-log FILE]
             [--trace-out FILE] [--trace-ring 128]
       Serve relevance queries over HTTP (GET /healthz, GET /metrics,
-      GET /traces/recent, POST /query, POST /pair, POST /warmup — see
-      docs/API.md). --workers 0 = auto; --deadline-ms 0 = no per-request
+      GET /profile, GET /traces/recent, POST /query, POST /pair,
+      POST /warmup — see docs/API.md). --workers 0 = auto; --deadline-ms 0 = no per-request
       deadline; --queue-depth bounds waiting connections (overload answers
       503 + Retry-After); --cache-budget-bytes 0 = unlimited path cache,
       else least-recently-used entries are evicted to stay under the
@@ -89,6 +91,16 @@ commands:
       tree: each engine stage with duration and share of the total.
       --warm pre-materializes the path first, profiling the cache-hit
       request instead of the cold build.
+  profile DIR --path APVC --source NAME [--k 10] [--repeat 20] [--threads N]
+              [--warm] [--out FILE] [--folded-out FILE]
+      Run one query --repeat times under the span profiler and render the
+      aggregated tree: --out writes a flamegraph SVG (or folded stacks
+      unless the name ends in .svg), --folded-out writes the folded-stack
+      text (`frame;frame;frame <self_µs>` per line, Brendan Gregg's
+      format), and with neither flag the folded stacks go to stdout. The
+      final `profile: …` line reports wall vs profiled time. --warm
+      profiles cache-hit queries instead of the cold build. Binaries built
+      with the obs-alloc feature also print a per-span allocation table.
   help
       This text.
 
@@ -394,26 +406,98 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
+/// Replays one query `--repeat` times under the profiler and renders the
+/// aggregated span tree as folded stacks and/or a flamegraph SVG. When
+/// the binary is built with the `obs-alloc` feature, a per-span
+/// allocation table goes to stderr as well.
+fn cmd_profile(p: &Parsed) -> Result<(), String> {
+    let hin = load(p.one_positional("network directory")?)?;
+    let path = parse_path(&hin, p.require("path")?)?;
+    let source_name = p.require("source")?;
+    let source = hin
+        .node_id(path.source_type(), source_name)
+        .map_err(|e| e.to_string())?;
+    let k = p.get_usize("k", 10)?;
+    let repeat = p.get_usize("repeat", 20)?.max(1);
+    let engine = engine_with_threads(p, &hin)?;
+    hetesim_obs::enable();
+    if p.has("warm") {
+        engine.warm(&path).map_err(|e| e.to_string())?;
+    }
+    // Profile only the measurement loop: network loading and warming are
+    // not part of the picture the flamegraph should show.
+    hetesim_obs::reset();
+    let wall = hetesim_obs::Stopwatch::start();
+    let mut results = 0;
+    for _ in 0..repeat {
+        let _run = hetesim_obs::span("cli.profile.run");
+        results = engine
+            .top_k(&path, source, k)
+            .map_err(|e| e.to_string())?
+            .len();
+    }
+    let wall_us = wall.elapsed_us();
+    hetesim_obs::publish_alloc_gauges();
+    let snap = hetesim_obs::snapshot();
+    let frames = hetesim_obs::profile_frames(&snap.spans);
+    // The roots' summed total is the profiler's view of the loop's wall
+    // time — CI asserts the two agree within 5%.
+    let root_total_us: u64 = frames
+        .iter()
+        .filter(|f| f.depth() == 0)
+        .map(|f| f.total_ns / 1_000)
+        .sum();
+    let folded = hetesim_obs::folded_stacks(&snap);
+    let mut wrote = false;
+    if let Some(file) = p.flags.get("out") {
+        let payload = if file.ends_with(".svg") {
+            hetesim_obs::flamegraph_svg(&snap)
+        } else {
+            folded.clone()
+        };
+        std::fs::write(file, payload)
+            .map_err(|e| format!("cannot write profile to {file:?}: {e}"))?;
+        wrote = true;
+    }
+    if let Some(file) = p.flags.get("folded-out") {
+        std::fs::write(file, &folded)
+            .map_err(|e| format!("cannot write folded stacks to {file:?}: {e}"))?;
+        wrote = true;
+    }
+    if !wrote {
+        print!("{folded}");
+    }
+    if hetesim_obs::alloc_profiling_available() {
+        let totals = hetesim_obs::alloc_totals();
+        eprintln!(
+            "allocations: {} allocs, {} bytes, peak {} bytes live",
+            totals.count, totals.bytes, totals.peak_bytes
+        );
+        for site in hetesim_obs::alloc_sites().into_iter().take(10) {
+            eprintln!(
+                "  {:<44} {:>10} allocs {:>14} bytes",
+                site.span, site.count, site.bytes
+            );
+        }
+    }
+    // One machine-parseable summary line; CI checks wall vs root total.
+    println!(
+        "profile: repeats={repeat} results={results} wall_us={wall_us} \
+         root_total_us={root_total_us} frames={}",
+        frames.len()
+    );
+    record_cache_gauges(&engine);
+    Ok(())
+}
+
 fn cmd_serve(p: &Parsed) -> Result<(), String> {
     use hetesim_serve::{App, ServeConfig, Server};
     let hin = load(p.one_positional("network directory")?)?;
     let budget = p.get_u64("cache-budget-bytes", 0)?;
     let engine = engine_with_threads(p, &hin)?.with_cache_budget(budget);
-    let app = App::new(&hin, engine);
     // `GET /metrics` serves the observability snapshot, so recording must
     // be on for the whole server lifetime, not only under `--metrics`.
     hetesim_obs::enable();
-    if let Some(file) = p.flags.get("warmup-paths") {
-        let text = std::fs::read_to_string(file)
-            .map_err(|e| format!("cannot read warmup paths from {file:?}: {e}"))?;
-        let specs: Vec<String> = text
-            .lines()
-            .map(str::trim)
-            .filter(|line| !line.is_empty() && !line.starts_with('#'))
-            .map(str::to_string)
-            .collect();
-        eprintln!("warmup: {}", app.warm_paths(&specs));
-    }
     let config = ServeConfig {
         addr: p.get_or("addr", "127.0.0.1:7878").to_string(),
         workers: p.get_usize("workers", 0)?,
@@ -425,8 +509,22 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
         trace_out: p.flags.get("trace-out").cloned(),
         trace_ring: p.get_usize("trace-ring", 128)?,
     };
+    // Bind before building the app so `/healthz` can report the resolved
+    // worker count; arrivals queue in the listener during warmup.
     let server =
         Server::bind(&config).map_err(|e| format!("cannot bind {:?}: {e}", config.addr))?;
+    let app = App::new(&hin, engine).with_workers(server.workers());
+    if let Some(file) = p.flags.get("warmup-paths") {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read warmup paths from {file:?}: {e}"))?;
+        let specs: Vec<String> = text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        eprintln!("warmup: {}", app.warm_paths(&specs));
+    }
     hetesim_serve::install_ctrl_c();
     let deadline = match config.deadline_ms {
         0 => "none".to_string(),
@@ -502,6 +600,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "join" => "cli.join",
             "serve" => "cli.serve",
             "trace" => "cli.trace",
+            "profile" => "cli.profile",
             _ => "cli.unknown",
         });
         match command {
@@ -513,6 +612,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "join" => cmd_join(&parsed),
             "serve" => cmd_serve(&parsed),
             "trace" => cmd_trace(&parsed),
+            "profile" => cmd_profile(&parsed),
             other => Err(format!("unknown command {other:?}; try `hetesim-cli help`")),
         }
     };

@@ -1,3 +1,10 @@
+// With the obs-alloc feature, every allocation in the binary is counted
+// and attributed to the innermost open span (see hetesim-obs::alloc);
+// without it, this is the plain system allocator and costs nothing.
+#[cfg(feature = "obs-alloc")]
+#[global_allocator]
+static ALLOC: hetesim_obs::CountingAlloc = hetesim_obs::CountingAlloc;
+
 fn main() -> std::process::ExitCode {
     hetesim_cli::run()
 }

@@ -195,7 +195,12 @@ impl PathCache {
     where
         F: FnOnce() -> Result<Halves, E>,
     {
-        if let Some(e) = self.inner.read().unwrap_or_else(PoisonError::into_inner).get(key) {
+        if let Some(e) = self
+            .inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
             e.last_used.store(self.next_tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             hetesim_obs::add("core.cache.prefix_cache.hits", 1);
@@ -234,7 +239,12 @@ impl PathCache {
     where
         F: FnOnce() -> Result<CsrMatrix, E>,
     {
-        if let Some(e) = self.partial.read().unwrap_or_else(PoisonError::into_inner).get(key) {
+        if let Some(e) = self
+            .partial
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
             e.last_used.store(self.next_tick(), Ordering::Relaxed);
             hetesim_obs::add("core.cache.prefix.hits", 1);
             return Ok(Arc::clone(&e.value));
@@ -259,12 +269,18 @@ impl PathCache {
 
     /// Number of materialized prefix products.
     pub fn partial_len(&self) -> usize {
-        self.partial.read().unwrap_or_else(PoisonError::into_inner).len()
+        self.partial
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Number of cached paths.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner).len()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True if nothing is cached.
@@ -290,8 +306,14 @@ impl PathCache {
     pub fn clear(&self) {
         let evicted = (self.len() + self.partial_len()) as u64;
         hetesim_obs::add("core.cache.prefix_cache.evictions", evicted);
-        self.inner.write().unwrap_or_else(PoisonError::into_inner).clear();
-        self.partial.write().unwrap_or_else(PoisonError::into_inner).clear();
+        self.inner
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.partial
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);

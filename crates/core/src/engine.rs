@@ -126,6 +126,11 @@ impl<'a> HeteSimEngine<'a> {
         self.cache.stats()
     }
 
+    /// Configured cache budget in bytes (`0` = unlimited).
+    pub fn cache_budget_bytes(&self) -> u64 {
+        self.cache.budget_bytes()
+    }
+
     /// `(hits, misses)` of the half-path cache.
     #[deprecated(
         since = "0.1.0",

@@ -227,7 +227,10 @@ fn top_k_parallel_force(h: &Halves, source: u32, k: usize, threads: usize) -> Re
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("top-k worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("top-k worker panicked"))
+            .collect()
     });
     // The kept top-k set is unique under the (score desc, index asc) total
     // order, so merging per-worker heaps reproduces the serial result.
@@ -358,7 +361,10 @@ fn top_k_pairs_parallel_force(h: &Halves, k: usize, threads: usize) -> Result<Ve
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("top-k worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("top-k worker panicked"))
+            .collect()
     });
     let mut best: Vec<RankedPair> = Vec::with_capacity(k + 1);
     for list in lists {

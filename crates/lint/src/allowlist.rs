@@ -155,7 +155,11 @@ impl Allowlist {
                     line: e.line,
                     message: format!(
                         "[[allow]] entry for `{}` has no justification",
-                        if e.path.is_empty() { "<no path>" } else { &e.path }
+                        if e.path.is_empty() {
+                            "<no path>"
+                        } else {
+                            &e.path
+                        }
                     ),
                 });
             }
@@ -251,7 +255,11 @@ impl Allowlist {
 fn parse_kv(line: &str) -> Option<(String, String)> {
     let (key, rest) = line.split_once('=')?;
     let key = key.trim();
-    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
         return None;
     }
     let rest = rest.trim();

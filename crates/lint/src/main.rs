@@ -105,9 +105,7 @@ fn main() -> ExitCode {
 /// Walks up from `start` to the first directory holding both Cargo.toml
 /// and crates/ — tolerant of being launched from a crate subdirectory.
 fn resolve_root(start: PathBuf) -> PathBuf {
-    let mut dir = start
-        .canonicalize()
-        .unwrap_or(start);
+    let mut dir = start.canonicalize().unwrap_or(start);
     loop {
         if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
             return dir;

@@ -121,9 +121,7 @@ fn run_file(file: &SourceFile, allow: &mut Allowlist, findings: &mut Vec<Finding
                 .map(|j| toks[j].text.clone());
             if let Some(name) = name {
                 for scope in &mut scopes {
-                    scope.retain(|g| {
-                        g.base != name && g.binding.as_deref() != Some(name.as_str())
-                    });
+                    scope.retain(|g| g.base != name && g.binding.as_deref() != Some(name.as_str()));
                 }
             }
             i += 1;
@@ -177,9 +175,9 @@ fn run_file(file: &SourceFile, allow: &mut Allowlist, findings: &mut Vec<Finding
             let Some(dot) = next_code(toks, end + 1).filter(|&j| toks[j].is_punct(".")) else {
                 break;
             };
-            let Some(m) = next_code(toks, dot + 1)
-                .filter(|&j| toks[j].kind == TokKind::Ident && ADAPTERS.contains(&toks[j].text.as_str()))
-            else {
+            let Some(m) = next_code(toks, dot + 1).filter(|&j| {
+                toks[j].kind == TokKind::Ident && ADAPTERS.contains(&toks[j].text.as_str())
+            }) else {
                 break;
             };
             let Some(aopen) = next_code(toks, m + 1).filter(|&j| toks[j].is_punct("(")) else {

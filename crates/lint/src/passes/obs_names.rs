@@ -33,7 +33,16 @@ const OBS_FNS: [&str; 6] = [
 
 /// Crate prefixes that make a dotted literal in docs a metric name.
 const NAME_PREFIXES: [&str; 10] = [
-    "core", "sparse", "serve", "graph", "obs", "cli", "bench", "data", "ml", "baselines",
+    "core",
+    "sparse",
+    "serve",
+    "graph",
+    "obs",
+    "cli",
+    "bench",
+    "data",
+    "ml",
+    "baselines",
 ];
 
 /// Collects `(name, file:line, is_declared_literal)` for every obs name
@@ -51,9 +60,8 @@ pub fn collect(files: &[SourceFile]) -> Vec<(String, (String, u32), bool)> {
                 continue;
             }
             // Macro form: span!( … )
-            let is_macro = next_code(toks, i + 1)
-                .is_some_and(|j| toks[j].is_punct("!"))
-                && t.text == "span";
+            let is_macro =
+                next_code(toks, i + 1).is_some_and(|j| toks[j].is_punct("!")) && t.text == "span";
             // Function form must be path-qualified to avoid unrelated
             // methods that happen to share a name.
             let qualified = prev_code(toks, i).is_some_and(|j| toks[j].is_punct("::"));
@@ -80,8 +88,7 @@ pub fn collect(files: &[SourceFile]) -> Vec<(String, (String, u32), bool)> {
             // The first code token inside the parens: a literal there is
             // the declared name.
             let first = next_code(toks, open + 1).filter(|&j| j < close);
-            let declared: Option<usize> =
-                first.filter(|&j| toks[j].kind == TokKind::Str);
+            let declared: Option<usize> = first.filter(|&j| toks[j].kind == TokKind::Str);
             if let Some(j) = declared {
                 out.push((toks[j].text.clone(), (file.rel.clone(), toks[j].line), true));
             } else {
@@ -168,14 +175,16 @@ pub fn run(
             continue;
         }
         if !registry.contains(name) {
-            let how = if *declared { "" } else { " (dynamic call site)" };
+            let how = if *declared {
+                ""
+            } else {
+                " (dynamic call site)"
+            };
             findings.push(Finding {
                 pass: Pass::ObsNames,
                 file: file.clone(),
                 line: *line,
-                message: format!(
-                    "obs name `{name}` is not registered in crates/obs/NAMES.md{how}"
-                ),
+                message: format!("obs name `{name}` is not registered in crates/obs/NAMES.md{how}"),
             });
         }
     }

@@ -37,9 +37,7 @@ pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) {
             }
             if t.text == "forbid" {
                 // #![forbid(unsafe_code)] — token shape: forbid ( unsafe_code )
-                let arg_is_unsafe_code = toks
-                    .get(i + 1)
-                    .is_some_and(|p| p.is_punct("("))
+                let arg_is_unsafe_code = toks.get(i + 1).is_some_and(|p| p.is_punct("("))
                     && toks.get(i + 2).is_some_and(|a| a.is_ident("unsafe_code"));
                 if arg_is_unsafe_code {
                     entry.1 = true;

@@ -159,7 +159,11 @@ impl Report {
                 f.line,
                 escape_json(&f.message)
             );
-            out.push_str(if i + 1 < self.findings.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push_str("  ]\n}\n");
         out

@@ -33,7 +33,12 @@ fn count(report: &Report, pass: Pass) -> usize {
 fn l1_unregistered_name_is_flagged() {
     let src = r#"fn f() { hetesim_obs::add("core.cache.bogus_counter", 1); }"#;
     let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
-    assert_eq!(count(&report, Pass::ObsNames), 1, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::ObsNames),
+        1,
+        "{}",
+        report.render_tree()
+    );
     assert!(report
         .of(Pass::ObsNames)
         .any(|f| f.message.contains("core.cache.bogus_counter")));
@@ -44,7 +49,12 @@ fn l1_registered_name_is_clean() {
     let src = r#"fn f() { hetesim_obs::add("core.cache.hits_total", 1); }"#;
     let registry = "- `core.cache.hits_total` — counter: fixture\n";
     let report = lint_one("crates/core/src/a.rs", "core", src, registry, "");
-    assert_eq!(count(&report, Pass::ObsNames), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::ObsNames),
+        0,
+        "{}",
+        report.render_tree()
+    );
 }
 
 #[test]
@@ -125,7 +135,12 @@ fn l2_unwrap_in_scoped_crate_is_flagged() {
 fn l2_panic_macro_is_flagged_but_catch_unwind_is_not() {
     let src = "fn f() { std::panic::catch_unwind(|| 1).ok(); panic!(\"boom\"); }";
     let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
-    assert_eq!(count(&report, Pass::PanicFreedom), 1, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::PanicFreedom),
+        1,
+        "{}",
+        report.render_tree()
+    );
 }
 
 #[test]
@@ -140,14 +155,24 @@ mod tests {
 }
 "#;
     let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
-    assert_eq!(count(&report, Pass::PanicFreedom), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::PanicFreedom),
+        0,
+        "{}",
+        report.render_tree()
+    );
 }
 
 #[test]
 fn l2_cfg_not_test_is_not_masked() {
     let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
     let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
-    assert_eq!(count(&report, Pass::PanicFreedom), 1, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::PanicFreedom),
+        1,
+        "{}",
+        report.render_tree()
+    );
 }
 
 #[test]
@@ -168,7 +193,12 @@ pattern = "expect(\"fixture invariant\")"
 justification = "fixtures never pass None here"
 "#;
     let report = lint_one("crates/core/src/a.rs", "core", src, "", allow);
-    assert_eq!(count(&report, Pass::PanicFreedom), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::PanicFreedom),
+        0,
+        "{}",
+        report.render_tree()
+    );
     assert_eq!(report.allowlist_matched, 1);
     assert_eq!(report.allowlist_dead, 0);
 }
@@ -188,7 +218,12 @@ fn l3_unsafe_without_safety_comment_is_flagged() {
 fn l3_unsafe_with_safety_comment_is_clean() {
     let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}";
     let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
-    assert_eq!(count(&report, Pass::UnsafeAudit), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::UnsafeAudit),
+        0,
+        "{}",
+        report.render_tree()
+    );
 }
 
 #[test]
@@ -200,7 +235,12 @@ fn l3_clean_crate_must_forbid_unsafe() {
 
     let src = "#![forbid(unsafe_code)]\nfn f() {}";
     let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
-    assert_eq!(count(&report, Pass::UnsafeAudit), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::UnsafeAudit),
+        0,
+        "{}",
+        report.render_tree()
+    );
 }
 
 // --- L4 lock-discipline ------------------------------------------------
@@ -218,7 +258,12 @@ fn f(s: &S) -> u32 {
 #[test]
 fn l4_undeclared_nested_acquisition_is_flagged() {
     let report = lint_one("crates/core/src/a.rs", "x", NESTED_LOCKS, "", "");
-    assert_eq!(count(&report, Pass::LockDiscipline), 1, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        1,
+        "{}",
+        report.render_tree()
+    );
     assert!(report
         .of(Pass::LockDiscipline)
         .any(|f| f.message.contains("`partial.write()`") && f.message.contains("`inner` guard")));
@@ -234,7 +279,12 @@ second = "partial"
 justification = "fixture: all sites take inner first"
 "#;
     let report = lint_one("crates/core/src/a.rs", "x", NESTED_LOCKS, "", allow);
-    assert_eq!(count(&report, Pass::LockDiscipline), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
     assert_eq!(report.allowlist_dead, 0, "{}", report.render_tree());
 }
 
@@ -251,7 +301,12 @@ fn f(s: &S) {
 }
 "#;
     let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
-    assert_eq!(count(&report, Pass::LockDiscipline), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
 }
 
 #[test]
@@ -265,7 +320,12 @@ fn f(s: &S) {
 }
 "#;
     let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
-    assert_eq!(count(&report, Pass::LockDiscipline), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
 }
 
 #[test]
@@ -279,7 +339,12 @@ fn f(mut r: impl Read, lock: &std::sync::Mutex<u32>) {
 }
 "#;
     let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
-    assert_eq!(count(&report, Pass::LockDiscipline), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
 }
 
 // --- L5 determinism ----------------------------------------------------
@@ -288,7 +353,12 @@ fn f(mut r: impl Read, lock: &std::sync::Mutex<u32>) {
 fn l5_instant_now_in_kernel_is_flagged() {
     let src = "fn f() -> std::time::Instant { std::time::Instant::now() }";
     let report = lint_one("crates/sparse/src/kernel.rs", "sparse", src, "", "");
-    assert_eq!(count(&report, Pass::Determinism), 1, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::Determinism),
+        1,
+        "{}",
+        report.render_tree()
+    );
 }
 
 #[test]
@@ -309,7 +379,12 @@ fn l5_out_of_scope_file_is_ignored() {
 fn l5_test_code_may_use_clocks() {
     let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}";
     let report = lint_one("crates/sparse/src/kernel.rs", "sparse", src, "", "");
-    assert_eq!(count(&report, Pass::Determinism), 0, "{}", report.render_tree());
+    assert_eq!(
+        count(&report, Pass::Determinism),
+        0,
+        "{}",
+        report.render_tree()
+    );
 }
 
 // --- allowlist hygiene -------------------------------------------------

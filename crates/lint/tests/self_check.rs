@@ -32,7 +32,11 @@ fn shipped_workspace_is_clean() {
         "the shipped tree must lint clean:\n{}",
         report.render_tree()
     );
-    assert!(report.files_scanned > 50, "scanned {}", report.files_scanned);
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
     assert!(
         report.names_in_source >= 100,
         "only {} names found — did name collection break?",
@@ -77,7 +81,10 @@ fn renaming_a_span_site_fails_lint() {
         .lines
         .join("\n")
         .replace("\"core.engine.top_k\"", "\"core.engine.top_kk\"");
-    assert!(renamed.contains("core.engine.top_kk"), "span site not found");
+    assert!(
+        renamed.contains("core.engine.top_kk"),
+        "span site not found"
+    );
     *victim = SourceFile::from_source("crates/core/src/engine.rs", "core", &renamed);
 
     let report = run_with(&cfg, &files, &registry, &allow);
@@ -92,9 +99,9 @@ fn renaming_a_span_site_fails_lint() {
         report.render_tree()
     );
     assert!(
-        report
-            .of(Pass::ObsNames)
-            .any(|f| f.message.contains("dead registry entry `core.engine.top_k`")),
+        report.of(Pass::ObsNames).any(|f| f
+            .message
+            .contains("dead registry entry `core.engine.top_k`")),
         "{}",
         report.render_tree()
     );

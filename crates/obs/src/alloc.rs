@@ -1,0 +1,352 @@
+//! Allocation profiler (compiled only with the `obs-alloc` feature).
+//!
+//! [`CountingAlloc`] is a `#[global_allocator]` wrapper around the system
+//! allocator that, while measurement is enabled, attributes every
+//! allocation to the **innermost span open on the allocating thread** —
+//! answering "which stage of `normalize → chain → cosine → topk` owns the
+//! memory" without any sampling or symbolization.
+//!
+//! Design constraints, in order of importance:
+//!
+//! 1. **The hook must never allocate.**  Everything is fixed-size atomics:
+//!    process totals plus a small open-addressed slot table keyed by the
+//!    *data pointer* of the span's `&'static str` name (the registry only
+//!    ever passes `'static` literals, so pointer identity is a stable key
+//!    and reading it back later is sound).
+//! 2. **The hook must never panic or deadlock.**  Span lookup goes through
+//!    [`crate::registry::current_span_name`], which degrades to `None`
+//!    on reentrant borrows and during thread-local teardown.
+//! 3. **Disabled means near-free.**  With measurement off the hook is one
+//!    relaxed load and a branch on top of the system allocator.
+//!
+//! The feature is default-off; without it the crate keeps its
+//! `#![forbid(unsafe_code)]` and the API surface degrades to no-ops.
+
+use crate::{AllocSite, AllocTotals};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Slots in the per-span attribution table. Spans are registered names
+/// (a few dozen per process); collisions past the probe limit fall into
+/// the overflow row rather than being dropped.
+const SITE_SLOTS: usize = 128;
+/// Linear-probe limit before an allocation is charged to the overflow row.
+const PROBE_LIMIT: usize = 16;
+
+/// Slot key states: 0 = empty, 1 = claim in progress, otherwise the data
+/// pointer of the owning span name.
+struct SiteSlot {
+    key: AtomicUsize,
+    len: AtomicUsize,
+    count: AtomicU64,
+    bytes: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SLOT: SiteSlot = SiteSlot {
+    key: AtomicUsize::new(0),
+    len: AtomicUsize::new(0),
+    count: AtomicU64::new(0),
+    bytes: AtomicU64::new(0),
+};
+
+static SITES: [SiteSlot; SITE_SLOTS] = [EMPTY_SLOT; SITE_SLOTS];
+
+/// Allocations that could not be attributed (probe overflow).
+static OVERFLOW_COUNT: AtomicU64 = AtomicU64::new(0);
+static OVERFLOW_BYTES: AtomicU64 = AtomicU64::new(0);
+
+static TOTAL_COUNT: AtomicU64 = AtomicU64::new(0);
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc(size: usize) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let size = size as u64;
+    TOTAL_COUNT.fetch_add(1, Ordering::Relaxed);
+    TOTAL_BYTES.fetch_add(size, Ordering::Relaxed);
+    let live = LIVE_BYTES
+        .fetch_add(size, Ordering::Relaxed)
+        .saturating_add(size);
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    if let Some(name) = crate::registry::current_span_name() {
+        attribute(name, size);
+    }
+}
+
+fn note_dealloc(size: usize) {
+    if !crate::is_enabled() {
+        return;
+    }
+    // Saturating: frees of memory allocated before enable()/reset must not
+    // wrap the live gauge.
+    let _ = LIVE_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(size as u64))
+    });
+}
+
+/// Charges `size` bytes to the slot owned by `name`, claiming a slot on
+/// first sight. Lock-free and allocation-free: key 0→1 CAS marks a claim,
+/// the length is published before the key so a reader that observes the
+/// final key (acquire) also observes a valid length.
+fn attribute(name: &'static str, size: u64) {
+    let ptr = name.as_ptr() as usize;
+    // Fibonacci hash of the pointer; anything with spread works.
+    let mut idx = ptr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57;
+    for _ in 0..PROBE_LIMIT {
+        let slot = &SITES[idx % SITE_SLOTS];
+        match slot.key.load(Ordering::Acquire) {
+            k if k == ptr => {
+                slot.count.fetch_add(1, Ordering::Relaxed);
+                slot.bytes.fetch_add(size, Ordering::Relaxed);
+                return;
+            }
+            0 => {
+                if slot
+                    .key
+                    .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    slot.len.store(name.len(), Ordering::Release);
+                    slot.key.store(ptr, Ordering::Release);
+                    slot.count.fetch_add(1, Ordering::Relaxed);
+                    slot.bytes.fetch_add(size, Ordering::Relaxed);
+                    return;
+                }
+                // Lost the claim race; retry the same slot once resolved.
+                continue;
+            }
+            1 => {
+                // Another thread is mid-claim for this slot; rather than
+                // spin inside the allocator, fall through to probing.
+            }
+            _ => {}
+        }
+        idx = idx.wrapping_add(1);
+    }
+    OVERFLOW_COUNT.fetch_add(1, Ordering::Relaxed);
+    OVERFLOW_BYTES.fetch_add(size, Ordering::Relaxed);
+}
+
+/// The `#[global_allocator]` wrapper. Install it in the binary that wants
+/// allocation attribution:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: hetesim_obs::CountingAlloc = hetesim_obs::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates the actual memory operation verbatim to
+// `System`, which upholds the `GlobalAlloc` contract; the bookkeeping
+// around those calls never allocates, unwinds, or touches the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's contract (valid, non-zero-sized
+    // layout) directly to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    // SAFETY: forwards the caller's contract (valid, non-zero-sized
+    // layout) directly to `System.alloc_zeroed`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    // SAFETY: forwards the caller's contract (`ptr` was allocated here
+    // with `layout`) directly to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        note_dealloc(layout.size());
+    }
+
+    // SAFETY: forwards the caller's contract (`ptr` was allocated here
+    // with `layout`, `new_size` is non-zero and rounds validly) directly
+    // to `System.realloc`. A grow is charged as a new allocation of the
+    // full new size against the current span.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            note_dealloc(layout.size());
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Process-wide allocation totals since the last [`alloc_reset`].
+pub fn alloc_totals() -> AllocTotals {
+    AllocTotals {
+        count: TOTAL_COUNT.load(Ordering::Relaxed),
+        bytes: TOTAL_BYTES.load(Ordering::Relaxed),
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-span attribution rows, sorted by bytes descending. Allocations
+/// made outside any span are uncounted here (the totals still include
+/// them); probe overflow shows up as the `(other)` row.
+pub fn alloc_sites() -> Vec<AllocSite> {
+    let mut out = Vec::new();
+    for slot in &SITES {
+        let key = slot.key.load(Ordering::Acquire);
+        if key <= 1 {
+            continue;
+        }
+        let len = slot.len.load(Ordering::Acquire);
+        let span: &str;
+        // SAFETY: `key`/`len` were published (release) from a live
+        // `&'static str` — the data pointer and byte length of a UTF-8
+        // string literal with 'static lifetime — so reconstructing the
+        // slice is reading immutable, always-valid memory.
+        unsafe {
+            span = std::str::from_utf8_unchecked(std::slice::from_raw_parts(key as *const u8, len));
+        }
+        out.push(AllocSite {
+            span: span.to_string(),
+            count: slot.count.load(Ordering::Relaxed),
+            bytes: slot.bytes.load(Ordering::Relaxed),
+        });
+    }
+    let overflow = OVERFLOW_COUNT.load(Ordering::Relaxed);
+    if overflow > 0 {
+        out.push(AllocSite {
+            span: "(other)".to_string(),
+            count: overflow,
+            bytes: OVERFLOW_BYTES.load(Ordering::Relaxed),
+        });
+    }
+    out.sort_by(|a, b| b.bytes.cmp(&a.bytes).then_with(|| a.span.cmp(&b.span)));
+    out
+}
+
+/// Zeroes all allocation totals and attribution rows. Racing allocations
+/// on other threads may land on either side of the reset; intended for
+/// test isolation and the start of a profiling window, not as a
+/// synchronization point.
+pub fn alloc_reset() {
+    TOTAL_COUNT.store(0, Ordering::Relaxed);
+    TOTAL_BYTES.store(0, Ordering::Relaxed);
+    LIVE_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+    OVERFLOW_COUNT.store(0, Ordering::Relaxed);
+    OVERFLOW_BYTES.store(0, Ordering::Relaxed);
+    for slot in &SITES {
+        // Keys stay claimed (they still point at valid 'static names);
+        // only the charges are cleared, so a mid-claim slot is never
+        // reverted to empty under a racing writer.
+        slot.count.store(0, Ordering::Relaxed);
+        slot.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Whether the allocation profiler is compiled into this build.
+pub fn alloc_profiling_available() -> bool {
+    true
+}
+
+/// Publishes the current totals as registry gauges
+/// (`obs.alloc.count`, `obs.alloc.bytes`, `obs.alloc.live_bytes`,
+/// `obs.alloc.peak_bytes`) so they ride along in every snapshot and the
+/// Prometheus exposition. No-op while disabled.
+pub fn publish_alloc_gauges() {
+    if !crate::is_enabled() {
+        return;
+    }
+    let t = alloc_totals();
+    crate::set("obs.alloc.count", t.count);
+    crate::set("obs.alloc.bytes", t.bytes);
+    crate::set("obs.alloc.live_bytes", t.live_bytes);
+    crate::set("obs.alloc.peak_bytes", t.peak_bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole obs test binary runs under the counting allocator, so
+    /// the fixture below exercises the real global hook.
+    #[global_allocator]
+    static TEST_ALLOC: CountingAlloc = CountingAlloc;
+
+    #[test]
+    fn vec_growth_is_attributed_to_the_innermost_span() {
+        let _guard = crate::registry::TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        crate::enable();
+        alloc_reset();
+        {
+            let _outer = crate::span("obs.test.alloc_outer");
+            let _inner = crate::span("obs.test.alloc_inner");
+            let v: Vec<u8> = Vec::with_capacity(1 << 16);
+            std::hint::black_box(&v);
+        }
+        let sites = alloc_sites();
+        let inner = sites
+            .iter()
+            .find(|s| s.span == "obs.test.alloc_inner")
+            .unwrap_or_else(|| panic!("inner span missing from sites: {sites:?}"));
+        assert!(
+            inner.bytes >= 1 << 16,
+            "expected the 64 KiB Vec charged to the innermost span, got {inner:?}"
+        );
+        assert!(inner.count >= 1);
+        // The outer span must NOT be charged for the Vec (the inner one
+        // was open), though incidental allocations may hit it.
+        if let Some(outer) = sites.iter().find(|s| s.span == "obs.test.alloc_outer") {
+            assert!(outer.bytes < 1 << 16, "outer overcharged: {outer:?}");
+        }
+        let totals = alloc_totals();
+        assert!(totals.count >= inner.count);
+        assert!(totals.bytes >= inner.bytes);
+        assert!(totals.peak_bytes >= 1 << 16);
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_hook_counts_nothing() {
+        let _guard = crate::registry::TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::disable();
+        alloc_reset();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        std::hint::black_box(&v);
+        let totals = alloc_totals();
+        assert_eq!(totals.count, 0);
+        assert_eq!(totals.bytes, 0);
+    }
+
+    #[test]
+    fn publish_sets_registry_gauges() {
+        let _guard = crate::registry::TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        crate::enable();
+        let v: Vec<u8> = vec![0; 1024];
+        std::hint::black_box(&v);
+        publish_alloc_gauges();
+        let snap = crate::snapshot();
+        assert!(snap.counter("obs.alloc.count").unwrap_or(0) > 0);
+        assert!(snap.counter("obs.alloc.bytes").unwrap_or(0) >= 1024);
+        crate::disable();
+        crate::reset();
+    }
+}

@@ -1,0 +1,280 @@
+//! Hand-rolled flamegraph SVG rendering for the span profile tree.
+//!
+//! Layout follows the classic flamegraph convention: roots at the
+//! bottom, callees stacked above their caller, horizontal extent
+//! proportional to total time.  Everything is computed from
+//! [`crate::profile_frames`], so the invariants established there
+//! (complete ancestor chains, conservative self time) carry over:
+//! a child row never extends past its parent, and among sibling leaves
+//! rect width is monotone in self time.
+
+use crate::profile::{profile_frames, ProfileFrame};
+use crate::snapshot::MetricsSnapshot;
+use std::collections::BTreeMap;
+
+/// Canvas width of the generated SVG in pixels.
+const WIDTH_PX: f64 = 1200.0;
+/// Height of one frame row in pixels.
+const ROW_PX: f64 = 18.0;
+/// Vertical space above the frame rows for the title line.
+const HEADER_PX: f64 = 28.0;
+/// Approximate glyph advance of the 11px monospace label font.
+const CHAR_PX: f64 = 6.6;
+
+/// One laid-out rectangle of the flamegraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlameRect {
+    /// Full stack path of the frame this rect draws.
+    pub path: String,
+    /// Nesting depth: 0 for root frames (drawn at the bottom).
+    pub depth: usize,
+    /// Left edge in pixels.
+    pub x: f64,
+    /// Width in pixels, proportional to the frame's total time.
+    pub width: f64,
+    /// Total nanoseconds of the frame.
+    pub total_ns: u64,
+    /// Self nanoseconds of the frame.
+    pub self_ns: u64,
+}
+
+/// Lays the profile tree out into pixel rectangles on a canvas of the
+/// given width.  Root frames share the full width proportionally to
+/// their totals; each child row is placed inside its parent, scaled down
+/// when timer jitter makes the children sum past the parent, so a rect
+/// never overhangs the one below it.
+pub fn flame_layout(frames: &[ProfileFrame], width_px: f64) -> Vec<FlameRect> {
+    let mut children: BTreeMap<&str, Vec<&ProfileFrame>> = BTreeMap::new();
+    let mut roots: Vec<&ProfileFrame> = Vec::new();
+    for f in frames {
+        match f.path.rsplit_once('/') {
+            Some((parent, _)) => children.entry(parent).or_default().push(f),
+            None => roots.push(f),
+        }
+    }
+    let root_total: u64 = roots
+        .iter()
+        .map(|f| f.total_ns)
+        .fold(0u64, u64::saturating_add);
+    if root_total == 0 {
+        return Vec::new();
+    }
+    let px_per_ns = width_px / root_total as f64;
+
+    let mut out = Vec::with_capacity(frames.len());
+    // Explicit stack of (frame, x, width) so deep span trees cannot
+    // overflow the call stack.
+    let mut todo: Vec<(&ProfileFrame, f64, f64)> = Vec::new();
+    let mut cursor = 0.0;
+    for root in roots {
+        let w = root.total_ns as f64 * px_per_ns;
+        todo.push((root, cursor, w));
+        cursor += w;
+    }
+    while let Some((frame, x, width)) = todo.pop() {
+        out.push(FlameRect {
+            path: frame.path.clone(),
+            depth: frame.depth(),
+            x,
+            width,
+            total_ns: frame.total_ns,
+            self_ns: frame.self_ns,
+        });
+        let kids = match children.get(frame.path.as_str()) {
+            Some(kids) => kids,
+            None => continue,
+        };
+        let kids_px: f64 = kids.iter().map(|k| k.total_ns as f64 * px_per_ns).sum();
+        let clamp = if kids_px > width && kids_px > 0.0 {
+            width / kids_px
+        } else {
+            1.0
+        };
+        let mut kx = x;
+        for kid in kids {
+            let kw = kid.total_ns as f64 * px_per_ns * clamp;
+            todo.push((kid, kx, kw));
+            kx += kw;
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.depth, &a.path)
+            .partial_cmp(&(b.depth, &b.path))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Renders a snapshot's span tree as a self-contained flamegraph SVG
+/// (no external scripts or fonts).  Hovering a frame shows its full
+/// stack path with total/self microseconds in the native tooltip.
+pub fn flamegraph_svg(snap: &MetricsSnapshot) -> String {
+    let frames = profile_frames(&snap.spans);
+    let rects = flame_layout(&frames, WIDTH_PX);
+    let max_depth = rects.iter().map(|r| r.depth).max().unwrap_or(0);
+    let height = HEADER_PX + (max_depth + 1) as f64 * ROW_PX + 8.0;
+    let root_total: u64 = frames
+        .iter()
+        .filter(|f| f.depth() == 0)
+        .map(|f| f.total_ns)
+        .fold(0u64, u64::saturating_add);
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH_PX}\" height=\"{height}\" \
+         viewBox=\"0 0 {WIDTH_PX} {height}\" font-family=\"monospace\" font-size=\"11\">\n"
+    ));
+    svg.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{WIDTH_PX}\" height=\"{height}\" fill=\"#fdfdfd\"/>\n"
+    ));
+    svg.push_str(&format!(
+        "<text x=\"8\" y=\"18\" fill=\"#333\">hetesim span flamegraph — root total {} µs \
+         over {} frames</text>\n",
+        root_total / 1_000,
+        rects.len()
+    ));
+    if rects.is_empty() {
+        svg.push_str(&format!(
+            "<text x=\"8\" y=\"{}\" fill=\"#888\">no spans recorded — \
+             is the obs feature enabled?</text>\n",
+            HEADER_PX + 14.0
+        ));
+        svg.push_str("</svg>\n");
+        return svg;
+    }
+    for r in &rects {
+        // Roots sit at the bottom, callees stack upward.
+        let y = HEADER_PX + (max_depth - r.depth) as f64 * ROW_PX;
+        let pct = 100.0 * r.total_ns as f64 / root_total.max(1) as f64;
+        let title = format!(
+            "{} — total {} µs, self {} µs ({:.1}%)",
+            r.path,
+            r.total_ns / 1_000,
+            r.self_ns / 1_000,
+            pct
+        );
+        let name = r.path.rsplit('/').next().unwrap_or(&r.path);
+        svg.push_str("<g>\n");
+        svg.push_str(&format!("<title>{}</title>\n", escape_xml(&title)));
+        svg.push_str(&format!(
+            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+             fill=\"{}\" stroke=\"#fdfdfd\" stroke-width=\"0.5\" rx=\"1\"/>\n",
+            r.x,
+            y,
+            r.width.max(0.1),
+            ROW_PX - 1.0,
+            frame_color(name),
+        ));
+        let label_chars = ((r.width - 6.0) / CHAR_PX) as usize;
+        if label_chars >= 3 {
+            let label: String = if name.len() > label_chars {
+                let cut = name.len().min(label_chars.saturating_sub(1));
+                format!("{}\u{2026}", &name[..cut])
+            } else {
+                name.to_string()
+            };
+            svg.push_str(&format!(
+                "<text x=\"{:.2}\" y=\"{:.2}\" fill=\"#222\">{}</text>\n",
+                r.x + 3.0,
+                y + ROW_PX - 5.5,
+                escape_xml(&label)
+            ));
+        }
+        svg.push_str("</g>\n");
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Deterministic warm-palette color from the frame name, so the same
+/// span renders the same shade in every flamegraph.
+fn frame_color(name: &str) -> String {
+    // FNV-1a; any stable spread works, the palette just needs variety.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let r = 200 + (h % 56) as u8;
+    let g = 90 + ((h >> 8) % 110) as u8;
+    let b = 30 + ((h >> 16) % 40) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+/// Escapes the three XML-significant characters for text/title content.
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SpanSnapshot;
+
+    fn span(path: &str, total_ns: u64) -> SpanSnapshot {
+        SpanSnapshot {
+            path: path.to_string(),
+            count: 1,
+            total_ns,
+        }
+    }
+
+    fn snap(spans: Vec<SpanSnapshot>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            spans,
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn roots_share_canvas_proportionally() {
+        let frames = profile_frames(&[span("a", 300), span("b", 100)]);
+        let rects = flame_layout(&frames, 1000.0);
+        let a = rects.iter().find(|r| r.path == "a").unwrap();
+        let b = rects.iter().find(|r| r.path == "b").unwrap();
+        assert!((a.width - 750.0).abs() < 1e-9);
+        assert!((b.width - 250.0).abs() < 1e-9);
+        assert!((a.width + b.width - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn children_never_overhang_their_parent() {
+        // Children sum past the parent (timer jitter): layout must clamp.
+        let frames = profile_frames(&[span("a", 100), span("a/b", 80), span("a/c", 40)]);
+        let rects = flame_layout(&frames, 1000.0);
+        let a = rects.iter().find(|r| r.path == "a").unwrap();
+        let kids: f64 = rects
+            .iter()
+            .filter(|r| r.path.starts_with("a/"))
+            .map(|r| r.width)
+            .sum();
+        assert!(
+            kids <= a.width + 1e-9,
+            "children {kids} > parent {}",
+            a.width
+        );
+        for r in &rects {
+            assert!(r.x >= a.x - 1e-9 && r.x + r.width <= a.x + a.width + 1e-9);
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_mentions_every_frame() {
+        let s = flamegraph_svg(&snap(vec![span("a", 5_000), span("a/b", 2_000)]));
+        assert!(s.starts_with("<svg "));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert_eq!(s.matches("<g>").count(), s.matches("</g>").count());
+        assert_eq!(s.matches("<g>").count(), 2);
+        assert!(s.contains("a/b — total 2 µs"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let s = flamegraph_svg(&snap(Vec::new()));
+        assert!(s.contains("no spans recorded"));
+        assert!(s.trim_end().ends_with("</svg>"));
+    }
+}

@@ -1,4 +1,6 @@
-#![forbid(unsafe_code)]
+// The allocation profiler is the one sanctioned unsafe surface in this
+// crate (a `GlobalAlloc` wrapper); every other build keeps the blanket ban.
+#![cfg_attr(not(feature = "obs-alloc"), forbid(unsafe_code))]
 #![warn(missing_docs)]
 
 //! `hetesim-obs` — zero-dependency tracing and metrics for the HeteSim
@@ -37,6 +39,14 @@
 //! pluggable [`TraceSink`]s ([`RingSink`], [`JsonlSink`]) under a
 //! 1-in-N + always-if-slow sampling policy ([`set_trace_config`]).
 //!
+//! The third pillar is **profiling**: [`profile_frames`] folds the
+//! aggregated span tree into self/total time per stack path (synthesizing
+//! still-open ancestors), [`folded_stacks`] emits the `a;b;c <self_us>`
+//! text consumed by standard flamegraph tooling, and [`flamegraph_svg`]
+//! renders a self-contained SVG. With the default-off `obs-alloc` feature,
+//! `CountingAlloc` additionally attributes allocation count/bytes/peak
+//! to the innermost open span ([`alloc_sites`], [`alloc_totals`]).
+//!
 //! # Naming convention
 //!
 //! Every span, counter and histogram is named `crate.component.op`, e.g.
@@ -61,9 +71,13 @@
 //! hetesim_obs::disable();
 //! ```
 
+mod flame;
+mod profile;
 mod snapshot;
 mod trace;
 
+pub use flame::{flame_layout, flamegraph_svg, FlameRect};
+pub use profile::{folded_stacks, profile_frames, ProfileFrame};
 pub use snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
 pub use trace::{
     add_trace_sink, clear_trace_sinks, flush_trace, next_trace_id, set_trace_config,
@@ -214,6 +228,79 @@ impl std::fmt::Display for CacheStats {
         )
     }
 }
+
+/// Process-wide allocation totals from the `obs-alloc` profiler. All
+/// zeros when the feature is compiled out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocTotals {
+    /// Allocations observed since the last reset.
+    pub count: u64,
+    /// Bytes requested by those allocations (cumulative, not live).
+    pub bytes: u64,
+    /// Currently-live bytes (allocations minus frees, saturating).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since the last reset.
+    pub peak_bytes: u64,
+}
+
+/// Allocations attributed to one span name by the `obs-alloc` profiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Innermost span open when the allocations happened (`(other)` for
+    /// attribution-table overflow).
+    pub span: String,
+    /// Allocations charged to the span since the last reset.
+    pub count: u64,
+    /// Bytes charged to the span since the last reset.
+    pub bytes: u64,
+}
+
+#[cfg(feature = "obs-alloc")]
+mod alloc;
+
+#[cfg(feature = "obs-alloc")]
+pub use alloc::{
+    alloc_profiling_available, alloc_reset, alloc_sites, alloc_totals, publish_alloc_gauges,
+    CountingAlloc,
+};
+
+/// No-op allocation-profiler API installed when `obs-alloc` is off, so
+/// call sites compile unconditionally.
+#[cfg(not(feature = "obs-alloc"))]
+mod alloc_noop {
+    use super::{AllocSite, AllocTotals};
+
+    /// Always zeros: the `obs-alloc` feature is off.
+    #[inline(always)]
+    pub fn alloc_totals() -> AllocTotals {
+        AllocTotals::default()
+    }
+
+    /// Always empty: the `obs-alloc` feature is off.
+    #[inline(always)]
+    pub fn alloc_sites() -> Vec<AllocSite> {
+        Vec::new()
+    }
+
+    /// No-op: the `obs-alloc` feature is off.
+    #[inline(always)]
+    pub fn alloc_reset() {}
+
+    /// Always `false`: the `obs-alloc` feature is off.
+    #[inline(always)]
+    pub fn alloc_profiling_available() -> bool {
+        false
+    }
+
+    /// No-op: the `obs-alloc` feature is off.
+    #[inline(always)]
+    pub fn publish_alloc_gauges() {}
+}
+
+#[cfg(not(feature = "obs-alloc"))]
+pub use alloc_noop::{
+    alloc_profiling_available, alloc_reset, alloc_sites, alloc_totals, publish_alloc_gauges,
+};
 
 #[cfg(feature = "obs")]
 mod registry;

@@ -1,0 +1,242 @@
+//! Hierarchical time profiler over the aggregated span registry.
+//!
+//! The registry already aggregates every [`crate::span`] into a flat list
+//! of `(stack path, count, total_ns)` rows where the path joins the open
+//! span names with `/` (innermost last).  This module turns that flat
+//! list back into a tree and derives **self time** per frame — the part
+//! of a frame's total not covered by its direct children — which is the
+//! quantity flamegraphs and folded-stack tools operate on.
+//!
+//! Two subtleties:
+//!
+//! * A parent span that is still open when the snapshot is taken (for
+//!   example the CLI dispatch span around the whole command) has never
+//!   been recorded, yet its children have.  Such missing ancestors are
+//!   **synthesized**: their total is the sum of their direct children's
+//!   totals and their self time is zero, so every recorded path hangs
+//!   off a complete root-to-leaf chain.
+//! * Self time is conservative by construction: for every frame,
+//!   `self_ns + Σ direct children total_ns == total_ns` (saturating at
+//!   zero when clock jitter makes children sum past the parent), so
+//!   summing self times over any subtree reproduces the subtree root's
+//!   total.  The property test in `tests/profile_props.rs` pins this.
+
+use crate::snapshot::{MetricsSnapshot, SpanSnapshot};
+use std::collections::BTreeMap;
+
+/// One frame of the aggregated profile tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileFrame {
+    /// Full `/`-joined stack path of the frame, e.g. `cli.query/core.engine.chain`.
+    pub path: String,
+    /// Number of times this exact stack path completed. Zero for frames
+    /// synthesized for never-recorded ancestors.
+    pub count: u64,
+    /// Total wall nanoseconds spent with this exact stack path open.
+    pub total_ns: u64,
+    /// Nanoseconds not attributed to any direct child frame.
+    pub self_ns: u64,
+    /// True when the frame was never recorded itself and exists only
+    /// because recorded descendants imply it.
+    pub synthesized: bool,
+}
+
+impl ProfileFrame {
+    /// Innermost span name of the frame (the last `/` segment).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// Nesting depth: 0 for root frames.
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+}
+
+/// Working node while assembling the tree.
+struct Node {
+    count: u64,
+    total_ns: u64,
+    synthesized: bool,
+}
+
+/// Builds the profile tree from a snapshot's span rows.
+///
+/// Frames come back sorted by path, so parents precede their children and
+/// the output is deterministic for a given snapshot.
+pub fn profile_frames(spans: &[SpanSnapshot]) -> Vec<ProfileFrame> {
+    let mut nodes: BTreeMap<String, Node> = BTreeMap::new();
+    for s in spans {
+        let entry = nodes.entry(s.path.clone()).or_insert(Node {
+            count: 0,
+            total_ns: 0,
+            synthesized: false,
+        });
+        entry.count = entry.count.saturating_add(s.count);
+        entry.total_ns = entry.total_ns.saturating_add(s.total_ns);
+        entry.synthesized = false;
+    }
+
+    // Synthesize ancestors missing from the recorded set (still-open
+    // parents). Inserted with zero totals first; totals are filled in
+    // bottom-up below.
+    let paths: Vec<String> = nodes.keys().cloned().collect();
+    for path in &paths {
+        let mut prefix = path.as_str();
+        while let Some((parent, _)) = prefix.rsplit_once('/') {
+            nodes.entry(parent.to_string()).or_insert(Node {
+                count: 0,
+                total_ns: 0,
+                synthesized: true,
+            });
+            prefix = parent;
+        }
+    }
+
+    // Bottom-up: deepest paths first, so a synthesized parent sums fully
+    // resolved children (including synthesized grandchildren).
+    let mut by_depth: Vec<String> = nodes.keys().cloned().collect();
+    by_depth.sort_by_key(|p| std::cmp::Reverse(p.matches('/').count()));
+    for path in &by_depth {
+        let is_synth = nodes.get(path).map(|n| n.synthesized).unwrap_or(false);
+        if !is_synth {
+            continue;
+        }
+        let child_sum: u64 = direct_children(&nodes, path)
+            .map(|(_, n)| n.total_ns)
+            .fold(0u64, u64::saturating_add);
+        if let Some(n) = nodes.get_mut(path) {
+            n.total_ns = child_sum;
+        }
+    }
+
+    nodes
+        .iter()
+        .map(|(path, n)| {
+            let child_sum: u64 = direct_children(&nodes, path)
+                .map(|(_, c)| c.total_ns)
+                .fold(0u64, u64::saturating_add);
+            ProfileFrame {
+                path: path.clone(),
+                count: n.count,
+                total_ns: n.total_ns,
+                self_ns: n.total_ns.saturating_sub(child_sum),
+                synthesized: n.synthesized,
+            }
+        })
+        .collect()
+}
+
+/// Iterates the direct children of `parent` within the sorted node map.
+fn direct_children<'a>(
+    nodes: &'a BTreeMap<String, Node>,
+    parent: &'a str,
+) -> impl Iterator<Item = (&'a String, &'a Node)> {
+    nodes
+        .range(format!("{parent}/")..)
+        .take_while(move |(p, _)| {
+            p.starts_with(parent) && p.as_bytes().get(parent.len()) == Some(&b'/')
+        })
+        .filter(move |(p, _)| !p[parent.len() + 1..].contains('/'))
+}
+
+/// Renders a snapshot's span tree as folded-stack text, one line per
+/// frame: `root;child;leaf <self_us>` — the format consumed by standard
+/// flamegraph tooling. Paths use `;` separators; the value is the
+/// frame's self time in integer microseconds.
+pub fn folded_stacks(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for f in profile_frames(&snap.spans) {
+        out.push_str(&f.path.replace('/', ";"));
+        out.push(' ');
+        out.push_str(&(f.self_ns / 1_000).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, count: u64, total_ns: u64) -> SpanSnapshot {
+        SpanSnapshot {
+            path: path.to_string(),
+            count,
+            total_ns,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let spans = vec![
+            span("a", 1, 100),
+            span("a/b", 2, 60),
+            span("a/b/c", 2, 25),
+            span("a/d", 1, 30),
+        ];
+        let frames = profile_frames(&spans);
+        let by_path: BTreeMap<&str, &ProfileFrame> =
+            frames.iter().map(|f| (f.path.as_str(), f)).collect();
+        assert_eq!(by_path["a"].self_ns, 10); // 100 - 60 - 30
+        assert_eq!(by_path["a/b"].self_ns, 35); // 60 - 25
+        assert_eq!(by_path["a/b/c"].self_ns, 25);
+        assert_eq!(by_path["a/d"].self_ns, 30);
+        assert!(frames.iter().all(|f| !f.synthesized));
+    }
+
+    #[test]
+    fn missing_ancestors_are_synthesized_with_child_sums() {
+        // Only grandchildren were recorded: both intermediate levels of
+        // the chain must be synthesized bottom-up.
+        let spans = vec![
+            span("r/m/x", 1, 40),
+            span("r/m/y", 1, 20),
+            span("q/z", 1, 5),
+        ];
+        let frames = profile_frames(&spans);
+        let by_path: BTreeMap<&str, &ProfileFrame> =
+            frames.iter().map(|f| (f.path.as_str(), f)).collect();
+        assert!(by_path["r"].synthesized);
+        assert!(by_path["r/m"].synthesized);
+        assert_eq!(by_path["r/m"].total_ns, 60);
+        assert_eq!(by_path["r/m"].self_ns, 0);
+        assert_eq!(by_path["r"].total_ns, 60);
+        assert_eq!(by_path["r"].self_ns, 0);
+        assert_eq!(by_path["q"].total_ns, 5);
+        assert_eq!(by_path["q/z"].count, 1);
+    }
+
+    #[test]
+    fn children_exceeding_parent_saturate_self_to_zero() {
+        let spans = vec![span("a", 1, 50), span("a/b", 1, 60)];
+        let frames = profile_frames(&spans);
+        let a = frames.iter().find(|f| f.path == "a").unwrap();
+        assert_eq!(a.self_ns, 0);
+    }
+
+    #[test]
+    fn folded_output_uses_semicolons_and_microseconds() {
+        let spans = vec![span("a", 1, 5_000), span("a/b", 1, 2_000)];
+        let snap = MetricsSnapshot {
+            spans,
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let folded = folded_stacks(&snap);
+        assert_eq!(folded, "a 3\na;b 2\n");
+    }
+
+    #[test]
+    fn frame_name_and_depth() {
+        let f = ProfileFrame {
+            path: "a/b/c".into(),
+            count: 1,
+            total_ns: 1,
+            self_ns: 1,
+            synthesized: false,
+        };
+        assert_eq!(f.name(), "c");
+        assert_eq!(f.depth(), 2);
+    }
+}

@@ -213,6 +213,20 @@ pub struct SpanGuard {
     armed: Option<(String, Instant, bool)>,
 }
 
+/// Innermost span currently open on the calling thread, if any.
+///
+/// Written to be callable from allocator context (the `obs-alloc` hook):
+/// thread-local teardown and reentrant borrows — [`span`] holds the stack
+/// mutably while pushing, and that push may itself allocate — degrade to
+/// `None` instead of panicking or deadlocking.
+#[cfg(feature = "obs-alloc")]
+pub(crate) fn current_span_name() -> Option<&'static str> {
+    SPAN_STACK
+        .try_with(|stack| stack.try_borrow().ok().and_then(|s| s.last().copied()))
+        .ok()
+        .flatten()
+}
+
 /// Opens a wall-clock span. The span is keyed by its nesting path — the
 /// names of all spans currently open on this thread joined with `/` — so
 /// exporters can attribute time hierarchically. While a
@@ -303,13 +317,15 @@ pub fn snapshot() -> MetricsSnapshot {
     }
 }
 
+/// The registry is process-global, so tests that need isolation (here and
+/// in the `obs-alloc` fixture tests) serialize on this lock and reset
+/// around themselves.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The registry is process-global, so tests that need isolation
-    /// serialize on this lock and reset around themselves.
-    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn isolated<T>(f: impl FnOnce() -> T) -> T {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());

@@ -252,6 +252,80 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Point-in-time difference: what happened between `earlier` and
+    /// `self` (two snapshots of the same registry, `earlier` taken
+    /// first). Spans, plain counters, and histograms subtract entry-wise
+    /// (saturating, so a registry reset between the two snapshots cannot
+    /// underflow); gauges keep the current reading. Entries that did not
+    /// change are dropped, so profiling a window over a long-lived
+    /// server only shows that window's activity.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let spans = self
+            .spans
+            .iter()
+            .filter_map(|s| {
+                let prev = earlier.spans.iter().find(|p| p.path == s.path);
+                let (count, total_ns) = match prev {
+                    Some(p) => (
+                        s.count.saturating_sub(p.count),
+                        s.total_ns.saturating_sub(p.total_ns),
+                    ),
+                    None => (s.count, s.total_ns),
+                };
+                if count == 0 && total_ns == 0 {
+                    return None;
+                }
+                Some(SpanSnapshot {
+                    path: s.path.clone(),
+                    count,
+                    total_ns,
+                })
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|c| {
+                if c.gauge {
+                    return Some(c.clone());
+                }
+                let prev = earlier.counter(&c.name).unwrap_or(0);
+                let value = c.value.saturating_sub(prev);
+                if value == 0 {
+                    return None;
+                }
+                Some(CounterSnapshot {
+                    name: c.name.clone(),
+                    value,
+                    gauge: false,
+                })
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                let mut out = h.clone();
+                if let Some(prev) = earlier.histogram(&h.name) {
+                    out.count = h.count.saturating_sub(prev.count);
+                    out.sum = h.sum.saturating_sub(prev.sum);
+                    for (b, p) in out.buckets.iter_mut().zip(prev.buckets.iter()) {
+                        *b = b.saturating_sub(*p);
+                    }
+                }
+                if out.count == 0 {
+                    return None;
+                }
+                Some(out)
+            })
+            .collect();
+        MetricsSnapshot {
+            spans,
+            counters,
+            histograms,
+        }
+    }
+
     /// Serializes to a stable JSON document:
     ///
     /// ```json
@@ -330,10 +404,38 @@ impl MetricsSnapshot {
     ///   `hetesim_span_count_total{path="…"}`;
     /// * log₂ histograms become cumulative `histogram` families with exact
     ///   integer bucket bounds (`le="0"`, `le="1"`, `le="3"`, …, `le="+Inf"`)
-    ///   plus `_sum` and `_count`.
+    ///   plus `_sum` and `_count`;
+    /// * every family gets a `# HELP` line — hand-written for the
+    ///   utilization/profiling series, generic for the rest.
     ///
     /// Serve this as `text/plain; version=0.0.4`.
     pub fn to_prometheus(&self) -> String {
+        /// Help text for the dotted registry name behind a family.
+        fn help_for(dotted: &str) -> String {
+            let known = match dotted {
+                "sparse.parallel.worker_busy_us" => {
+                    "Microseconds each SpGEMM pool worker spent processing claimed chunks."
+                }
+                "sparse.parallel.worker_idle_us" => {
+                    "Microseconds each SpGEMM pool worker spent waiting to claim a chunk."
+                }
+                "sparse.parallel.imbalance" => {
+                    "Max/mean busy time across SpGEMM numeric-pass workers, \
+                     in thousandths (1000 = perfectly balanced)."
+                }
+                "serve.server.worker_busy_us" => {
+                    "Microseconds a serve worker spent handling one request."
+                }
+                "serve.server.worker_idle_us" => {
+                    "Microseconds a serve worker waited between requests."
+                }
+                "serve.server.latency_us" => {
+                    "End-to-end request latency in microseconds, accept to response written."
+                }
+                _ => return format!("Value of the {dotted} observability metric."),
+            };
+            known.to_string()
+        }
         fn prom_name(name: &str) -> String {
             let mut out = String::with_capacity(name.len() + 1);
             for c in name.chars() {
@@ -364,18 +466,29 @@ impl MetricsSnapshot {
         let mut out = String::new();
         for c in &self.counters {
             let base = prom_name(&c.name);
+            let help = help_for(&c.name);
             if c.gauge {
-                out.push_str(&format!("# TYPE {base} gauge\n{base} {}\n", c.value));
+                out.push_str(&format!(
+                    "# HELP {base} {help}\n# TYPE {base} gauge\n{base} {}\n",
+                    c.value
+                ));
             } else {
                 let name = if base.ends_with("_total") {
                     base
                 } else {
                     format!("{base}_total")
                 };
-                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+                out.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                    c.value
+                ));
             }
         }
         if !self.spans.is_empty() {
+            out.push_str(
+                "# HELP hetesim_span_duration_nanoseconds_total \
+                 Cumulative wall time per aggregated span stack path.\n",
+            );
             out.push_str("# TYPE hetesim_span_duration_nanoseconds_total counter\n");
             for s in &self.spans {
                 out.push_str(&format!(
@@ -384,6 +497,10 @@ impl MetricsSnapshot {
                     s.total_ns
                 ));
             }
+            out.push_str(
+                "# HELP hetesim_span_count_total \
+                 Completed executions per aggregated span stack path.\n",
+            );
             out.push_str("# TYPE hetesim_span_count_total counter\n");
             for s in &self.spans {
                 out.push_str(&format!(
@@ -395,6 +512,7 @@ impl MetricsSnapshot {
         }
         for h in &self.histograms {
             let name = prom_name(&h.name);
+            out.push_str(&format!("# HELP {name} {}\n", help_for(&h.name)));
             out.push_str(&format!("# TYPE {name} histogram\n"));
             // Cumulative buckets up to the highest non-empty one; the log₂
             // layout gives exact inclusive integer bounds (bucket i < 64
@@ -658,6 +776,67 @@ mod tests {
             let value = line.rsplit(' ').next().unwrap();
             assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
         }
+    }
+
+    #[test]
+    fn every_prometheus_family_has_a_help_line() {
+        let mut snap = sample();
+        snap.counters.push(CounterSnapshot {
+            name: "sparse.parallel.imbalance".into(),
+            value: 1042,
+            gauge: true,
+        });
+        let text = snap.to_prometheus();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split(' ').next().unwrap();
+                assert!(
+                    text.contains(&format!("# HELP {family} ")),
+                    "family {family} lacks # HELP:\n{text}"
+                );
+            }
+        }
+        // The utilization series get hand-written help, not the fallback.
+        assert!(
+            text.contains("# HELP sparse_parallel_imbalance Max/mean"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn diff_subtracts_window_and_keeps_gauges() {
+        let earlier = sample();
+        let mut now = sample();
+        now.spans[1].count += 3;
+        now.spans[1].total_ns += 40;
+        now.counters[0].value += 5;
+        now.counters.push(CounterSnapshot {
+            name: "g.depth".into(),
+            value: 7,
+            gauge: true,
+        });
+        now.histograms[0].record(100);
+        let d = now.diff(&earlier);
+        // Unchanged entries are dropped; changed ones show the delta.
+        assert_eq!(d.span_total_ns("a.root"), None);
+        assert_eq!(d.span_total_ns("a.root/b.child"), Some(40));
+        assert_eq!(
+            d.spans
+                .iter()
+                .find(|s| s.path == "a.root/b.child")
+                .unwrap()
+                .count,
+            3
+        );
+        assert_eq!(d.counter("c.hits"), Some(5));
+        // Gauges are point-in-time: kept at the current reading.
+        assert_eq!(d.counter("g.depth"), Some(7));
+        let h = d.histogram("h.one").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 100);
+        // Diffing a gauge-free snapshot against itself is empty (gauges
+        // are point-in-time readings and always survive).
+        assert!(earlier.diff(&earlier).is_empty());
     }
 
     #[test]

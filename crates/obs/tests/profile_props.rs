@@ -1,0 +1,147 @@
+//! Property tests for the span profiler: folded-stack aggregation is
+//! conservative (self times over any subtree sum back to the subtree
+//! root's total, including synthesized ancestors), and flamegraph rect
+//! widths are monotone in frame time.
+
+use hetesim_obs::{flame_layout, folded_stacks, profile_frames, MetricsSnapshot, SpanSnapshot};
+use proptest::prelude::*;
+
+/// Fixed tree shape the generators hang times on: `(path, direct children)`.
+const PATHS: [&str; 7] = ["r", "r/a", "r/a/x", "r/a/y", "r/b", "s", "s/c"];
+
+/// Bottom-up totals for generated self-times: a node's total is its own
+/// self time plus its children's totals — a consistent span tree by
+/// construction. Excluded (never-recorded) interior nodes contribute no
+/// self time, exactly like a still-open parent span.
+fn consistent_totals(self_ns: &[u64; 7], excluded: &[bool; 7]) -> [u64; 7] {
+    let own = |i: usize| if excluded[i] { 0 } else { self_ns[i] };
+    let mut total = [0u64; 7];
+    total[2] = own(2); // r/a/x
+    total[3] = own(3); // r/a/y
+    total[1] = own(1) + total[2] + total[3]; // r/a
+    total[4] = own(4); // r/b
+    total[0] = own(0) + total[1] + total[4]; // r
+    total[6] = own(6); // s/c
+    total[5] = own(5) + total[6]; // s
+    total
+}
+
+fn spans_for(total: &[u64; 7], excluded: &[bool; 7]) -> Vec<SpanSnapshot> {
+    PATHS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !excluded[*i])
+        .map(|(i, p)| SpanSnapshot {
+            path: p.to_string(),
+            count: 1,
+            total_ns: total[i],
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn self_times_sum_back_to_every_subtree_total(
+        self_ns in proptest::collection::vec(0u64..1_000_000, 7),
+        // Only interior nodes may go unrecorded (r, r/a, s): leaves with
+        // no recorded descendants would vanish entirely.
+        drop_r in any::<bool>(),
+        drop_ra in any::<bool>(),
+        drop_s in any::<bool>(),
+    ) {
+        let self_ns: [u64; 7] = [
+            self_ns[0], self_ns[1], self_ns[2], self_ns[3],
+            self_ns[4], self_ns[5], self_ns[6],
+        ];
+        let excluded = [drop_r, drop_ra, false, false, false, drop_s, false];
+        let total = consistent_totals(&self_ns, &excluded);
+        let frames = profile_frames(&spans_for(&total, &excluded));
+
+        // Every path, recorded or synthesized, is present exactly once.
+        prop_assert_eq!(frames.len(), PATHS.len());
+        for (i, p) in PATHS.iter().enumerate() {
+            let f = frames.iter().find(|f| f.path == *p).unwrap();
+            // Conservation at every subtree root: self times below it
+            // (inclusive) sum back to its total.
+            let subtree_self: u64 = frames
+                .iter()
+                .filter(|g| g.path == *p || g.path.starts_with(&format!("{p}/")))
+                .map(|g| g.self_ns)
+                .sum();
+            prop_assert_eq!(
+                subtree_self, f.total_ns,
+                "subtree {} self-sum {} != total {}", p, subtree_self, f.total_ns
+            );
+            // Recovered self time is exactly what the generator assigned.
+            prop_assert_eq!(f.self_ns, if excluded[i] { 0 } else { self_ns[i] });
+            prop_assert_eq!(f.synthesized, excluded[i]);
+        }
+    }
+
+    #[test]
+    fn folded_lines_are_wellformed_and_cover_every_frame(
+        self_ns in proptest::collection::vec(0u64..1_000_000, 7),
+    ) {
+        let self_ns: [u64; 7] = [
+            self_ns[0], self_ns[1], self_ns[2], self_ns[3],
+            self_ns[4], self_ns[5], self_ns[6],
+        ];
+        let excluded = [false; 7];
+        let total = consistent_totals(&self_ns, &excluded);
+        let snap = MetricsSnapshot {
+            spans: spans_for(&total, &excluded),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let folded = folded_stacks(&snap);
+        let lines: Vec<&str> = folded.lines().collect();
+        prop_assert_eq!(lines.len(), PATHS.len());
+        for line in lines {
+            let (stack, value) = line.rsplit_once(' ').unwrap();
+            prop_assert!(!stack.is_empty());
+            prop_assert!(!stack.contains('/'), "folded stacks use ';': {}", line);
+            let parsed: u64 = value.parse().unwrap();
+            // Folded values are the frame's self time in microseconds.
+            let path = stack.replace(';', "/");
+            let i = PATHS.iter().position(|p| *p == path).unwrap();
+            prop_assert_eq!(parsed, self_ns[i] / 1_000);
+        }
+    }
+
+    #[test]
+    fn flamegraph_widths_are_monotone_in_frame_time(
+        totals in proptest::collection::vec(0u64..1_000_000, 1..20),
+    ) {
+        // Flat leaf-only profile: every frame's self time IS its total,
+        // so rect width must be monotone in self time.
+        let spans: Vec<SpanSnapshot> = totals
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| SpanSnapshot {
+                path: format!("leaf{i:02}"),
+                count: 1,
+                total_ns: t,
+            })
+            .collect();
+        let frames = profile_frames(&spans);
+        let rects = flame_layout(&frames, 1200.0);
+        if totals.iter().all(|&t| t == 0) {
+            prop_assert!(rects.is_empty());
+            return Ok(());
+        }
+        prop_assert_eq!(rects.len(), totals.len());
+        for a in &rects {
+            for b in &rects {
+                if a.self_ns <= b.self_ns {
+                    prop_assert!(
+                        a.width <= b.width + 1e-9,
+                        "width not monotone: {:?} vs {:?}", a, b
+                    );
+                }
+            }
+        }
+        // The full canvas is used: root widths sum to the canvas width.
+        let sum: f64 = rects.iter().map(|r| r.width).sum();
+        prop_assert!((sum - 1200.0).abs() < 1e-6, "widths sum to {}", sum);
+    }
+}

@@ -16,18 +16,33 @@ use crate::json::{escape, Json};
 use crate::server::Handler;
 use hetesim_core::HeteSimEngine;
 use hetesim_graph::{Hin, MetaPath, TypeId};
+use std::time::Instant;
 
 /// The HTTP-facing application state: a network and its query engine.
 pub struct App<'h> {
     hin: &'h Hin,
     engine: HeteSimEngine<'h>,
+    started: Instant,
+    workers: usize,
 }
 
 impl<'h> App<'h> {
     /// Wraps a network and a configured engine (thread count, prefix
     /// reuse, cache budget are all decided by the caller).
     pub fn new(hin: &'h Hin, engine: HeteSimEngine<'h>) -> App<'h> {
-        App { hin, engine }
+        App {
+            hin,
+            engine,
+            started: Instant::now(),
+            workers: 0,
+        }
+    }
+
+    /// Records the server's worker-pool size so `/healthz` can report it
+    /// (`0` = unknown, e.g. when the app is exercised without a server).
+    pub fn with_workers(mut self, workers: usize) -> App<'h> {
+        self.workers = workers;
+        self
     }
 
     /// The engine, for warmup and stats from outside the request path.
@@ -128,12 +143,56 @@ impl<'h> App<'h> {
         Response::json(
             200,
             format!(
-                "{{\"status\":\"ok\",\"nodes\":{},\"edges\":{},\"cached_entries\":{}}}",
+                "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_seconds\":{},\
+                 \"workers\":{},\"nodes\":{},\"edges\":{},\
+                 \"cache\":{{\"entries\":{},\"resident_bytes\":{},\"budget_bytes\":{}}}}}",
+                escape(env!("CARGO_PKG_VERSION")),
+                self.started.elapsed().as_secs(),
+                self.workers,
                 self.hin.total_nodes(),
                 self.hin.total_edges(),
-                stats.entries
+                stats.entries,
+                stats.bytes,
+                self.engine.cache_budget_bytes(),
             ),
         )
+    }
+
+    /// `GET /profile?seconds=N&format=folded|svg`: the span profile as a
+    /// folded-stack text or flamegraph SVG. With `seconds` > 0 the handler
+    /// sleeps that long and renders only the activity window (snapshot
+    /// diff); with `seconds=0` (the default) it renders everything since
+    /// startup. Deliberately unspanned: a span around the sleep would
+    /// dominate every profile this endpoint reports.
+    fn profile(&self, req: &Request) -> Response {
+        let seconds = match req.query_param("seconds") {
+            None => 0,
+            Some(v) => match v.parse::<u64>() {
+                Ok(s) if s <= 60 => s,
+                _ => {
+                    return Response::error(400, "\"seconds\" must be an integer between 0 and 60")
+                }
+            },
+        };
+        let format = req.query_param("format").unwrap_or("folded");
+        if format != "folded" && format != "svg" {
+            return Response::error(400, "\"format\" must be \"folded\" or \"svg\"");
+        }
+        let snapshot = if seconds > 0 {
+            let base = hetesim_obs::snapshot();
+            std::thread::sleep(std::time::Duration::from_secs(seconds));
+            hetesim_obs::snapshot().diff(&base)
+        } else {
+            hetesim_obs::snapshot()
+        };
+        match format {
+            "svg" => Response::text(200, "image/svg+xml", hetesim_obs::flamegraph_svg(&snapshot)),
+            _ => Response::text(
+                200,
+                "text/plain; charset=utf-8",
+                hetesim_obs::folded_stacks(&snapshot),
+            ),
+        }
     }
 
     /// Publishes cache gauges, then renders the whole observability
@@ -289,10 +348,11 @@ impl Handler for App<'_> {
         match (req.method.as_str(), req.path()) {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/metrics") => self.metrics(req),
+            ("GET", "/profile") => self.profile(req),
             ("POST", "/query") => self.query(req),
             ("POST", "/pair") => self.pair(req),
             ("POST", "/warmup") => self.warmup(req),
-            (_, "/healthz" | "/metrics" | "/query" | "/pair" | "/warmup") => {
+            (_, "/healthz" | "/metrics" | "/profile" | "/query" | "/pair" | "/warmup") => {
                 Response::error(405, "method not allowed")
             }
             _ => Response::error(404, "no such endpoint"),

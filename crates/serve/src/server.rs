@@ -249,6 +249,12 @@ impl Server {
         self.local_addr
     }
 
+    /// Worker threads that [`Server::run`] will spawn (the resolved count
+    /// after `workers: 0` auto-detection).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// A handle that stops this server from another thread.
     pub fn handle(&self) -> ShutdownHandle {
         ShutdownHandle {
@@ -322,6 +328,11 @@ impl Server {
 
     fn worker_loop<H: Handler>(&self, handler: &H) {
         loop {
+            // Per-worker utilization: idle is the wait for a job, busy is
+            // everything from dequeue to response written. Recorded per
+            // job into the worker_{idle,busy}_us histograms so the
+            // exposition shows the waiting/working split of the pool.
+            let idle = Instant::now();
             let job = {
                 let mut queue = self
                     .shared
@@ -344,7 +355,18 @@ impl Server {
                 }
             };
             match job {
-                Some(job) => self.serve_one(job, handler),
+                Some(job) => {
+                    hetesim_obs::record(
+                        "serve.server.worker_idle_us",
+                        idle.elapsed().as_micros() as u64,
+                    );
+                    let busy = Instant::now();
+                    self.serve_one(job, handler);
+                    hetesim_obs::record(
+                        "serve.server.worker_busy_us",
+                        busy.elapsed().as_micros() as u64,
+                    );
+                }
                 None => return,
             }
         }

@@ -36,8 +36,8 @@ fn with_app<F>(hin: &Hin, engine: HeteSimEngine<'_>, body: F)
 where
     F: FnOnce(std::net::SocketAddr, &App<'_>),
 {
-    let app = App::new(hin, engine);
     let server = Server::bind(&config()).expect("bind");
+    let app = App::new(hin, engine).with_workers(server.workers());
     let addr = server.local_addr();
     let handle = server.handle();
     std::thread::scope(|scope| {
@@ -52,12 +52,71 @@ where
 #[test]
 fn healthz_reports_ok() {
     let (hin, _) = network();
-    with_app(&hin, HeteSimEngine::new(&hin), |addr, _| {
+    let engine = HeteSimEngine::new(&hin).with_cache_budget(1 << 20);
+    with_app(&hin, engine, |addr, _| {
         let r = client::get(addr, "/healthz").unwrap();
         assert_eq!(r.status, 200);
         let v = Json::parse(&r.body).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
         assert!(v.get("nodes").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(
+            v.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(v.get("uptime_seconds").unwrap().as_u64().is_some());
+        assert_eq!(v.get("workers").unwrap().as_u64(), Some(3));
+        let cache = v.get("cache").unwrap();
+        assert!(cache.get("entries").unwrap().as_u64().is_some());
+        assert!(cache.get("resident_bytes").unwrap().as_u64().is_some());
+        assert_eq!(cache.get("budget_bytes").unwrap().as_u64(), Some(1 << 20));
+    });
+}
+
+#[test]
+fn profile_endpoint_serves_folded_and_svg() {
+    let (hin, star) = network();
+    hetesim_obs::enable();
+    with_app(&hin, HeteSimEngine::new(&hin), |addr, _| {
+        // Generate some span activity first.
+        let body = format!("{{\"path\":\"APA\",\"source\":\"{star}\",\"k\":3}}");
+        assert_eq!(
+            client::post_json(addr, "/query", &body).unwrap().status,
+            200
+        );
+
+        let folded = client::get(addr, "/profile").unwrap();
+        assert_eq!(folded.status, 200);
+        // Every line is `stack <self_us>` with ';'-separated frames.
+        let mut saw_engine = false;
+        for line in folded.body.lines() {
+            let (stack, value) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty());
+            value.parse::<u64>().unwrap();
+            saw_engine |= stack.contains("core.engine");
+        }
+        assert!(saw_engine, "expected engine frames in:\n{}", folded.body);
+
+        let svg = client::get(addr, "/profile?format=svg").unwrap();
+        assert_eq!(svg.status, 200);
+        assert!(
+            svg.body.starts_with("<svg"),
+            "{}",
+            &svg.body[..60.min(svg.body.len())]
+        );
+
+        // Parameter validation.
+        assert_eq!(
+            client::get(addr, "/profile?seconds=61").unwrap().status,
+            400
+        );
+        assert_eq!(client::get(addr, "/profile?seconds=x").unwrap().status, 400);
+        assert_eq!(
+            client::get(addr, "/profile?format=png").unwrap().status,
+            400
+        );
+        // Windowed profile: one second of (mostly) quiet.
+        let windowed = client::get(addr, "/profile?seconds=1").unwrap();
+        assert_eq!(windowed.status, 200);
     });
 }
 

@@ -25,11 +25,16 @@
 //! one worker using the same accumulation loop in the same order.
 //!
 //! When metrics are enabled (`hetesim-obs`), the kernel records
-//! `sparse.parallel.symbolic` / `sparse.parallel.numeric` spans, a
-//! `sparse.parallel.worker_busy_us` histogram of per-worker busy time,
-//! and a `sparse.parallel.imbalance` gauge — max/mean per-worker busy
-//! time of the numeric pass in fixed-point thousandths (1000 = perfectly
-//! balanced), which the `spgemm_scaling` bench asserts stays near 1.
+//! `sparse.parallel.symbolic` / `sparse.parallel.numeric` spans,
+//! `sparse.parallel.worker_busy_us` / `sparse.parallel.worker_idle_us`
+//! histograms of per-worker utilization (busy = time inside claimed
+//! chunks, idle = everything else on the worker: spawn latency, scratch
+//! allocation, claim waits), and a `sparse.parallel.imbalance` gauge —
+//! max/mean per-worker busy time of the numeric pass in fixed-point
+//! thousandths (1000 = perfectly balanced), which the `spgemm_scaling`
+//! bench asserts stays near 1. The same per-worker numbers are kept as a
+//! [`PoolStats`] record retrievable once via [`take_pool_stats`], which
+//! the bench attaches to `BENCH_spgemm.json` runs.
 
 use crate::{CsrMatrix, Result, SparseError};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -48,6 +53,34 @@ const PARALLEL_FLOP_THRESHOLD: u64 = 1 << 17;
 /// cursor can rebalance when chunk costs drift from the flop estimate,
 /// small enough that claim overhead stays negligible.
 const CHUNKS_PER_THREAD: usize = 8;
+
+/// Per-worker utilization of the most recent two-phase product, captured
+/// only while metrics are enabled. One entry per worker, in join order;
+/// microsecond resolution from the sanctioned [`hetesim_obs::Stopwatch`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Symbolic-pass time inside claimed chunks, per worker.
+    pub symbolic_busy_us: Vec<u64>,
+    /// Symbolic-pass time outside chunks (spawn, scratch, claim waits).
+    pub symbolic_idle_us: Vec<u64>,
+    /// Numeric-pass time inside claimed chunks, per worker.
+    pub numeric_busy_us: Vec<u64>,
+    /// Numeric-pass time outside chunks, per worker.
+    pub numeric_idle_us: Vec<u64>,
+}
+
+/// Utilization of the most recent [`two_phase`] run, for [`take_pool_stats`].
+static LAST_POOL_STATS: Mutex<Option<PoolStats>> = Mutex::new(None);
+
+/// Takes (and clears) the per-worker utilization record of the most
+/// recent parallel product. `None` while metrics are disabled or when no
+/// two-phase product has run since the last take.
+pub fn take_pool_stats() -> Option<PoolStats> {
+    LAST_POOL_STATS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+}
 
 /// Default number of worker threads.
 ///
@@ -294,14 +327,18 @@ fn two_phase(
 
     // --- Symbolic pass: per-row output nnz over flop-balanced chunks. ---
     let mut row_nnz = vec![0usize; nrows];
+    let mut sym_busy: Vec<u64> = Vec::new();
+    let mut sym_idle: Vec<u64> = Vec::new();
     {
         let _sym = hetesim_obs::span("sparse.parallel.symbolic");
         let slots = Mutex::new(split_chunks(&mut row_nnz, chunks.iter().copied()));
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
-                scope.spawn(|| {
-                    let started = hetesim_obs::Stopwatch::start();
+                handles.push(scope.spawn(|| {
+                    let wall = hetesim_obs::Stopwatch::start();
+                    let mut busy = 0u64;
                     let mut mark = vec![0u64; ncols];
                     let mut stamp = 0u64;
                     loop {
@@ -309,6 +346,7 @@ fn two_phase(
                         if c >= nchunks {
                             break;
                         }
+                        let work = hetesim_obs::Stopwatch::start();
                         let out = slots.lock().unwrap_or_else(PoisonError::into_inner)[c]
                             .take()
                             .expect("chunk claimed once");
@@ -317,12 +355,19 @@ fn two_phase(
                             stamp += 1;
                             *slot = symbolic_row(lhs, rhs, lo + i, &mut mark, stamp);
                         }
+                        busy += work.elapsed_us();
                     }
-                    hetesim_obs::record("sparse.parallel.worker_busy_us", started.elapsed_us());
-                });
+                    (busy, wall.elapsed_us().saturating_sub(busy))
+                }));
+            }
+            for h in handles {
+                let (busy, idle) = h.join().expect("spgemm worker panicked");
+                sym_busy.push(busy);
+                sym_idle.push(idle);
             }
         });
     }
+    record_utilization(&sym_busy, &sym_idle);
 
     // --- Exact allocation: prefix-sum the counts into the final indptr. ---
     let mut indptr = Vec::with_capacity(nrows + 1);
@@ -341,6 +386,7 @@ fn two_phase(
     // fall short of the symbolic count only under exact cancellation.
     let mut actual = vec![0usize; nrows];
     let mut busy_us: Vec<u64> = Vec::new();
+    let mut idle_us: Vec<u64> = Vec::new();
     {
         let _num = hetesim_obs::span("sparse.parallel.numeric");
         let entry_bounds = chunks.iter().map(|&(lo, hi)| (indptr[lo], indptr[hi]));
@@ -352,7 +398,8 @@ fn two_phase(
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 handles.push(scope.spawn(|| {
-                    let started = hetesim_obs::Stopwatch::start();
+                    let wall = hetesim_obs::Stopwatch::start();
+                    let mut busy = 0u64;
                     let mut acc = vec![0f64; ncols];
                     let mut mark = vec![false; ncols];
                     let mut touched: Vec<u32> = Vec::new();
@@ -361,6 +408,7 @@ fn two_phase(
                         if c >= nchunks {
                             break;
                         }
+                        let work = hetesim_obs::Stopwatch::start();
                         let ind = ind_slots.lock().unwrap_or_else(PoisonError::into_inner)[c]
                             .take()
                             .expect("claimed once");
@@ -385,16 +433,30 @@ fn two_phase(
                                 &mut val[s..e],
                             );
                         }
+                        busy += work.elapsed_us();
                     }
-                    started.elapsed_us()
+                    (busy, wall.elapsed_us().saturating_sub(busy))
                 }));
             }
             for h in handles {
-                busy_us.push(h.join().expect("spgemm worker panicked"));
+                let (busy, idle) = h.join().expect("spgemm worker panicked");
+                busy_us.push(busy);
+                idle_us.push(idle);
             }
         });
     }
+    record_utilization(&busy_us, &idle_us);
     record_balance(&busy_us);
+    if hetesim_obs::is_enabled() {
+        *LAST_POOL_STATS
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(PoolStats {
+            symbolic_busy_us: sym_busy,
+            symbolic_idle_us: sym_idle,
+            numeric_busy_us: busy_us,
+            numeric_idle_us: idle_us,
+        });
+    }
 
     let actual_nnz: usize = actual.iter().sum();
     if actual_nnz != symbolic_nnz {
@@ -418,8 +480,8 @@ fn two_phase(
     Ok(CsrMatrix::from_raw(nrows, ncols, indptr, indices, values))
 }
 
-/// Publishes per-worker busy times of the numeric pass and the
-/// `sparse.parallel.imbalance` gauge: `max(busy) / mean(busy)` in
+/// Publishes the `sparse.parallel.imbalance` gauge from the numeric
+/// pass's per-worker busy times: `max(busy) / mean(busy)` in
 /// fixed-point thousandths (1000 ⇔ perfectly balanced). With the old
 /// contiguous row blocks this ratio was unbounded on Zipfian-skewed
 /// inputs; flop-balanced chunks keep it near 1.
@@ -427,17 +489,27 @@ fn record_balance(busy_us: &[u64]) {
     if busy_us.is_empty() || !hetesim_obs::is_enabled() {
         return;
     }
-    let mut max = 0u64;
-    let mut sum = 0u64;
-    for &b in busy_us {
-        hetesim_obs::record("sparse.parallel.worker_busy_us", b);
-        max = max.max(b);
-        sum += b;
-    }
+    let max = busy_us.iter().copied().max().unwrap_or(0);
+    let sum: u64 = busy_us.iter().sum();
     let mean = sum as f64 / busy_us.len() as f64;
     if mean > 0.0 {
         let ratio = max as f64 / mean;
         hetesim_obs::set("sparse.parallel.imbalance", (ratio * 1000.0) as u64);
+    }
+}
+
+/// Records one pool pass's per-worker utilization into the
+/// `sparse.parallel.worker_busy_us` / `sparse.parallel.worker_idle_us`
+/// histograms, one sample per worker.
+fn record_utilization(busy_us: &[u64], idle_us: &[u64]) {
+    if !hetesim_obs::is_enabled() {
+        return;
+    }
+    for &b in busy_us {
+        hetesim_obs::record("sparse.parallel.worker_busy_us", b);
+    }
+    for &i in idle_us {
+        hetesim_obs::record("sparse.parallel.worker_idle_us", i);
     }
 }
 
@@ -600,6 +672,25 @@ mod tests {
             expect = hi;
         }
         assert_eq!(expect, flops.len());
+    }
+
+    #[test]
+    fn pool_stats_capture_worker_utilization() {
+        let a = pseudo_random(700, 300, 4, 7);
+        let b = pseudo_random(300, 500, 4, 11);
+        hetesim_obs::enable();
+        let _ = take_pool_stats(); // drop any leftover record
+        let _ = matmul_two_phase(&a, &b, 3).unwrap();
+        let stats = take_pool_stats().expect("pool stats recorded while enabled");
+        hetesim_obs::disable();
+        // Other tests may race on the shared slot while obs is enabled,
+        // so assert shape invariants rather than the exact thread count.
+        assert!(!stats.numeric_busy_us.is_empty());
+        assert_eq!(stats.numeric_busy_us.len(), stats.numeric_idle_us.len());
+        assert_eq!(stats.symbolic_busy_us.len(), stats.symbolic_idle_us.len());
+        assert_eq!(stats.numeric_busy_us.len(), stats.symbolic_busy_us.len());
+        // Taking twice yields nothing new.
+        assert!(take_pool_stats().is_none() || hetesim_obs::is_enabled());
     }
 
     #[test]

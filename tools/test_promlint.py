@@ -25,6 +25,25 @@ hetesim_latency_seconds_count 17
 """
 
 
+WORKER_UTILIZATION = """\
+# HELP sparse_parallel_worker_busy_us Time an SpGEMM worker spent inside claimed chunks, per pass, in microseconds.
+# TYPE sparse_parallel_worker_busy_us histogram
+sparse_parallel_worker_busy_us_bucket{le="1023"} 2
+sparse_parallel_worker_busy_us_bucket{le="4095"} 6
+sparse_parallel_worker_busy_us_bucket{le="+Inf"} 8
+sparse_parallel_worker_busy_us_sum 40000
+sparse_parallel_worker_busy_us_count 8
+# HELP sparse_parallel_worker_idle_us Time an SpGEMM worker spent waiting rather than multiplying, per pass, in microseconds.
+# TYPE sparse_parallel_worker_idle_us histogram
+sparse_parallel_worker_idle_us_bucket{le="+Inf"} 8
+sparse_parallel_worker_idle_us_sum 120
+sparse_parallel_worker_idle_us_count 8
+# HELP sparse_parallel_imbalance Max/mean busy time across SpGEMM numeric-pass workers, in thousandths (1000 = perfectly balanced).
+# TYPE sparse_parallel_imbalance gauge
+sparse_parallel_imbalance 1136
+"""
+
+
 class LintValid(unittest.TestCase):
     def test_valid_exposition_is_clean(self):
         self.assertEqual(lint(VALID), [])
@@ -35,6 +54,23 @@ class LintValid(unittest.TestCase):
             'hs_hits_total{path="APA",node="a"} 7 1700000000\n'
         )
         self.assertEqual(lint(text), [])
+
+    def test_worker_utilization_families_are_clean(self):
+        # The shape hetesim-obs emits for the SpGEMM pool: busy/idle
+        # log2-bucketed histograms plus the imbalance gauge, each with its
+        # own # HELP line before # TYPE.
+        self.assertEqual(lint(WORKER_UTILIZATION), [])
+
+    def test_help_before_every_type_in_fixture(self):
+        # Guards the fixture itself: one HELP per family, HELP first.
+        lines = WORKER_UTILIZATION.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                self.assertTrue(
+                    lines[i - 1].startswith(f"# HELP {family} "),
+                    f"{family} lacks a preceding # HELP",
+                )
 
 
 class LintTypeLines(unittest.TestCase):
