@@ -5,59 +5,133 @@
 //! obs-overhead [--rounds N] [--assert-overhead PCT]
 //! ```
 //!
-//! The instrumented kernel (`CsrMatrix::matmul`, `multiply_chain`) is timed
-//! against a verbatim uninstrumented copy of the same Gustavson loop
-//! compiled into this binary. Metrics stay *disabled* throughout, so the
-//! instrumented path pays exactly one relaxed atomic load per entry point —
-//! the claim under test is that this costs < 2 %. With `--assert-overhead`
-//! the process exits non-zero when the measured overhead exceeds the bound,
-//! making the claim CI-checkable.
+//! The instrumented kernel (`CsrMatrix::matmul` via
+//! `multiply_chain_left_to_right`, so both variants multiply in the same
+//! order — the planner's order choice is ablated elsewhere) is timed
+//! against a verbatim uninstrumented copy of the same adaptive Gustavson
+//! loop compiled into this binary. Metrics stay *disabled* throughout, so
+//! the instrumented path pays exactly one relaxed atomic load per entry
+//! point — the claim under test is that this costs < 2 %. With
+//! `--assert-overhead` the process exits non-zero when the measured
+//! overhead exceeds the bound, making the claim CI-checkable.
 
-use hetesim_sparse::{chain, CooMatrix, CsrMatrix};
+use hetesim_sparse::{chain, parallel, CooMatrix, CsrMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
 use std::time::Instant;
 
-/// Uninstrumented copy of the serial Gustavson SpGEMM in
-/// `CsrMatrix::matmul` — the baseline the instrumented kernel is compared
-/// against. Kept byte-for-byte identical in loop structure.
+/// Uninstrumented copy of the serial adaptive Gustavson SpGEMM in
+/// `CsrMatrix::matmul` — same single-pass flop routing, same three row
+/// kernels (scaled copy / dense bitmap gather / sparse sorted gather),
+/// same resize-window output writing — minus the obs span/counters and
+/// the pooled scratch arena (buffers are allocated per call; at these
+/// shapes that cost is noise). The baseline the instrumented kernel is
+/// compared against; it must track the shipped kernel's algorithm, or
+/// the "overhead" column measures algorithm drift instead of
+/// instrumentation.
 fn raw_matmul(lhs: &CsrMatrix, rhs: &CsrMatrix) -> CsrMatrix {
     assert_eq!(lhs.ncols(), rhs.nrows());
-    let n = rhs.ncols();
-    let mut acc = vec![0f64; n];
-    let mut mark = vec![false; n];
+    let nrows = lhs.nrows();
+    let ncols = rhs.ncols();
+    let mut acc = vec![0f64; ncols];
+    let mut mask = vec![0u64; ncols.div_ceil(64)];
+    let mut mark = vec![0u64; ncols];
+    let mut stamp = 0u64;
     let mut touched: Vec<u32> = Vec::new();
-    let mut indptr = Vec::with_capacity(lhs.nrows() + 1);
+    let total_flops: usize = lhs.indices().iter().map(|&k| rhs.row_nnz(k as usize)).sum();
+    let reserve = total_flops.min(nrows.saturating_mul(ncols)).min(1 << 26);
+    let mut indptr = Vec::with_capacity(nrows + 1);
     indptr.push(0usize);
-    let mut indices: Vec<u32> = Vec::new();
-    let mut values: Vec<f64> = Vec::new();
-    for r in 0..lhs.nrows() {
-        touched.clear();
-        for (&k, &a) in lhs.row_indices(r).iter().zip(lhs.row_values(r)) {
-            let k = k as usize;
+    let mut indices: Vec<u32> = Vec::with_capacity(reserve);
+    let mut values: Vec<f64> = Vec::with_capacity(reserve);
+    for r in 0..nrows {
+        let row_flops: usize = lhs
+            .row_indices(r)
+            .iter()
+            .map(|&k| rhs.row_nnz(k as usize))
+            .sum();
+        if row_flops == 0 {
+            indptr.push(indices.len());
+            continue;
+        }
+        let len = indices.len();
+        indices.resize(len + row_flops.min(ncols), 0);
+        values.resize(len + row_flops.min(ncols), 0.0);
+        let mut written = 0usize;
+        if lhs.row_nnz(r) == 1 {
+            // Scaled copy of one rhs row.
+            let k = lhs.row_indices(r)[0] as usize;
+            let a = lhs.row_values(r)[0];
             for (&c, &b) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
-                let ci = c as usize;
-                if !mark[ci] {
-                    mark[ci] = true;
-                    touched.push(c);
-                    acc[ci] = 0.0;
+                let v = a * b;
+                if v != 0.0 {
+                    indices[len + written] = c;
+                    values[len + written] = v;
+                    written += 1;
                 }
-                acc[ci] += a * b;
+            }
+        } else if parallel::dense_accumulator_selected(row_flops, ncols) {
+            // Dense accumulator: scatter + bitmap, word-by-word drain.
+            for (&k, &a) in lhs.row_indices(r).iter().zip(lhs.row_values(r)) {
+                let k = k as usize;
+                for (&c, &b) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+                    let ci = c as usize;
+                    acc[ci] += a * b;
+                    mask[ci >> 6] |= 1u64 << (ci & 63);
+                }
+            }
+            for (w, word) in mask.iter_mut().enumerate() {
+                let mut m = *word;
+                if m == 0 {
+                    continue;
+                }
+                *word = 0;
+                while m != 0 {
+                    let c = (w << 6) | m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = acc[c];
+                    acc[c] = 0.0;
+                    if v != 0.0 {
+                        indices[len + written] = c as u32;
+                        values[len + written] = v;
+                        written += 1;
+                    }
+                }
+            }
+        } else {
+            // Sparse accumulator: stamped marks + sorted touched list.
+            stamp += 1;
+            touched.clear();
+            for (&k, &a) in lhs.row_indices(r).iter().zip(lhs.row_values(r)) {
+                let k = k as usize;
+                for (&c, &b) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+                    let ci = c as usize;
+                    if mark[ci] != stamp {
+                        mark[ci] = stamp;
+                        touched.push(c);
+                        acc[ci] = 0.0;
+                    }
+                    acc[ci] += a * b;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let ci = c as usize;
+                let v = acc[ci];
+                acc[ci] = 0.0;
+                if v != 0.0 {
+                    indices[len + written] = c;
+                    values[len + written] = v;
+                    written += 1;
+                }
             }
         }
-        touched.sort_unstable();
-        for &c in &touched {
-            let v = acc[c as usize];
-            mark[c as usize] = false;
-            if v != 0.0 {
-                indices.push(c);
-                values.push(v);
-            }
-        }
+        indices.truncate(len + written);
+        values.truncate(len + written);
         indptr.push(indices.len());
     }
-    CsrMatrix::from_raw(lhs.nrows(), rhs.ncols(), indptr, indices, values)
+    CsrMatrix::from_raw_usize(nrows, ncols, indptr, indices, values)
 }
 
 fn raw_chain(mats: &[&CsrMatrix]) -> CsrMatrix {
@@ -133,7 +207,7 @@ fn main() -> ExitCode {
     let mut check = 0usize;
     for round in 0..=rounds {
         let t = Instant::now();
-        let x = chain::multiply_chain(&mats).expect("chain product");
+        let x = chain::multiply_chain_left_to_right(&mats).expect("chain product");
         let dt = t.elapsed().as_nanos();
         check += x.nnz();
         if round > 0 {

@@ -2,40 +2,56 @@
 //!
 //! ```text
 //! spgemm-scaling [--scale tiny|default|paper] [--repeats N] [--out FILE]
-//!                [--profile-out FILE]
+//!                [--threads LIST] [--profile-out FILE]
 //! ```
 //!
 //! Multiplies the ACM co-paper product `(Wᵀ)̂ · Ŵ` (both factors
 //! row-normalized). Its flop count is `Σ_a deg(a)²` over author degrees,
 //! so the Zipf-skewed star authors dominate the work — the load-balance
 //! worst case the flop-balanced scheduler targets. Timed with the serial
-//! kernel and with [`hetesim_sparse::parallel::matmul_two_phase`]
-//! at 1, 2, 4 and 7 threads. Each configuration runs `--repeats` times
+//! adaptive kernel, with the pre-adaptive reference kernel
+//! ([`CsrMatrix::matmul_reference`], the ablation baseline), and with
+//! [`hetesim_sparse::parallel::matmul_two_phase`] at each `--threads`
+//! entry (default 1, 2, 4, 7). Each configuration runs `--repeats` times
 //! and keeps the minimum wall time; parallel results are asserted
 //! bit-identical to serial before any number is reported.
 //!
 //! Writes `BENCH_spgemm.json` (or `--out`) with per-thread milliseconds,
 //! speedup over serial, the `sparse.parallel.imbalance` gauge
-//! (max/mean worker busy time; 1.0 = perfectly balanced), and each run's
+//! (max/mean worker busy time; 1.0 = perfectly balanced), each run's
 //! per-worker `worker_busy_us`/`worker_idle_us` breakdown from the
-//! numeric pass (the last repeat's pool accounting). The file also
-//! records `available_parallelism` — on a machine with fewer cores than
-//! threads, speedups are naturally capped and the curve should be read
-//! against that field. `--profile-out` additionally writes the span
-//! profile of the last timed configuration as a flamegraph SVG (or
-//! folded stacks unless the name ends in `.svg`).
+//! numeric pass (the last repeat's pool accounting), and the adaptive
+//! kernel mix (`dense_rows`/`sparse_rows`: output rows routed to the
+//! dense bitmap-gather vs. sparse sorted-list accumulator).
+//!
+//! The file also records `available_parallelism` and a derived
+//! `degraded` flag: true when the machine has fewer cores than the
+//! largest requested thread count, in which case speedups are naturally
+//! capped and the curve is not comparable across machines —
+//! `tools/benchdiff.py` warns instead of diffing speedups for degraded
+//! files. On a non-degraded machine the bench *asserts* the 4-thread
+//! numeric-pass imbalance stays ≤ 1.25 (the flop-balanced scheduler's
+//! budget). `--profile-out` additionally writes the span profile of the
+//! last timed configuration as a flamegraph SVG (or folded stacks unless
+//! the name ends in `.svg`).
 
 use hetesim_bench::datasets::{acm_dataset, Scale};
 use hetesim_sparse::{parallel, CsrMatrix};
 use std::process::ExitCode;
 use std::time::Instant;
 
-const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+const DEFAULT_THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Imbalance budget asserted at 4 threads on non-degraded machines:
+/// with 32 flop-balanced chunks per worker the scheduler's worst case is
+/// one chunk of trailing work per worker, ~1 + 1/32.
+const IMBALANCE_BUDGET: f64 = 1.25;
 
 struct Args {
     scale: Scale,
     repeats: usize,
     out: String,
+    threads: Vec<usize>,
     profile_out: Option<String>,
 }
 
@@ -43,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Default;
     let mut repeats = 3usize;
     let mut out = "BENCH_spgemm.json".to_string();
+    let mut threads: Vec<usize> = DEFAULT_THREADS.to_vec();
     let mut profile_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,13 +74,31 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--repeats expects an integer, got {v:?}"))?;
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| {
+                                format!("--threads expects a list like 1,2,4, got {v:?}")
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if threads.is_empty() {
+                    return Err("--threads needs at least one entry".into());
+                }
+            }
             "--out" => out = args.next().ok_or("--out needs a value")?.to_string(),
             "--profile-out" => {
                 profile_out = Some(args.next().ok_or("--profile-out needs a value")?.to_string())
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: spgemm-scaling [--scale tiny|default|paper] [--repeats N] [--out FILE] [--profile-out FILE]"
+                    "usage: spgemm-scaling [--scale tiny|default|paper] [--repeats N] [--out FILE] [--threads LIST] [--profile-out FILE]"
                         .into(),
                 )
             }
@@ -74,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         repeats: repeats.max(1),
         out,
+        threads,
         profile_out,
     })
 }
@@ -99,15 +135,24 @@ fn exact_flops(lhs: &CsrMatrix, rhs: &CsrMatrix) -> u64 {
         .sum()
 }
 
-/// The current value of the `sparse.parallel.imbalance` gauge (fixed-point
-/// thousandths), or 0 if it was not recorded (serial fallback / obs off).
-fn imbalance_gauge() -> u64 {
+/// The current value of a counter/gauge, or 0 if it was never recorded.
+fn counter(name: &str) -> u64 {
     hetesim_obs::snapshot()
         .counters
         .iter()
-        .find(|c| c.name == "sparse.parallel.imbalance")
+        .find(|c| c.name == name)
         .map(|c| c.value)
         .unwrap_or(0)
+}
+
+/// Per-run adaptive kernel mix since the last obs reset: rows routed to
+/// the dense vs. sparse accumulator, summed over the serial and parallel
+/// counter families (the parallel entry point falls back to the serial
+/// kernel at 1 thread) and divided by how many identical runs were timed.
+fn kernel_mix(runs: u64) -> (u64, u64) {
+    let dense = counter("sparse.parallel.dense_rows") + counter("sparse.csr.matmul.dense_rows");
+    let sparse = counter("sparse.parallel.sparse_rows") + counter("sparse.csr.matmul.sparse_rows");
+    (dense / runs, sparse / runs)
 }
 
 struct Run {
@@ -116,6 +161,10 @@ struct Run {
     speedup: f64,
     /// max/mean worker busy time; 0.0 when not measured.
     imbalance: f64,
+    /// Output rows routed to the dense accumulator (one run).
+    dense_rows: u64,
+    /// Output rows routed to the sparse accumulator (one run).
+    sparse_rows: u64,
     /// Per-worker numeric-pass busy microseconds (last repeat).
     worker_busy_us: Vec<u64>,
     /// Per-worker numeric-pass idle microseconds (last repeat).
@@ -167,33 +216,50 @@ fn main() -> ExitCode {
         (result.expect("repeats >= 1"), best)
     };
 
+    hetesim_obs::reset();
     let (serial, serial_ms) = time_min(&|| lhs.matmul(&rhs).expect("shapes match"));
-    eprintln!("serial matmul: {serial_ms:.2} ms");
+    let (serial_dense_rows, serial_sparse_rows) = kernel_mix(args.repeats as u64);
+    eprintln!(
+        "serial adaptive matmul: {serial_ms:.2} ms ({serial_dense_rows} dense / {serial_sparse_rows} sparse rows)"
+    );
+
+    // Ablation baseline: the pre-adaptive single-pass sparse-accumulator
+    // kernel. Same drop rule and accumulation order, so the product must
+    // match bitwise.
+    let (reference, reference_ms) = time_min(&|| lhs.matmul_reference(&rhs).expect("shapes match"));
+    assert_eq!(reference, serial, "reference kernel result differs");
+    eprintln!("serial reference matmul: {reference_ms:.2} ms");
 
     let mut runs = Vec::new();
-    for threads in THREAD_COUNTS {
+    for &threads in &args.threads {
         hetesim_obs::reset();
         let (par, ms) =
             time_min(&|| parallel::matmul_two_phase(&lhs, &rhs, threads).expect("shapes match"));
         assert_eq!(par, serial, "two-phase result differs at {threads} threads");
-        let imbalance = imbalance_gauge() as f64 / 1000.0;
+        let imbalance = counter("sparse.parallel.imbalance") as f64 / 1000.0;
+        let (dense_rows, sparse_rows) = kernel_mix(args.repeats as u64);
         let speedup = serial_ms / ms;
         // The last repeat's per-worker busy/idle split (empty when the
         // serial fallback ran, i.e. at 1 thread).
         let pool = parallel::take_pool_stats().unwrap_or_default();
-        eprintln!("threads {threads}: {ms:.2} ms, speedup {speedup:.2}x, imbalance {imbalance:.3}");
+        eprintln!(
+            "threads {threads}: {ms:.2} ms, speedup {speedup:.2}x, imbalance {imbalance:.3}, \
+             {dense_rows} dense / {sparse_rows} sparse rows"
+        );
         runs.push(Run {
             threads,
             ms,
             speedup,
             imbalance,
+            dense_rows,
+            sparse_rows,
             worker_busy_us: pool.numeric_busy_us,
             worker_idle_us: pool.numeric_idle_us,
         });
     }
     if let Some(path) = &args.profile_out {
         // Spans were reset per configuration, so this is the profile of
-        // the last (highest thread count) timed configuration.
+        // the last timed configuration.
         match write_profile(path) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => {
@@ -206,11 +272,33 @@ fn main() -> ExitCode {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let max_threads = args.threads.iter().copied().max().unwrap_or(1);
+    let degraded = cores < max_threads;
+    if degraded {
+        eprintln!(
+            "warning: degraded run — {cores} core(s) available for up to {max_threads} requested \
+             thread(s); speedup and imbalance numbers are not comparable across machines"
+        );
+    } else {
+        // The flop-balanced scheduler's load-balance claim is only
+        // testable when every worker can actually run in parallel.
+        for r in runs.iter().filter(|r| r.threads == 4 && r.imbalance > 0.0) {
+            if r.imbalance > IMBALANCE_BUDGET {
+                eprintln!(
+                    "FAIL: numeric-pass imbalance {:.3} at 4 threads exceeds the {IMBALANCE_BUDGET} budget",
+                    r.imbalance
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"spgemm_scaling\",\n");
     json.push_str(&format!("  \"scale\": \"{:?}\",\n", args.scale).to_lowercase());
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"degraded\": {degraded},\n"));
     json.push_str(&format!("  \"repeats\": {},\n", args.repeats));
     json.push_str(&format!(
         "  \"lhs\": {{\"rows\": {}, \"cols\": {}, \"nnz\": {}}},\n",
@@ -227,15 +315,23 @@ fn main() -> ExitCode {
     json.push_str(&format!("  \"product_nnz\": {},\n", serial.nnz()));
     json.push_str(&format!("  \"flops\": {flops},\n"));
     json.push_str(&format!("  \"serial_ms\": {serial_ms:.3},\n"));
+    json.push_str(&format!("  \"reference_ms\": {reference_ms:.3},\n"));
+    json.push_str(&format!("  \"serial_dense_rows\": {serial_dense_rows},\n"));
+    json.push_str(&format!(
+        "  \"serial_sparse_rows\": {serial_sparse_rows},\n"
+    ));
     json.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"imbalance\": {:.3}, \
+             \"dense_rows\": {}, \"sparse_rows\": {}, \
              \"worker_busy_us\": {}, \"worker_idle_us\": {}}}{}\n",
             r.threads,
             r.ms,
             r.speedup,
             r.imbalance,
+            r.dense_rows,
+            r.sparse_rows,
             json_array(&r.worker_busy_us),
             json_array(&r.worker_idle_us),
             if i + 1 < runs.len() { "," } else { "" }

@@ -29,7 +29,10 @@ pub struct Halves {
 
 impl Halves {
     /// Approximate heap residency of the three matrices and two norm
-    /// vectors.
+    /// vectors. CSR row pointers are `u32` (nnz is checked to fit the u32
+    /// index space at construction), so a cached half costs
+    /// `12·nnz + 4·(nrows+1)` matrix bytes — budgets sized against the
+    /// old `usize` pointers hold strictly more entries now.
     pub fn mem_bytes(&self) -> usize {
         self.left.mem_bytes()
             + self.right.mem_bytes()

@@ -66,8 +66,8 @@ pub fn edge_split(w: &CsrMatrix) -> (CsrMatrix, CsrMatrix) {
         }
         ae_indptr.push(ae_indices.len());
     }
-    let ae = CsrMatrix::from_raw(w.nrows(), ne, ae_indptr, ae_indices, ae_values);
-    let eb = CsrMatrix::from_raw(ne, w.ncols(), eb_indptr, eb_indices, eb_values);
+    let ae = CsrMatrix::from_raw_usize(w.nrows(), ne, ae_indptr, ae_indices, ae_values);
+    let eb = CsrMatrix::from_raw_usize(ne, w.ncols(), eb_indptr, eb_indices, eb_values);
     (ae, eb)
 }
 

@@ -1,6 +1,6 @@
 use crate::cache::{CacheStats, Halves, PathCache};
 use crate::decompose::{decompose, edge_split};
-use crate::reachable::{normalize_chain, normalize_chain_threaded, propagate};
+use crate::reachable::{normalize_chain, propagate};
 use crate::{CoreError, Result};
 use hetesim_graph::{Direction, Hin, MetaPath, Step};
 use hetesim_sparse::{parallel, CooMatrix, CsrMatrix, SparseVec};
@@ -146,13 +146,20 @@ impl<'a> HeteSimEngine<'a> {
         self.cache.clear()
     }
 
-    fn chain_product(&self, mats: &[CsrMatrix]) -> Result<CsrMatrix> {
-        // The association order comes from the chain planner regardless of
-        // thread count, and the parallel kernel is bit-identical to the
-        // serial one, so results do not depend on `threads`.
+    /// Chain product of *raw* adjacency matrices with row normalization
+    /// fused into the multiplications: each factor's row-sum divisors are
+    /// applied while its values stream through the SpGEMM numeric phase,
+    /// so the row-stochastic chain is never materialized. Bit-identical to
+    /// normalize-then-multiply at every thread count (the fused kernels
+    /// divide each value exactly once by the divisor `row_normalized`
+    /// would have used, and the association order comes from the planner,
+    /// which only looks at shapes and nnz — both normalization-invariant).
+    fn chain_product_fused(&self, mats: &[CsrMatrix], divisors: &[Vec<f64>]) -> Result<CsrMatrix> {
         let refs: Vec<&CsrMatrix> = mats.iter().collect();
-        Ok(hetesim_sparse::chain::multiply_chain_threaded(
+        let divs: Vec<&[f64]> = divisors.iter().map(|d| d.as_slice()).collect();
+        Ok(hetesim_sparse::chain::multiply_chain_fused_threaded(
             &refs,
+            &divs,
             self.threads,
         )?)
     }
@@ -172,21 +179,37 @@ impl<'a> HeteSimEngine<'a> {
         } else {
             let ms = l / 2;
             let (ae, eb) = edge_split(self.hin.step_adjacency(steps[ms]));
-            let ae_n = ae.row_normalized_threaded(self.threads);
+            // When a prefix product consumes the split factor, its row
+            // normalization is fused into that multiplication (the divisors
+            // scale the right operand's values in-flight — bit-identical to
+            // multiplying the materialized row_normalized factor). Only a
+            // split factor that *is* the returned half is materialized.
             let left = if ms == 0 {
-                ae_n
+                ae.row_normalized_threaded(self.threads)
             } else {
                 let prefix = self.prefix_product(&steps[..ms])?;
-                parallel::matmul_parallel(&prefix, &ae_n, self.threads)?
+                parallel::matmul_parallel_fused(
+                    &prefix,
+                    &ae,
+                    None,
+                    Some(&ae.row_sum_divisors()),
+                    self.threads,
+                )?
             };
-            let eb_n = eb.transpose().row_normalized_threaded(self.threads);
+            let eb_t = eb.transpose();
             let right = if ms + 1 == l {
-                eb_n
+                eb_t.row_normalized_threaded(self.threads)
             } else {
                 let rsteps: Vec<Step> =
                     steps[ms + 1..].iter().rev().map(|s| s.reversed()).collect();
                 let prefix = self.prefix_product(&rsteps)?;
-                parallel::matmul_parallel(&prefix, &eb_n, self.threads)?
+                parallel::matmul_parallel_fused(
+                    &prefix,
+                    &eb_t,
+                    None,
+                    Some(&eb_t.row_sum_divisors()),
+                    self.threads,
+                )?
             };
             Ok((left, right))
         }
@@ -205,18 +228,24 @@ impl<'a> HeteSimEngine<'a> {
                 let _stage = hetesim_obs::span("core.engine.chain");
                 self.build_halves_prefix(path)?
             } else {
-                let (nl, nr) = {
+                let (ml, dl, mr, dr) = {
                     // Normalize stage: splitting the path into half chains
-                    // and row-normalizing both is one unit of prep work.
+                    // and computing each factor's row-sum divisors. The
+                    // O(nnz) divisions themselves happen inside the chain
+                    // products (fused normalization) — only the O(nrows)
+                    // divisor vectors are materialized here.
                     let _stage = hetesim_obs::span("core.engine.normalize");
                     let d = decompose(self.hin, path)?;
-                    (
-                        normalize_chain_threaded(d.left, self.threads),
-                        normalize_chain_threaded(d.right_rev, self.threads),
-                    )
+                    let dl: Vec<Vec<f64>> = d.left.iter().map(|m| m.row_sum_divisors()).collect();
+                    let dr: Vec<Vec<f64>> =
+                        d.right_rev.iter().map(|m| m.row_sum_divisors()).collect();
+                    (d.left, dl, d.right_rev, dr)
                 };
                 let _stage = hetesim_obs::span("core.engine.chain");
-                (self.chain_product(&nl)?, self.chain_product(&nr)?)
+                (
+                    self.chain_product_fused(&ml, &dl)?,
+                    self.chain_product_fused(&mr, &dr)?,
+                )
             };
             // The cosine stage: everything needed to turn raw half
             // products into normalized scores (norms + transposed right

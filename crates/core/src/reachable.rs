@@ -27,6 +27,14 @@ pub fn normalize_chain(mats: Vec<CsrMatrix>) -> Vec<CsrMatrix> {
 /// [`normalize_chain`] with each (large enough) matrix normalized by
 /// `threads` workers. Bit-identical to the serial version at every thread
 /// count — per-row normalization is order-preserving.
+///
+/// The engine's half-path builds no longer call this: they pass each
+/// factor's [`CsrMatrix::row_sum_divisors`] to the fused chain multiply
+/// (`hetesim_sparse::chain::multiply_chain_fused_threaded`), which applies
+/// the same divisions in-flight during the SpGEMM numeric phase instead of
+/// materializing the stochastic chain. This entry point remains for
+/// callers that need the normalized matrices themselves (vector
+/// propagation, tests, ablations).
 pub fn normalize_chain_threaded(mats: Vec<CsrMatrix>, threads: usize) -> Vec<CsrMatrix> {
     mats.into_iter()
         .map(|m| m.row_normalized_threaded(threads))

@@ -151,6 +151,70 @@ impl ChainPlan {
         }
     }
 
+    fn fused_operand(
+        &self,
+        mats: &[&CsrMatrix],
+        divisors: &[&[f64]],
+        i: usize,
+        j: usize,
+        threads: usize,
+    ) -> Result<Operand> {
+        if i == j {
+            Ok(Operand::Leaf(i))
+        } else {
+            Ok(Operand::Prod(
+                self.execute_range_fused(mats, divisors, i, j, threads)?,
+            ))
+        }
+    }
+
+    fn execute_range_fused(
+        &self,
+        mats: &[&CsrMatrix],
+        divisors: &[&[f64]],
+        i: usize,
+        j: usize,
+        threads: usize,
+    ) -> Result<CsrMatrix> {
+        if i == j {
+            // A chain of one matrix has no product to fuse the divisors
+            // into; materialize the normalization by division (bitwise
+            // equal to `row_normalized`, see `row_sum_divisors`).
+            return Ok(mats[i].rows_divided(divisors[i]));
+        }
+        let k = self.splits[i][j];
+        // In the plan's binary tree every leaf is consumed by exactly one
+        // product, so its divisors are applied exactly once — fused into
+        // that product. Interior results are already normalized products
+        // and carry no divisor.
+        let left = self.fused_operand(mats, divisors, i, k, threads)?;
+        let right = self.fused_operand(mats, divisors, k + 1, j, threads)?;
+        let (lm, ld) = left.parts(mats, divisors);
+        let (rm, rd) = right.parts(mats, divisors);
+        if threads > 1 && self.mult_flops[i][j] >= PARALLEL_EST_FLOP_THRESHOLD {
+            crate::parallel::matmul_parallel_fused(lm, rm, ld, rd, threads)
+        } else {
+            lm.matmul_fused(rm, ld, rd)
+        }
+    }
+
+    /// Executes the plan with each leaf's rows divided by its divisor
+    /// slice, the division fused into the product that consumes the leaf
+    /// (see [`multiply_chain_fused_threaded`]).
+    pub fn execute_fused_threaded(
+        &self,
+        mats: &[&CsrMatrix],
+        divisors: &[&[f64]],
+        threads: usize,
+    ) -> Result<CsrMatrix> {
+        assert_eq!(mats.len(), self.len, "plan arity mismatch");
+        assert_eq!(divisors.len(), self.len, "one divisor slice per matrix");
+        for (m, d) in mats.iter().zip(divisors) {
+            assert_eq!(d.len(), m.nrows(), "divisor length mismatch");
+        }
+        self.execute_range_fused(mats, divisors, 0, self.len - 1, threads.max(1))
+    }
+
     /// Executes the plan over the given matrices (which must match the
     /// shapes the plan was made from).
     pub fn execute(&self, mats: &[&CsrMatrix]) -> Result<CsrMatrix> {
@@ -166,6 +230,30 @@ impl ChainPlan {
     pub fn execute_threaded(&self, mats: &[&CsrMatrix], threads: usize) -> Result<CsrMatrix> {
         assert_eq!(mats.len(), self.len, "plan arity mismatch");
         self.execute_range(mats, 0, self.len - 1, threads.max(1))
+    }
+}
+
+/// An operand of a fused chain product: either an original (leaf) matrix
+/// whose row divisors are still pending — they get fused into the one
+/// product that consumes the leaf — or an already-normalized intermediate
+/// product.
+enum Operand {
+    Leaf(usize),
+    Prod(CsrMatrix),
+}
+
+impl Operand {
+    /// The operand's matrix and the divisors (if any) still to be fused
+    /// into the next product.
+    fn parts<'s>(
+        &'s self,
+        mats: &[&'s CsrMatrix],
+        divisors: &[&'s [f64]],
+    ) -> (&'s CsrMatrix, Option<&'s [f64]>) {
+        match self {
+            Operand::Leaf(i) => (mats[*i], Some(divisors[*i])),
+            Operand::Prod(m) => (m, None),
+        }
     }
 }
 
@@ -197,6 +285,34 @@ pub fn multiply_chain_threaded(mats: &[&CsrMatrix], threads: usize) -> Result<Cs
     let densities: Vec<f64> = mats.iter().map(|m| m.density()).collect();
     let plan = ChainPlan::plan(&shapes, &densities)?;
     plan.execute_threaded(mats, threads)
+}
+
+/// Multiplies a chain of row-rescaled matrices with the rescaling fused
+/// into the products: computes
+/// `rowdiv(mats[0], divisors[0]) · … · rowdiv(mats[n-1], divisors[n-1])`
+/// where `rowdiv` divides each row by its divisor, without materializing
+/// any rescaled matrix. With divisors from
+/// [`CsrMatrix::row_sum_divisors`] this is exactly the normalized
+/// transition-matrix chain of Definition 9 — bit-identical to
+/// normalizing every matrix first and calling
+/// [`multiply_chain_threaded`], because each stored value is divided
+/// once by the same divisor and the association order (planned from
+/// shapes and densities, which normalization preserves) is the same.
+pub fn multiply_chain_fused_threaded(
+    mats: &[&CsrMatrix],
+    divisors: &[&[f64]],
+    threads: usize,
+) -> Result<CsrMatrix> {
+    let _span = hetesim_obs::span!(
+        "sparse.chain.multiply",
+        len = mats.len(),
+        total_nnz = mats.iter().map(|m| m.nnz()).sum::<usize>(),
+        threads = threads,
+    );
+    let shapes: Vec<(usize, usize)> = mats.iter().map(|m| m.shape()).collect();
+    let densities: Vec<f64> = mats.iter().map(|m| m.density()).collect();
+    let plan = ChainPlan::plan(&shapes, &densities)?;
+    plan.execute_fused_threaded(mats, divisors, threads)
 }
 
 /// Multiplies a chain strictly left-to-right (ablation baseline).
@@ -272,6 +388,36 @@ mod tests {
             let par = multiply_chain_threaded(&[&a, &b, &c], threads).unwrap();
             assert_eq!(par, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn fused_chain_matches_normalize_then_multiply() {
+        let a = random_like(600, 400, 1);
+        let b = random_like(400, 500, 2);
+        let c = random_like(500, 300, 3);
+        let mats = [&a, &b, &c];
+        let normalized: Vec<CsrMatrix> = mats.iter().map(|m| m.row_normalized()).collect();
+        let norm_refs: Vec<&CsrMatrix> = normalized.iter().collect();
+        let divisors: Vec<Vec<f64>> = mats.iter().map(|m| m.row_sum_divisors()).collect();
+        let div_refs: Vec<&[f64]> = divisors.iter().map(|d| d.as_slice()).collect();
+        let expect = multiply_chain(&norm_refs).unwrap();
+        for threads in [1, 2, 4] {
+            let fused = multiply_chain_fused_threaded(&mats, &div_refs, threads).unwrap();
+            assert_eq!(fused, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_single_matrix_chain_is_row_normalized() {
+        // Includes an empty row so the sentinel divisor path is covered.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 2, 6.0);
+        coo.push(2, 1, 5.0);
+        let a = coo.to_csr();
+        let div = a.row_sum_divisors();
+        let fused = multiply_chain_fused_threaded(&[&a], &[&div], 4).unwrap();
+        assert_eq!(fused, a.row_normalized());
     }
 
     #[test]

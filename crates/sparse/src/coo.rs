@@ -134,7 +134,7 @@ impl CooMatrix {
             }
             out_indptr[r + 1] = out_cols.len();
         }
-        CsrMatrix::from_raw(self.nrows, self.ncols, out_indptr, out_cols, out_vals)
+        CsrMatrix::from_raw_usize(self.nrows, self.ncols, out_indptr, out_cols, out_vals)
     }
 }
 

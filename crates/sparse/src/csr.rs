@@ -1,3 +1,5 @@
+use crate::kernel;
+use crate::scratch::{self, Scratch};
 use crate::{CooMatrix, DenseMatrix, Result, SparseError, SparseVec};
 
 /// Below this many stored entries the threaded normalization variants use
@@ -5,18 +7,37 @@ use crate::{CooMatrix, DenseMatrix, Result, SparseError, SparseVec};
 /// thread spawn/join costs more than the work being split.
 const PARALLEL_NORMALIZE_MIN_NNZ: usize = 1 << 16;
 
-/// Compressed sparse row matrix with `f64` values and `u32` column indices.
+/// Checks that `nnz` stored entries are addressable by the `u32`
+/// row-pointer array, returning the count as `u32`.
+///
+/// Every CSR constructor funnels through this check: `indptr` holds
+/// offsets into `indices`/`values`, so the entry count itself must fit in
+/// `u32`. Matrices at HeteSim scale are far below the limit (the paper's
+/// densest product holds ~4.8M entries), but a pathological product could
+/// cross it, and a silent wrap would corrupt every row boundary at once.
+pub fn check_nnz(nnz: usize) -> Result<u32> {
+    if nnz <= u32::MAX as usize {
+        Ok(nnz as u32)
+    } else {
+        Err(SparseError::NnzOverflow { nnz })
+    }
+}
+
+/// Compressed sparse row matrix with `f64` values, `u32` column indices
+/// and `u32` row pointers.
 ///
 /// This is the workhorse representation: every adjacency matrix, transition
 /// probability matrix and reachable-probability matrix in the workspace is a
 /// `CsrMatrix`. Within each row, column indices are strictly increasing and
 /// values are finite; `from_raw` enforces the structural invariants in debug
-/// builds.
+/// builds. Row pointers are `u32` (guarded by [`check_nnz`]): the indptr
+/// array is read once per row by every kernel, and halving its width
+/// measurably cuts pointer traffic in the SpGEMM inner loops.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
-    indptr: Vec<usize>,
+    indptr: Vec<u32>,
     indices: Vec<u32>,
     values: Vec<f64>,
 }
@@ -32,7 +53,7 @@ impl CsrMatrix {
     pub fn from_raw(
         nrows: usize,
         ncols: usize,
-        indptr: Vec<usize>,
+        indptr: Vec<u32>,
         indices: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
@@ -42,9 +63,14 @@ impl CsrMatrix {
             values.len(),
             "indices/values length mismatch"
         );
+        assert!(
+            check_nnz(indices.len()).is_ok(),
+            "nnz {} exceeds the u32 index space",
+            indices.len()
+        );
         assert_eq!(
             indptr.last().copied(),
-            Some(indices.len()),
+            Some(indices.len() as u32),
             "indptr end mismatch"
         );
         debug_assert!(
@@ -53,7 +79,7 @@ impl CsrMatrix {
         );
         debug_assert!(
             (0..nrows).all(|r| {
-                let s = &indices[indptr[r]..indptr[r + 1]];
+                let s = &indices[indptr[r] as usize..indptr[r + 1] as usize];
                 s.windows(2).all(|w| w[0] < w[1]) && s.iter().all(|&c| (c as usize) < ncols)
             }),
             "row indices not strictly increasing / out of bounds"
@@ -67,12 +93,59 @@ impl CsrMatrix {
         }
     }
 
+    /// [`CsrMatrix::from_raw`] accepting a `usize` row-pointer array, for
+    /// callers that build offsets with native arithmetic.
+    ///
+    /// # Panics
+    /// Panics if any offset exceeds the `u32` index space (in addition to
+    /// the structural checks of `from_raw`). Fallible callers should use
+    /// [`CsrMatrix::try_from_raw_usize`] instead.
+    pub fn from_raw_usize(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        let narrow: Vec<u32> = indptr
+            .iter()
+            .map(|&p| {
+                assert!(
+                    p <= u32::MAX as usize,
+                    "indptr offset {p} exceeds the u32 index space"
+                );
+                p as u32
+            })
+            .collect();
+        CsrMatrix::from_raw(nrows, ncols, narrow, indices, values)
+    }
+
+    /// Fallible [`CsrMatrix::from_raw_usize`]: returns
+    /// [`SparseError::NnzOverflow`] when any row-pointer offset does not
+    /// fit in `u32`, instead of panicking. Structural inconsistencies
+    /// still panic, as in `from_raw` — those are caller logic errors, not
+    /// data-dependent conditions.
+    pub fn try_from_raw_usize(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        check_nnz(indices.len())?;
+        let mut narrow = Vec::with_capacity(indptr.len());
+        for &p in &indptr {
+            narrow.push(check_nnz(p)?);
+        }
+        Ok(CsrMatrix::from_raw(nrows, ncols, narrow, indices, values))
+    }
+
     /// An `n x n` identity matrix.
     pub fn identity(n: usize) -> Self {
         CsrMatrix::from_raw(
             n,
             n,
-            (0..=n).collect(),
+            (0..=n).map(|i| i as u32).collect(),
             (0..n as u32).collect(),
             vec![1.0; n],
         )
@@ -80,7 +153,7 @@ impl CsrMatrix {
 
     /// A matrix of the given shape with no stored entries.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CsrMatrix::from_raw(nrows, ncols, vec![0; nrows + 1], Vec::new(), Vec::new())
+        CsrMatrix::from_raw(nrows, ncols, vec![0u32; nrows + 1], Vec::new(), Vec::new())
     }
 
     /// Builds from a dense row-major slice, storing only non-zero entries.
@@ -119,7 +192,7 @@ impl CsrMatrix {
 
     /// Approximate heap residency of the CSR arrays in bytes.
     pub fn mem_bytes(&self) -> usize {
-        self.indptr.len() * std::mem::size_of::<usize>()
+        self.indptr.len() * std::mem::size_of::<u32>()
             + self.indices.len() * std::mem::size_of::<u32>()
             + self.values.len() * std::mem::size_of::<f64>()
     }
@@ -134,23 +207,33 @@ impl CsrMatrix {
     }
 
     /// Raw row-pointer array (`nrows + 1` entries).
-    pub fn indptr(&self) -> &[usize] {
+    pub fn indptr(&self) -> &[u32] {
         &self.indptr
+    }
+
+    /// Raw column-index array (`nnz` entries, row-major).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Raw value array, parallel to [`CsrMatrix::indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Column indices of row `r`.
     pub fn row_indices(&self, r: usize) -> &[u32] {
-        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+        &self.indices[self.indptr[r] as usize..self.indptr[r + 1] as usize]
     }
 
     /// Values of row `r`, parallel to [`CsrMatrix::row_indices`].
     pub fn row_values(&self, r: usize) -> &[f64] {
-        &self.values[self.indptr[r]..self.indptr[r + 1]]
+        &self.values[self.indptr[r] as usize..self.indptr[r + 1] as usize]
     }
 
     /// Number of stored entries in row `r`.
     pub fn row_nnz(&self, r: usize) -> usize {
-        self.indptr[r + 1] - self.indptr[r]
+        (self.indptr[r + 1] - self.indptr[r]) as usize
     }
 
     /// Iterator over `(row, col, value)` of all stored entries.
@@ -191,7 +274,7 @@ impl CsrMatrix {
         for i in 0..self.ncols {
             counts[i + 1] += counts[i];
         }
-        let indptr = counts.clone();
+        let indptr: Vec<u32> = counts.iter().map(|&p| p as u32).collect();
         let mut indices = vec![0u32; nnz];
         let mut values = vec![0f64; nnz];
         let mut cursor = counts;
@@ -210,7 +293,19 @@ impl CsrMatrix {
 
     /// Sparse general matrix-matrix product `self * rhs`.
     ///
-    /// Gustavson's algorithm with a dense accumulator sized to `rhs.ncols()`.
+    /// Single-pass adaptive Gustavson: each output row is routed to a
+    /// dense- or sparse-accumulator kernel by its flop count (the cheap
+    /// upper bound on its nnz — see
+    /// [`parallel::dense_accumulator_selected`](crate::parallel::dense_accumulator_selected)),
+    /// computed into a reused row buffer, and appended. Rows with exactly
+    /// one left-hand entry skip both accumulators: the output row is a
+    /// scaled copy of one `rhs` row. All three kernels emit identical
+    /// bits for a row, so the routing basis cannot change the result: the
+    /// output is bit-identical to the parallel two-phase kernel, which
+    /// routes by the symbolic phase's *exact* counts.
+    /// Scratch buffers come from a pooled arena and are reused across
+    /// products. Returns [`SparseError::NnzOverflow`] if the product would
+    /// hold 2³² or more entries.
     ///
     /// ```
     /// use hetesim_sparse::CsrMatrix;
@@ -220,6 +315,23 @@ impl CsrMatrix {
     /// assert!(i.matmul(&CsrMatrix::identity(4)).is_err()); // shape checked
     /// ```
     pub fn matmul(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        self.matmul_fused(rhs, None, None)
+    }
+
+    /// The serial SpGEMM kernel with optional fused row normalization:
+    /// computes `rowdiv(self, lhs_div) * rowdiv(rhs, rhs_div)` where
+    /// `rowdiv` divides each row by its divisor (`None` = no scaling),
+    /// without materializing the normalized operands. Each left value is
+    /// divided once on load in the outer loop; `rhs` values are
+    /// pre-divided once into pooled scratch. The divisions are exactly
+    /// those `row_normalized` performs, so the fused product is bitwise
+    /// equal to normalize-then-multiply.
+    pub(crate) fn matmul_fused(
+        &self,
+        rhs: &CsrMatrix,
+        lhs_div: Option<&[f64]>,
+        rhs_div: Option<&[f64]>,
+    ) -> Result<CsrMatrix> {
         if self.ncols != rhs.nrows {
             return Err(SparseError::DimensionMismatch {
                 op: "spgemm",
@@ -233,22 +345,122 @@ impl CsrMatrix {
             lhs_nnz = self.nnz(),
             rhs_nnz = rhs.nnz(),
         );
+        // Exact multiply-add count of Gustavson's algorithm, derivable
+        // from the inputs without touching the hot loop. Doubles as the
+        // output-size upper bound the reservation below uses.
+        let total_flops: usize = self.indices.iter().map(|&k| rhs.row_nnz(k as usize)).sum();
         if hetesim_obs::is_enabled() {
-            // Exact multiply-add count of Gustavson's algorithm, derivable
-            // from the inputs without touching the hot loop.
-            let flops: u64 = self
-                .indices
+            hetesim_obs::record("sparse.csr.matmul.flops", total_flops as u64);
+        }
+        let nrows = self.nrows;
+        let ncols = rhs.ncols;
+        let mut s = scratch::take(ncols);
+
+        // One fused pass: per row, the flop count (O(row nnz) to compute)
+        // routes the kernel, a reused row buffer of capacity
+        // min(flops, ncols) receives the surviving entries, and they are
+        // appended to the growing output. The serial path deliberately
+        // skips a symbolic sizing pass — it would traverse the operands a
+        // second time to save only the output vectors' amortized growth.
+        let Scratch {
+            acc,
+            mask,
+            mark,
+            stamp,
+            touched,
+            vals,
+        } = &mut s;
+        let rhs_vals: &[f64] = match rhs_div {
+            Some(d) => {
+                kernel::scaled_values_into(rhs, d, vals);
+                vals
+            }
+            None => &rhs.values,
+        };
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        indptr.push(0u32);
+        // The flop total bounds the output size exactly (one entry per
+        // multiply-add at most), so reserving it up front removes every
+        // growth reallocation; the cap keeps a pathological bound from
+        // over-committing memory.
+        let reserve = total_flops.min(nrows.saturating_mul(ncols)).min(1 << 26);
+        let mut indices: Vec<u32> = Vec::with_capacity(reserve);
+        let mut values: Vec<f64> = Vec::with_capacity(reserve);
+        let (mut dense_rows, mut sparse_rows) = (0u64, 0u64);
+        let mut overflow = false;
+        for r in 0..nrows {
+            let row_flops: usize = self
+                .row_indices(r)
                 .iter()
-                .map(|&k| rhs.row_nnz(k as usize) as u64)
+                .map(|&k| rhs.row_nnz(k as usize))
                 .sum();
-            hetesim_obs::record("sparse.csr.matmul.flops", flops);
+            if row_flops == 0 {
+                indptr.push(indices.len() as u32);
+                continue;
+            }
+            // Kernels write straight into the output vectors' spare
+            // capacity: resize opens a window of the row's worst-case
+            // size, truncate closes it around what survived — no
+            // per-row staging buffer, no copy.
+            let cap = row_flops.min(ncols);
+            let len = indices.len();
+            indices.resize(len + cap, 0);
+            values.resize(len + cap, 0.0);
+            let (ind, val) = (&mut indices[len..], &mut values[len..]);
+            let written = if self.row_nnz(r) == 1 {
+                // Scaled copy of one rhs row: no accumulator needed, and
+                // bit-identical to either accumulator kernel (counted
+                // with the non-dense family).
+                sparse_rows += 1;
+                kernel::numeric_row_copy(self, lhs_div, rhs, rhs_vals, r, ind, val)
+            } else if kernel::dense_accumulator_selected(row_flops, ncols) {
+                dense_rows += 1;
+                kernel::numeric_row_dense(self, lhs_div, rhs, rhs_vals, r, acc, mask, ind, val)
+            } else {
+                sparse_rows += 1;
+                *stamp += 1;
+                kernel::numeric_row_sparse(
+                    self, lhs_div, rhs, rhs_vals, r, acc, mark, *stamp, touched, ind, val,
+                )
+            };
+            indices.truncate(len + written);
+            values.truncate(len + written);
+            if check_nnz(indices.len()).is_err() {
+                overflow = true;
+                break;
+            }
+            indptr.push(indices.len() as u32);
+        }
+        let out_nnz = indices.len();
+        scratch::put(s);
+        if overflow {
+            return Err(SparseError::NnzOverflow { nnz: out_nnz });
+        }
+        hetesim_obs::add("sparse.csr.matmul.out_nnz", out_nnz as u64);
+        hetesim_obs::add("sparse.csr.matmul.dense_rows", dense_rows);
+        hetesim_obs::add("sparse.csr.matmul.sparse_rows", sparse_rows);
+        Ok(CsrMatrix::from_raw(nrows, ncols, indptr, indices, values))
+    }
+
+    /// The pre-adaptive one-pass Gustavson kernel (boolean mark array,
+    /// growing output vectors, sort-based gather for every row), kept as
+    /// the executable reference: the adaptive kernel must agree with it
+    /// bit-for-bit, and the `spgemm_scaling` bench uses it as the ablation
+    /// baseline.
+    pub fn matmul_reference(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.ncols != rhs.nrows {
+            return Err(SparseError::DimensionMismatch {
+                op: "spgemm",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
         }
         let n = rhs.ncols;
         let mut acc = vec![0f64; n];
         let mut mark = vec![false; n];
         let mut touched: Vec<u32> = Vec::new();
         let mut indptr = Vec::with_capacity(self.nrows + 1);
-        indptr.push(0usize);
+        indptr.push(0u32);
         let mut indices: Vec<u32> = Vec::new();
         let mut values: Vec<f64> = Vec::new();
         for r in 0..self.nrows {
@@ -274,9 +486,8 @@ impl CsrMatrix {
                     values.push(v);
                 }
             }
-            indptr.push(indices.len());
+            indptr.push(indices.len() as u32);
         }
-        hetesim_obs::add("sparse.csr.matmul.out_nnz", indices.len() as u64);
         Ok(CsrMatrix::from_raw(
             self.nrows, rhs.ncols, indptr, indices, values,
         ))
@@ -354,12 +565,49 @@ impl CsrMatrix {
     pub fn row_normalized(&self) -> CsrMatrix {
         let mut out = self.clone();
         for r in 0..out.nrows {
-            let (lo, hi) = (out.indptr[r], out.indptr[r + 1]);
+            let (lo, hi) = (out.indptr[r] as usize, out.indptr[r + 1] as usize);
             let s: f64 = out.values[lo..hi].iter().sum();
             if s != 0.0 {
                 for v in &mut out.values[lo..hi] {
                     *v /= s;
                 }
+            }
+        }
+        out
+    }
+
+    /// Per-row divisors for fused row normalization: the row's value sum,
+    /// with `1.0` substituted for rows whose sum is exactly zero. Dividing
+    /// by `1.0` reproduces every bit of the input (IEEE 754 makes `x / 1.0`
+    /// the identity), which is precisely [`CsrMatrix::row_normalized`]'s
+    /// treatment of zero-sum rows — it skips them — so a kernel that
+    /// divides by these divisors is bitwise equal to one that multiplies
+    /// the materialized normalized matrix.
+    pub fn row_sum_divisors(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| {
+                let s: f64 = self.row_values(r).iter().sum();
+                if s != 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Divides each row by its divisor, materializing what the fused
+    /// kernels compute on the fly. With divisors from
+    /// [`CsrMatrix::row_sum_divisors`] this equals `row_normalized()`
+    /// bit-for-bit; used when a chain leaf must be returned normalized
+    /// rather than consumed by a fused product.
+    pub(crate) fn rows_divided(&self, div: &[f64]) -> CsrMatrix {
+        debug_assert_eq!(div.len(), self.nrows);
+        let mut out = self.clone();
+        for (r, &d) in div.iter().enumerate() {
+            let (lo, hi) = (out.indptr[r] as usize, out.indptr[r + 1] as usize);
+            for v in &mut out.values[lo..hi] {
+                *v /= d;
             }
         }
         out
@@ -404,9 +652,9 @@ impl CsrMatrix {
         let mut bounds = vec![0usize];
         let mut next_cut = per_block;
         for r in 0..nrows {
-            if out.indptr[r + 1] >= next_cut && r + 1 < nrows {
+            if out.indptr[r + 1] as usize >= next_cut && r + 1 < nrows {
                 bounds.push(r + 1);
-                next_cut = out.indptr[r + 1] + per_block;
+                next_cut = out.indptr[r + 1] as usize + per_block;
             }
         }
         bounds.push(nrows);
@@ -416,13 +664,13 @@ impl CsrMatrix {
         std::thread::scope(|scope| {
             for w in bounds.windows(2) {
                 let (lo, hi) = (w[0], w[1]);
-                let base = indptr[lo];
-                let (block, tail) = rest.split_at_mut(indptr[hi] - consumed);
+                let base = indptr[lo] as usize;
+                let (block, tail) = rest.split_at_mut(indptr[hi] as usize - consumed);
                 rest = tail;
-                consumed = indptr[hi];
+                consumed = indptr[hi] as usize;
                 scope.spawn(move || {
                     for r in lo..hi {
-                        let (s, e) = (indptr[r] - base, indptr[r + 1] - base);
+                        let (s, e) = (indptr[r] as usize - base, indptr[r + 1] as usize - base);
                         let sum: f64 = block[s..e].iter().sum();
                         if sum != 0.0 {
                             for v in &mut block[s..e] {
@@ -535,7 +783,7 @@ impl CsrMatrix {
     /// Drops stored entries with `|value| <= eps`, preserving structure.
     pub fn pruned(&self, eps: f64) -> CsrMatrix {
         let mut indptr = Vec::with_capacity(self.nrows + 1);
-        indptr.push(0usize);
+        indptr.push(0u32);
         let mut indices = Vec::new();
         let mut values = Vec::new();
         for r in 0..self.nrows {
@@ -545,7 +793,7 @@ impl CsrMatrix {
                     values.push(v);
                 }
             }
-            indptr.push(indices.len());
+            indptr.push(indices.len() as u32);
         }
         CsrMatrix::from_raw(self.nrows, self.ncols, indptr, indices, values)
     }
@@ -592,6 +840,20 @@ mod tests {
         coo.to_csr()
     }
 
+    fn pseudo_random(nrows: usize, ncols: usize, per_row: usize, seed: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        let mut x = seed.wrapping_mul(2654435761).wrapping_add(1);
+        for r in 0..nrows {
+            for _ in 0..per_row {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                coo.push(r, (x >> 33) % ncols, (((x >> 20) % 9) + 1) as f64);
+            }
+        }
+        coo.to_csr()
+    }
+
     #[test]
     fn accessors() {
         let m = small();
@@ -601,6 +863,8 @@ mod tests {
         assert_eq!(m.get(1, 0), 0.0);
         assert_eq!(m.row_nnz(0), 2);
         assert!((m.density() - 0.5).abs() < 1e-12);
+        assert_eq!(m.indptr(), &[0, 2, 3]);
+        assert_eq!(m.indices().len(), m.values().len());
     }
 
     #[test]
@@ -639,6 +903,102 @@ mod tests {
         let m = small();
         let err = m.matmul(&small()).unwrap_err();
         assert!(matches!(err, SparseError::DimensionMismatch { .. }));
+        assert!(matches!(
+            m.matmul_reference(&small()).unwrap_err(),
+            SparseError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn adaptive_matmul_matches_reference() {
+        // Wide output (sparse-accumulator rows) and narrow output (dense
+        // rows) products must both agree with the one-pass reference
+        // kernel bit-for-bit.
+        let a = pseudo_random(300, 200, 4, 21);
+        let b_wide = pseudo_random(200, 900, 3, 22);
+        let b_narrow = pseudo_random(200, 60, 5, 23);
+        assert_eq!(
+            a.matmul(&b_wide).unwrap(),
+            a.matmul_reference(&b_wide).unwrap()
+        );
+        assert_eq!(
+            a.matmul(&b_narrow).unwrap(),
+            a.matmul_reference(&b_narrow).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_exact_cancellation_drops_entry() {
+        // (1)(1) + (1)(-1) cancels exactly; both kernels must drop the
+        // structural entry from the output.
+        let mut a = CooMatrix::new(1, 2);
+        a.push(0, 0, 1.0);
+        a.push(0, 1, 1.0);
+        let mut b = CooMatrix::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, -1.0);
+        b.push(0, 1, 2.0);
+        let (a, b) = (a.to_csr(), b.to_csr());
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, a.matmul_reference(&b).unwrap());
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn fused_row_normalization_matches_materialized() {
+        let a = pseudo_random(150, 90, 4, 31);
+        let b = pseudo_random(90, 120, 4, 32);
+        let expect = a.row_normalized().matmul(&b.row_normalized()).unwrap();
+        let fused = a
+            .matmul_fused(&b, Some(&a.row_sum_divisors()), Some(&b.row_sum_divisors()))
+            .unwrap();
+        assert_eq!(fused, expect);
+    }
+
+    #[test]
+    fn rows_divided_matches_row_normalized() {
+        // Includes empty rows, whose sentinel divisor 1.0 must be a no-op.
+        let mut coo = CooMatrix::new(5, 4);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 3, 6.0);
+        coo.push(2, 0, 0.125);
+        coo.push(4, 2, -3.5);
+        let m = coo.to_csr();
+        assert_eq!(m.rows_divided(&m.row_sum_divisors()), m.row_normalized());
+    }
+
+    #[test]
+    fn check_nnz_boundary() {
+        assert!(check_nnz(0).is_ok());
+        assert_eq!(check_nnz(u32::MAX as usize).unwrap(), u32::MAX);
+        assert!(matches!(
+            check_nnz(u32::MAX as usize + 1),
+            Err(SparseError::NnzOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn try_from_raw_usize_rejects_wide_offsets() {
+        let err =
+            CsrMatrix::try_from_raw_usize(1, 1, vec![0, u32::MAX as usize + 1], vec![0], vec![1.0])
+                .unwrap_err();
+        assert!(matches!(err, SparseError::NnzOverflow { .. }));
+        let ok = CsrMatrix::try_from_raw_usize(1, 1, vec![0, 1], vec![0], vec![2.0]).unwrap();
+        assert_eq!(ok.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn from_raw_usize_roundtrip() {
+        let m = small();
+        let rebuilt = CsrMatrix::from_raw_usize(
+            m.nrows(),
+            m.ncols(),
+            m.indptr().iter().map(|&p| p as usize).collect(),
+            m.indices().to_vec(),
+            m.values().to_vec(),
+        );
+        assert_eq!(rebuilt, m);
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub enum SparseError {
         /// Operation that detected the bad value.
         op: &'static str,
     },
+    /// A matrix would hold more stored entries than the `u32` row-pointer
+    /// array can address (`nnz` must stay below 2³²).
+    NnzOverflow {
+        /// The offending entry count.
+        nnz: usize,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -49,6 +55,12 @@ impl fmt::Display for SparseError {
             SparseError::EmptyChain => write!(f, "matrix chain product requires >= 1 matrix"),
             SparseError::NotFinite { op } => {
                 write!(f, "non-finite value encountered in {op}")
+            }
+            SparseError::NnzOverflow { nnz } => {
+                write!(
+                    f,
+                    "{nnz} stored entries exceed the u32 index space (nnz must be < 2^32)"
+                )
             }
         }
     }

@@ -45,6 +45,8 @@ mod coo;
 mod csr;
 mod dense;
 mod error;
+mod kernel;
+mod scratch;
 mod vector;
 
 pub mod chain;
@@ -52,7 +54,7 @@ pub mod io;
 pub mod parallel;
 
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{check_nnz, CsrMatrix};
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use vector::{cosine_dense, dot_dense, l2_norm_dense, SparseVec};

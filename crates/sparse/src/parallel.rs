@@ -1,10 +1,11 @@
 //! Two-phase (symbolic/numeric) parallel SpGEMM with flop-balanced
-//! dynamic scheduling on `std::thread` scoped threads.
+//! dynamic scheduling and per-row adaptive accumulators on `std::thread`
+//! scoped threads.
 //!
 //! Full-matrix HeteSim on the synthetic ACM network multiplies matrices
 //! whose row work is wildly skewed: a handful of Zipfian star authors
 //! concentrate most of the multiply-adds in a few rows, so splitting the
-//! row range into equally-*sized* contiguous blocks (the previous kernel)
+//! row range into equally-*sized* contiguous blocks (the original kernel)
 //! leaves most workers idle while one grinds through the hot rows. This
 //! kernel instead:
 //!
@@ -17,28 +18,56 @@
 //!    output `indices`/`values` exactly once, and
 //! 4. runs the **numeric** pass over the same flop-balanced chunks,
 //!    writing each row straight into its final slot — no per-block `Vec`
-//!    growth, no stitch-copy.
+//!    growth, no stitch-copy. Because the symbolic pass produced each
+//!    row's *exact* nnz, every row is routed to one of two accumulator
+//!    kernels: a dense accumulator with a touched-column bitmap for rows
+//!    dense enough that draining the bitmap beats sorting (see
+//!    [`dense_accumulator_selected`]), or the sorted-touched-list sparse
+//!    accumulator for the narrow tail.
+//!
+//! Worker scratch (accumulator, bitmap, stamped mark array) comes from a
+//! process-wide pooled arena, so back-to-back products in a meta-path
+//! chain stop re-faulting multi-megabyte buffers; the pool's residency is
+//! published on the `sparse.parallel.arena_bytes` gauge (also readable
+//! via [`arena_resident_bytes`]).
+//!
+//! The entry points also support **fused row normalization**
+//! ([`matmul_parallel_fused`]): per-row divisors for either operand are
+//! applied inside the numeric pass (left values divided on load, right
+//! values pre-divided once into pooled scratch), so HeteSim's
+//! normalize-then-multiply chains skip materializing the normalized
+//! matrices entirely. Each value is divided exactly once by exactly the
+//! divisor `row_normalized` would have used, keeping the fused product
+//! bitwise equal to the unfused pipeline.
 //!
 //! The serial kernel ([`CsrMatrix::matmul`]) remains the reference
 //! implementation; `matmul_parallel` agrees with it bit-for-bit
 //! (indptr/indices/values), since each output row is computed by exactly
-//! one worker using the same accumulation loop in the same order.
+//! one worker using the same row kernels (`crate::kernel`) in the same
+//! order.
 //!
 //! When metrics are enabled (`hetesim-obs`), the kernel records
 //! `sparse.parallel.symbolic` / `sparse.parallel.numeric` spans,
 //! `sparse.parallel.worker_busy_us` / `sparse.parallel.worker_idle_us`
 //! histograms of per-worker utilization (busy = time inside claimed
 //! chunks, idle = everything else on the worker: spawn latency, scratch
-//! allocation, claim waits), and a `sparse.parallel.imbalance` gauge —
-//! max/mean per-worker busy time of the numeric pass in fixed-point
-//! thousandths (1000 = perfectly balanced), which the `spgemm_scaling`
-//! bench asserts stays near 1. The same per-worker numbers are kept as a
-//! [`PoolStats`] record retrievable once via [`take_pool_stats`], which
-//! the bench attaches to `BENCH_spgemm.json` runs.
+//! allocation, claim waits), `sparse.parallel.dense_rows` /
+//! `sparse.parallel.sparse_rows` counters of the numeric pass's kernel
+//! routing, and a `sparse.parallel.imbalance` gauge — max/mean per-worker
+//! busy time of the numeric pass in fixed-point thousandths (1000 =
+//! perfectly balanced), which the `spgemm_scaling` bench asserts stays
+//! near 1. The same per-worker numbers are kept as a [`PoolStats`] record
+//! retrievable once via [`take_pool_stats`], which the bench attaches to
+//! `BENCH_spgemm.json` runs.
 
-use crate::{CsrMatrix, Result, SparseError};
+use crate::kernel;
+use crate::scratch::{self, Scratch};
+use crate::{check_nnz, CsrMatrix, Result, SparseError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+
+pub use crate::kernel::{dense_accumulator_selected, DENSE_GATHER_WORDS_PER_NNZ};
+pub use crate::scratch::arena_resident_bytes;
 
 /// Environment variable overriding [`default_threads`]; `0` or unset
 /// means "auto" (one worker per available core).
@@ -49,10 +78,14 @@ pub const THREADS_ENV: &str = "HETESIM_THREADS";
 /// under a millisecond, which is the order of thread spawn + join cost.
 const PARALLEL_FLOP_THRESHOLD: u64 = 1 << 17;
 
-/// Chunks handed out per worker: enough oversubscription that the dynamic
-/// cursor can rebalance when chunk costs drift from the flop estimate,
-/// small enough that claim overhead stays negligible.
-const CHUNKS_PER_THREAD: usize = 8;
+/// Chunks handed out per worker. The tail chunk of each worker bounds its
+/// overshoot past the mean, so per-worker imbalance shrinks roughly as
+/// `1 + 1/CHUNKS_PER_THREAD`; at 32 the expected numeric-pass imbalance
+/// stays within the 1.25 budget the scaling bench asserts at 4 threads,
+/// while a claim is still just one uncontended `fetch_add`. (The previous
+/// value of 8 let imbalance grow with the thread count: more workers ⇒
+/// fewer chunks each ⇒ coarser tails.)
+const CHUNKS_PER_THREAD: usize = 32;
 
 /// Per-worker utilization of the most recent two-phase product, captured
 /// only while metrics are enabled. One entry per worker, in join order;
@@ -162,10 +195,10 @@ fn flop_chunks(flops: &[u64], total: u64, target_chunks: usize) -> Vec<(usize, u
 /// (indices into `data`, one `(lo, hi)` pair per chunk, contiguous and
 /// ascending). Wrapped in `Option` so dynamic workers can `take()` their
 /// claimed chunk out of the shared table.
-fn split_chunks<'a, T>(
-    mut data: &'a mut [T],
+fn split_chunks<T>(
+    mut data: &mut [T],
     boundaries: impl Iterator<Item = (usize, usize)>,
-) -> Vec<Option<&'a mut [T]>> {
+) -> Vec<Option<&mut [T]>> {
     let mut out = Vec::new();
     let mut consumed = 0;
     for (lo, hi) in boundaries {
@@ -176,67 +209,6 @@ fn split_chunks<'a, T>(
         consumed = hi;
     }
     out
-}
-
-/// Per-row distinct-column counter shared by the symbolic pass and
-/// [`symbolic_row_nnz`]. `mark` is a generation-stamped scratch array
-/// (`mark[c] == stamp` ⇔ column `c` seen for the current row), so it is
-/// cleared once per matrix, not once per row.
-fn symbolic_row(lhs: &CsrMatrix, rhs: &CsrMatrix, r: usize, mark: &mut [u64], stamp: u64) -> usize {
-    let mut count = 0usize;
-    for &k in lhs.row_indices(r) {
-        for &c in rhs.row_indices(k as usize) {
-            let ci = c as usize;
-            if mark[ci] != stamp {
-                mark[ci] = stamp;
-                count += 1;
-            }
-        }
-    }
-    count
-}
-
-/// Computes one output row into `acc`/`mark`/`touched` scratch and writes
-/// the surviving (non-zero) entries into `ind`/`val` starting at offset 0.
-/// Returns how many entries were written. The accumulation loop and the
-/// `v != 0.0` drop are byte-for-byte the serial kernel's, so the written
-/// prefix is identical to the corresponding serial output row.
-#[allow(clippy::too_many_arguments)]
-fn numeric_row(
-    lhs: &CsrMatrix,
-    rhs: &CsrMatrix,
-    r: usize,
-    acc: &mut [f64],
-    mark: &mut [bool],
-    touched: &mut Vec<u32>,
-    ind: &mut [u32],
-    val: &mut [f64],
-) -> usize {
-    touched.clear();
-    for (&k, &a) in lhs.row_indices(r).iter().zip(lhs.row_values(r)) {
-        let k = k as usize;
-        for (&c, &b) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
-            let ci = c as usize;
-            if !mark[ci] {
-                mark[ci] = true;
-                touched.push(c);
-                acc[ci] = 0.0;
-            }
-            acc[ci] += a * b;
-        }
-    }
-    touched.sort_unstable();
-    let mut written = 0usize;
-    for &c in touched.iter() {
-        let v = acc[c as usize];
-        mark[c as usize] = false;
-        if v != 0.0 {
-            ind[written] = c;
-            val[written] = v;
-            written += 1;
-        }
-    }
-    written
 }
 
 /// Distinct-column count of every output row of `lhs * rhs` — the result
@@ -254,10 +226,15 @@ pub fn symbolic_row_nnz(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<Vec<usize>> 
             right: rhs.shape(),
         });
     }
-    let mut mark = vec![0u64; rhs.ncols()];
-    Ok((0..lhs.nrows())
-        .map(|r| symbolic_row(lhs, rhs, r, &mut mark, r as u64 + 1))
-        .collect())
+    let mut s = scratch::take(rhs.ncols());
+    let counts = (0..lhs.nrows())
+        .map(|r| {
+            s.stamp += 1;
+            kernel::symbolic_row(lhs, rhs, r, &mut s.mark, s.stamp)
+        })
+        .collect();
+    scratch::put(s);
+    Ok(counts)
 }
 
 /// Parallel sparse product `lhs * rhs` using `threads` workers.
@@ -267,6 +244,24 @@ pub fn symbolic_row_nnz(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<Vec<usize>> 
 /// The output is bit-identical to [`CsrMatrix::matmul`] at every thread
 /// count.
 pub fn matmul_parallel(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Result<CsrMatrix> {
+    matmul_parallel_fused(lhs, rhs, None, None, threads)
+}
+
+/// [`matmul_parallel`] with fused row normalization: computes
+/// `rowdiv(lhs, lhs_div) * rowdiv(rhs, rhs_div)` where `rowdiv` divides
+/// each row of its operand by the corresponding divisor (`None` = no
+/// scaling), without materializing the scaled operands. With divisors
+/// from [`CsrMatrix::row_sum_divisors`] the result is bit-identical to
+/// `lhs.row_normalized().matmul(&rhs.row_normalized())` — each stored
+/// value is divided exactly once by exactly the divisor the materialized
+/// pipeline uses.
+pub fn matmul_parallel_fused(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    lhs_div: Option<&[f64]>,
+    rhs_div: Option<&[f64]>,
+    threads: usize,
+) -> Result<CsrMatrix> {
     if lhs.ncols() != rhs.nrows() {
         return Err(SparseError::DimensionMismatch {
             op: "parallel spgemm",
@@ -275,13 +270,13 @@ pub fn matmul_parallel(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Resu
         });
     }
     if threads <= 1 || lhs.nrows() == 0 {
-        return lhs.matmul(rhs);
+        return lhs.matmul_fused(rhs, lhs_div, rhs_div);
     }
     let (flops, total_flops) = row_flops(lhs, rhs);
     if total_flops < PARALLEL_FLOP_THRESHOLD {
-        return lhs.matmul(rhs);
+        return lhs.matmul_fused(rhs, lhs_div, rhs_div);
     }
-    two_phase(lhs, rhs, threads, flops, total_flops)
+    two_phase(lhs, rhs, lhs_div, rhs_div, threads, flops, total_flops)
 }
 
 /// The two-phase kernel without the size fallback: always runs symbolic +
@@ -290,6 +285,18 @@ pub fn matmul_parallel(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Resu
 /// production code should call [`matmul_parallel`], which skips the
 /// machinery when the serial kernel is already faster.
 pub fn matmul_two_phase(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Result<CsrMatrix> {
+    matmul_two_phase_fused(lhs, rhs, None, None, threads)
+}
+
+/// [`matmul_two_phase`] with fused row normalization (see
+/// [`matmul_parallel_fused`] for the divisor semantics).
+pub fn matmul_two_phase_fused(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    lhs_div: Option<&[f64]>,
+    rhs_div: Option<&[f64]>,
+    threads: usize,
+) -> Result<CsrMatrix> {
     if lhs.ncols() != rhs.nrows() {
         return Err(SparseError::DimensionMismatch {
             op: "parallel spgemm",
@@ -298,15 +305,25 @@ pub fn matmul_two_phase(lhs: &CsrMatrix, rhs: &CsrMatrix, threads: usize) -> Res
         });
     }
     if lhs.nrows() == 0 {
-        return lhs.matmul(rhs);
+        return lhs.matmul_fused(rhs, lhs_div, rhs_div);
     }
     let (flops, total_flops) = row_flops(lhs, rhs);
-    two_phase(lhs, rhs, threads.max(1), flops, total_flops)
+    two_phase(
+        lhs,
+        rhs,
+        lhs_div,
+        rhs_div,
+        threads.max(1),
+        flops,
+        total_flops,
+    )
 }
 
 fn two_phase(
     lhs: &CsrMatrix,
     rhs: &CsrMatrix,
+    lhs_div: Option<&[f64]>,
+    rhs_div: Option<&[f64]>,
     threads: usize,
     flops: Vec<u64>,
     total_flops: u64,
@@ -314,6 +331,8 @@ fn two_phase(
     let nrows = lhs.nrows();
     let ncols = rhs.ncols();
     let threads = threads.min(nrows).max(1);
+    debug_assert!(lhs_div.map_or(true, |d| d.len() == nrows));
+    debug_assert!(rhs_div.map_or(true, |d| d.len() == rhs.nrows()));
     let _span = hetesim_obs::span!(
         "sparse.parallel.matmul",
         rows = nrows,
@@ -325,7 +344,9 @@ fn two_phase(
     let chunks = flop_chunks(&flops, total_flops, threads * CHUNKS_PER_THREAD);
     let nchunks = chunks.len();
 
-    // --- Symbolic pass: per-row output nnz over flop-balanced chunks. ---
+    // --- Symbolic pass: per-row output nnz over flop-balanced chunks,
+    // routed to the bitmap counter for flop-heavy rows (the same density
+    // heuristic the numeric pass applies with the exact counts). ---
     let mut row_nnz = vec![0usize; nrows];
     let mut sym_busy: Vec<u64> = Vec::new();
     let mut sym_idle: Vec<u64> = Vec::new();
@@ -333,14 +354,14 @@ fn two_phase(
         let _sym = hetesim_obs::span("sparse.parallel.symbolic");
         let slots = Mutex::new(split_chunks(&mut row_nnz, chunks.iter().copied()));
         let cursor = AtomicUsize::new(0);
+        let flops = &flops;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 handles.push(scope.spawn(|| {
                     let wall = hetesim_obs::Stopwatch::start();
                     let mut busy = 0u64;
-                    let mut mark = vec![0u64; ncols];
-                    let mut stamp = 0u64;
+                    let mut s = scratch::take(ncols);
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= nchunks {
@@ -352,11 +373,21 @@ fn two_phase(
                             .expect("chunk claimed once");
                         let (lo, _hi) = chunks[c];
                         for (i, slot) in out.iter_mut().enumerate() {
-                            stamp += 1;
-                            *slot = symbolic_row(lhs, rhs, lo + i, &mut mark, stamp);
+                            let r = lo + i;
+                            // One lhs entry ⇒ the output row is one rhs
+                            // row: its nnz is exact without any scatter.
+                            *slot = if lhs.row_nnz(r) == 1 {
+                                flops[r] as usize
+                            } else if kernel::dense_accumulator_selected(flops[r] as usize, ncols) {
+                                kernel::symbolic_row_bitmap(lhs, rhs, r, &mut s.mask)
+                            } else {
+                                s.stamp += 1;
+                                kernel::symbolic_row(lhs, rhs, r, &mut s.mark, s.stamp)
+                            };
                         }
                         busy += work.elapsed_us();
                     }
+                    scratch::put(s);
                     (busy, wall.elapsed_us().saturating_sub(busy))
                 }));
             }
@@ -378,15 +409,28 @@ fn two_phase(
         indptr.push(running);
     }
     let symbolic_nnz = running;
+    if check_nnz(symbolic_nnz).is_err() {
+        return Err(SparseError::NnzOverflow { nnz: symbolic_nnz });
+    }
     let mut indices = vec![0u32; symbolic_nnz];
     let mut values = vec![0f64; symbolic_nnz];
 
-    // --- Numeric pass: same chunks, rows written straight into place. ---
+    // --- Numeric pass: same chunks, rows written straight into place,
+    // each row routed by its exact nnz to the dense or sparse kernel. ---
     // `actual` records how many entries each row really produced; it can
     // fall short of the symbolic count only under exact cancellation.
+    let mut host = scratch::take(0);
+    let rhs_vals: &[f64] = match rhs_div {
+        Some(d) => {
+            kernel::scaled_values_into(rhs, d, &mut host.vals);
+            &host.vals
+        }
+        None => rhs.values(),
+    };
     let mut actual = vec![0usize; nrows];
     let mut busy_us: Vec<u64> = Vec::new();
     let mut idle_us: Vec<u64> = Vec::new();
+    let (mut dense_total, mut sparse_total) = (0u64, 0u64);
     {
         let _num = hetesim_obs::span("sparse.parallel.numeric");
         let entry_bounds = chunks.iter().map(|&(lo, hi)| (indptr[lo], indptr[hi]));
@@ -394,15 +438,15 @@ fn two_phase(
         let val_slots = Mutex::new(split_chunks(&mut values, entry_bounds));
         let act_slots = Mutex::new(split_chunks(&mut actual, chunks.iter().copied()));
         let cursor = AtomicUsize::new(0);
+        let indptr = &indptr;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 handles.push(scope.spawn(|| {
                     let wall = hetesim_obs::Stopwatch::start();
                     let mut busy = 0u64;
-                    let mut acc = vec![0f64; ncols];
-                    let mut mark = vec![false; ncols];
-                    let mut touched: Vec<u32> = Vec::new();
+                    let mut s = scratch::take(ncols);
+                    let (mut dense_rows, mut sparse_rows) = (0u64, 0u64);
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= nchunks {
@@ -420,33 +464,90 @@ fn two_phase(
                             .expect("claimed once");
                         let (lo, hi) = chunks[c];
                         let base = indptr[lo];
+                        let Scratch {
+                            acc,
+                            mask,
+                            mark,
+                            stamp,
+                            touched,
+                            ..
+                        } = &mut s;
                         for (i, r) in (lo..hi).enumerate() {
-                            let (s, e) = (indptr[r] - base, indptr[r + 1] - base);
-                            act[i] = numeric_row(
-                                lhs,
-                                rhs,
-                                r,
-                                &mut acc,
-                                &mut mark,
-                                &mut touched,
-                                &mut ind[s..e],
-                                &mut val[s..e],
-                            );
+                            let (st, en) = (indptr[r] - base, indptr[r + 1] - base);
+                            let cnt = en - st;
+                            if cnt == 0 {
+                                act[i] = 0;
+                                continue;
+                            }
+                            act[i] = if lhs.row_nnz(r) == 1 {
+                                // Scaled copy of one rhs row — counted
+                                // with the non-dense family.
+                                sparse_rows += 1;
+                                kernel::numeric_row_copy(
+                                    lhs,
+                                    lhs_div,
+                                    rhs,
+                                    rhs_vals,
+                                    r,
+                                    &mut ind[st..en],
+                                    &mut val[st..en],
+                                )
+                            } else if kernel::dense_accumulator_selected(cnt, ncols) {
+                                dense_rows += 1;
+                                kernel::numeric_row_dense(
+                                    lhs,
+                                    lhs_div,
+                                    rhs,
+                                    rhs_vals,
+                                    r,
+                                    acc,
+                                    mask,
+                                    &mut ind[st..en],
+                                    &mut val[st..en],
+                                )
+                            } else {
+                                sparse_rows += 1;
+                                *stamp += 1;
+                                kernel::numeric_row_sparse(
+                                    lhs,
+                                    lhs_div,
+                                    rhs,
+                                    rhs_vals,
+                                    r,
+                                    acc,
+                                    mark,
+                                    *stamp,
+                                    touched,
+                                    &mut ind[st..en],
+                                    &mut val[st..en],
+                                )
+                            };
                         }
                         busy += work.elapsed_us();
                     }
-                    (busy, wall.elapsed_us().saturating_sub(busy))
+                    scratch::put(s);
+                    (
+                        busy,
+                        wall.elapsed_us().saturating_sub(busy),
+                        dense_rows,
+                        sparse_rows,
+                    )
                 }));
             }
             for h in handles {
-                let (busy, idle) = h.join().expect("spgemm worker panicked");
+                let (busy, idle, dense, sparse) = h.join().expect("spgemm worker panicked");
                 busy_us.push(busy);
                 idle_us.push(idle);
+                dense_total += dense;
+                sparse_total += sparse;
             }
         });
     }
+    scratch::put(host);
     record_utilization(&busy_us, &idle_us);
     record_balance(&busy_us);
+    hetesim_obs::add("sparse.parallel.dense_rows", dense_total);
+    hetesim_obs::add("sparse.parallel.sparse_rows", sparse_total);
     if hetesim_obs::is_enabled() {
         *LAST_POOL_STATS
             .lock()
@@ -477,7 +578,9 @@ fn two_phase(
         indptr = compact_indptr;
     }
     hetesim_obs::add("sparse.parallel.matmul.out_nnz", actual_nnz as u64);
-    Ok(CsrMatrix::from_raw(nrows, ncols, indptr, indices, values))
+    Ok(CsrMatrix::from_raw_usize(
+        nrows, ncols, indptr, indices, values,
+    ))
 }
 
 /// Publishes the `sparse.parallel.imbalance` gauge from the numeric
@@ -560,6 +663,7 @@ mod tests {
         let a = pseudo_random(700, 300, 4, 7);
         let b = pseudo_random(300, 500, 4, 11);
         let serial = a.matmul(&b).unwrap();
+        assert_eq!(serial, a.matmul_reference(&b).unwrap());
         for threads in [2, 3, 8] {
             let par = matmul_two_phase(&a, &b, threads).unwrap();
             assert_eq!(par, serial, "threads={threads}");
@@ -573,6 +677,7 @@ mod tests {
         let a = skewed(400, 200, 3000, 13);
         let b = pseudo_random(200, 300, 5, 17);
         let serial = a.matmul(&b).unwrap();
+        assert_eq!(serial, a.matmul_reference(&b).unwrap());
         for threads in [1, 2, 4, 7] {
             assert_eq!(
                 matmul_two_phase(&a, &b, threads).unwrap(),
@@ -580,6 +685,67 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn fused_matches_materialized_normalization() {
+        let a = skewed(300, 150, 2000, 19);
+        let b = pseudo_random(150, 250, 4, 23);
+        let expect = a.row_normalized().matmul(&b.row_normalized()).unwrap();
+        let (da, db) = (a.row_sum_divisors(), b.row_sum_divisors());
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                matmul_two_phase_fused(&a, &b, Some(&da), Some(&db), threads).unwrap(),
+                expect,
+                "threads={threads}"
+            );
+            assert_eq!(
+                matmul_parallel_fused(&a, &b, Some(&da), Some(&db), threads).unwrap(),
+                expect,
+                "threads={threads} (auto)"
+            );
+        }
+        // One-sided fusion too.
+        let left_only = a.row_normalized().matmul(&b).unwrap();
+        assert_eq!(
+            matmul_two_phase_fused(&a, &b, Some(&da), None, 3).unwrap(),
+            left_only
+        );
+    }
+
+    #[test]
+    fn adaptive_routing_covers_both_kernels() {
+        // The hot row of `skewed` lands well above the dense cutoff while
+        // its one-entry cold tail stays below it, so this product runs
+        // both numeric kernels; routing is deterministic from the
+        // symbolic counts, and the mixed output must still match the
+        // serial kernel bit-for-bit.
+        let a = skewed(500, 100, 4000, 29);
+        let b = pseudo_random(100, 2600, 6, 31);
+        let counts = symbolic_row_nnz(&a, &b).unwrap();
+        let dense = counts
+            .iter()
+            .filter(|&&c| dense_accumulator_selected(c, b.ncols()))
+            .count();
+        let sparse = counts
+            .iter()
+            .filter(|&&c| c > 0 && !dense_accumulator_selected(c, b.ncols()))
+            .count();
+        assert!(dense > 0, "no dense-accumulator rows in the fixture");
+        assert!(sparse > 0, "no sparse-accumulator rows in the fixture");
+        let serial = a.matmul(&b).unwrap();
+        assert_eq!(serial, a.matmul_reference(&b).unwrap());
+        for threads in [2, 4] {
+            assert_eq!(matmul_two_phase(&a, &b, threads).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn arena_retains_worker_scratch() {
+        let a = pseudo_random(400, 300, 5, 37);
+        let b = pseudo_random(300, 400, 5, 41);
+        let _ = matmul_two_phase(&a, &b, 3).unwrap();
+        assert!(arena_resident_bytes() > 0);
     }
 
     #[test]

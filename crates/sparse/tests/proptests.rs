@@ -1,6 +1,6 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use hetesim_sparse::{chain, parallel, CooMatrix, CsrMatrix, SparseVec};
+use hetesim_sparse::{chain, check_nnz, io, parallel, CooMatrix, CsrMatrix, SparseVec};
 use proptest::prelude::*;
 
 /// Strategy producing an arbitrary sparse matrix of bounded shape with
@@ -88,11 +88,62 @@ fn arb_empty_lhs_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
     })
 }
 
+/// A pair whose product rows straddle the dense-accumulator cutoff.
+///
+/// The output width is `256·w` columns, so the cutoff sits at exactly
+/// `w` output entries (`4·nnz ≥ ceil(ncols/64) = 4w` ⇔ `nnz ≥ w`). The
+/// right factor's first rows have `w-1`, `w` and `w+1` entries. The
+/// left factor's first block reproduces each of them with *two* stored
+/// entries — the unit diagonal plus a second entry pointing at the
+/// empty rhs row — so those rows carry the exact boundary sizes into
+/// the dense/sparse accumulator kernels instead of short-circuiting
+/// through the single-entry copy path. A second block of true
+/// single-entry rows exercises the copy path at the same sizes, and
+/// extra random merge rows ride on top.
+fn arb_boundary_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    let k = 6usize; // rhs rows: w-1, w, w+1, empty, single, 3w entries
+    const EMPTY_ROW: usize = 3;
+    (
+        2..=8usize,
+        proptest::collection::vec((0..k, 1u8..=9), 0..=30),
+    )
+        .prop_map(move |(w, extra)| {
+            let ncols = 256 * w;
+            let mut rhs = CooMatrix::new(k, ncols);
+            let row_nnz = [w - 1, w, w + 1, 0, 1, 3 * w];
+            for (i, &nnz) in row_nnz.iter().enumerate() {
+                for t in 0..nnz {
+                    // Stride 67 spreads entries across bitmap words without
+                    // colliding modulo a power-of-two-times-w width.
+                    rhs.push(i, (t * 67 + i) % ncols, (1 + t % 9) as f64);
+                }
+            }
+            let nrows = 2 * k + 8;
+            let mut lhs = CooMatrix::new(nrows, k);
+            for i in 0..k {
+                lhs.push(i, i, 1.0); // copies rhs row i into the product...
+                if i != EMPTY_ROW {
+                    // ...with a flop-free second entry forcing the
+                    // accumulator kernels (row nnz 2 ≠ copy path).
+                    lhs.push(i, EMPTY_ROW, 1.0);
+                }
+                lhs.push(k + i, i, 2.0); // single entry: the copy path
+            }
+            for (r, (j, v)) in extra.into_iter().enumerate() {
+                lhs.push(2 * k + r % 8, j, v as f64);
+            }
+            (lhs.to_csr(), rhs.to_csr())
+        })
+}
+
 /// Per-row bit-for-bit equality of the two-phase kernel against serial at
 /// 1, 2, 4 and 7 threads (including `threads > nrows`), plus exactness of
-/// the symbolic nnz counts.
+/// the symbolic nnz counts and agreement with the pre-adaptive reference
+/// kernel.
 fn assert_two_phase_agrees(a: &CsrMatrix, b: &CsrMatrix) -> std::result::Result<(), TestCaseError> {
     let serial = a.matmul(b).unwrap();
+    let reference = a.matmul_reference(b).unwrap();
+    prop_assert_eq!(&reference, &serial, "adaptive vs reference kernel");
     for threads in [1usize, 2, 4, 7] {
         let par = parallel::matmul_two_phase(a, b, threads).unwrap();
         // Whole-matrix equality is exactly per-row equality of
@@ -204,6 +255,108 @@ proptest! {
         prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
         let c = a.cosine(&b);
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn threshold_boundary_rows_agree_bitwise((a, b) in arb_boundary_pair()) {
+        // The generator guarantees product rows exactly at, below and
+        // above the dense-accumulator cutoff; mixed routing must still be
+        // bit-identical serial vs parallel at every thread count.
+        let counts = parallel::symbolic_row_nnz(&a, &b).unwrap();
+        let ncols = b.ncols();
+        let w = ncols / 256; // cutoff nnz by construction
+        prop_assert!(counts.contains(&(w - 1)) || w == 1, "no row just below cutoff");
+        prop_assert!(counts.contains(&w), "no row exactly at cutoff");
+        let dense = counts
+            .iter()
+            .filter(|&&c| parallel::dense_accumulator_selected(c, ncols))
+            .count();
+        let sparse = counts
+            .iter()
+            .filter(|&&c| c > 0 && !parallel::dense_accumulator_selected(c, ncols))
+            .count();
+        prop_assert!(dense >= 1, "dense accumulator never selected: {:?}", counts);
+        prop_assert!(sparse >= 1 || w == 1, "sparse accumulator never selected: {:?}", counts);
+        assert_two_phase_agrees(&a, &b)?;
+    }
+
+    #[test]
+    fn u32_indptr_from_raw_roundtrip(m in arb_matrix(15, 40)) {
+        let rebuilt = CsrMatrix::from_raw(
+            m.nrows(),
+            m.ncols(),
+            m.indptr().to_vec(),
+            m.indices().to_vec(),
+            m.values().to_vec(),
+        );
+        prop_assert_eq!(&rebuilt, &m);
+        let widened: Vec<usize> = m.indptr().iter().map(|&p| p as usize).collect();
+        let narrowed = CsrMatrix::try_from_raw_usize(
+            m.nrows(),
+            m.ncols(),
+            widened,
+            m.indices().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        prop_assert_eq!(&narrowed, &m);
+    }
+
+    #[test]
+    fn u32_indptr_dense_and_coo_roundtrip(m in arb_matrix(12, 30)) {
+        // Values are positive integers, so no entry is dropped as a zero.
+        prop_assert_eq!(&CsrMatrix::from_dense(&m.to_dense()), &m);
+        let mut coo = CooMatrix::new(m.nrows(), m.ncols());
+        for (r, c, v) in m.iter() {
+            coo.push(r, c, v);
+        }
+        prop_assert_eq!(&coo.to_csr(), &m);
+    }
+
+    #[test]
+    fn u32_indptr_io_roundtrip(m in arb_matrix(12, 30)) {
+        let mut buf = Vec::new();
+        io::write_matrix_market(&m, &mut buf).unwrap();
+        let back = io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn check_nnz_accepts_exactly_the_u32_range(n in any::<u64>()) {
+        let n = n as usize;
+        prop_assert_eq!(check_nnz(n).is_ok(), n <= u32::MAX as usize);
+        // Pin the exact boundary regardless of what the generator drew.
+        prop_assert!(check_nnz(u32::MAX as usize).is_ok());
+        prop_assert!(check_nnz(u32::MAX as usize + 1).is_err());
+    }
+
+    #[test]
+    fn try_from_raw_usize_rejects_overflowing_offsets(
+        extra in 1..=1usize << 20,
+        nrows in 1..=8usize,
+    ) {
+        // An indptr entry past the u32 index space must be rejected with
+        // NnzOverflow before any narrowing happens.
+        let bad = u32::MAX as usize + extra;
+        let mut indptr = vec![0usize; nrows];
+        indptr.push(bad);
+        let err = CsrMatrix::try_from_raw_usize(nrows, 4, indptr, Vec::new(), Vec::new());
+        let overflowed = matches!(err, Err(hetesim_sparse::SparseError::NnzOverflow { .. }));
+        prop_assert!(overflowed, "expected NnzOverflow, got {:?}", err.map(|m| m.nnz()));
+    }
+
+    #[test]
+    fn fused_chain_matches_normalize_then_multiply((a, b) in arb_pair()) {
+        let da = a.row_sum_divisors();
+        let db = b.row_sum_divisors();
+        let fused =
+            chain::multiply_chain_fused_threaded(&[&a, &b], &[&da, &db], 2).unwrap();
+        let plain = chain::multiply_chain_threaded(
+            &[&a.row_normalized(), &b.row_normalized()],
+            2,
+        )
+        .unwrap();
+        prop_assert_eq!(fused, plain);
     }
 
     #[test]

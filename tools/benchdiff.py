@@ -21,6 +21,13 @@ percent (default 10), else 0. Missing counterparts (a key present on one
 side only) are reported but never fatal: bench files legitimately gain
 fields between versions.
 
+Degraded runs: when either file carries a top-level `"degraded": true`
+(the bench ran with fewer cores than its largest requested thread
+count), parallelism-sensitive metrics — speedups, imbalance, per-thread
+run times, worker busy/idle splits — are demoted to informational: the
+deltas are still printed but cannot fail the diff, and a warning is
+emitted. Machine-independent serial timings stay gated.
+
 stdlib-only on purpose — CI runs it with a bare python3.
 """
 
@@ -66,6 +73,18 @@ def direction(path):
         if any(t in name for t in HIGHER_IS_WORSE):
             return +1
     return 0
+
+
+def parallelism_sensitive(path):
+    """True for metrics that only mean something with real cores behind
+    them: speedup curves, worker-balance gauges, and the per-thread run
+    times they are derived from. Serial timings are not included — they
+    are one-core numbers wherever they run."""
+    lowered = path.lower()
+    if "speedup" in lowered or "imbalance" in lowered or "worker_" in lowered:
+        return True
+    leaf = lowered.rsplit(".", 1)[-1]
+    return lowered.startswith("runs[") and leaf == "ms"
 
 
 def walk(base, cand, path, out):
@@ -115,12 +134,25 @@ def main(argv):
     out = {"pairs": [], "only_baseline": [], "only_candidate": []}
     walk(base, cand, "", out)
 
+    degraded = bool(base.get("degraded")) or bool(cand.get("degraded"))
+    if degraded:
+        sides = [
+            name
+            for name, doc in (("baseline", base), ("candidate", cand))
+            if doc.get("degraded")
+        ]
+        print(
+            f"warning: degraded run ({', '.join(sides)}): fewer cores than "
+            "requested threads; speedup/imbalance/per-thread timings are "
+            "informational only"
+        )
+
     regressions = []
     for path, b, c in out["pairs"]:
         if c == b:
             continue
         pct = ((c - b) / abs(b) * 100.0) if b != 0 else float("inf")
-        d = direction(path)
+        d = 0 if degraded and parallelism_sensitive(path) else direction(path)
         regressed = d != 0 and (
             (d > 0 and pct > args.threshold) or (d < 0 and pct < -args.threshold)
         )

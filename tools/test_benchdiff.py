@@ -102,6 +102,48 @@ class Diffing(unittest.TestCase):
         code, _ = run_diff({"serial_ms": 10.0}, {"serial_ms": 13.0}, threshold=25)
         self.assertEqual(code, 1)
 
+    def test_degraded_candidate_neutralizes_speedup(self):
+        base = {"degraded": False, "runs": [{"threads": 4, "speedup": 3.0}]}
+        cand = {"degraded": True, "runs": [{"threads": 4, "speedup": 1.0}]}
+        code, out = run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("warning: degraded run (candidate)", out)
+        self.assertIn("runs[0].speedup", out)  # still reported
+        self.assertNotIn("REGRESSION", out)
+
+    def test_degraded_baseline_also_warns(self):
+        base = {"degraded": True, "runs": [{"imbalance": 1.0, "ms": 5.0}]}
+        cand = {"degraded": False, "runs": [{"imbalance": 2.0, "ms": 9.0}]}
+        code, out = run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("warning: degraded run (baseline)", out)
+
+    def test_degraded_still_gates_serial_ms(self):
+        base = {"degraded": True, "serial_ms": 10.0}
+        cand = {"degraded": True, "serial_ms": 20.0}
+        code, out = run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("serial_ms", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_non_degraded_files_unchanged_behavior(self):
+        base = {"degraded": False, "runs": [{"speedup": 3.0}]}
+        cand = {"degraded": False, "runs": [{"speedup": 1.0}]}
+        code, out = run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertNotIn("warning: degraded", out)
+
+    def test_parallelism_sensitive_classifier(self):
+        for path in (
+            "runs[0].speedup",
+            "runs[2].imbalance",
+            "runs[1].ms",
+            "runs[0].worker_busy_us[3]",
+        ):
+            self.assertTrue(benchdiff.parallelism_sensitive(path), path)
+        for path in ("serial_ms", "reference_ms", "flops", "runs[0].dense_rows"):
+            self.assertFalse(benchdiff.parallelism_sensitive(path), path)
+
     def test_nested_arrays_and_paths(self):
         base = {"runs": [{"ms": 1.0}, {"ms": 2.0}]}
         cand = {"runs": [{"ms": 1.0}, {"ms": 4.0}]}
