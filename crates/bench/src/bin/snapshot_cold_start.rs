@@ -1,0 +1,288 @@
+//! Cold-start comparison: TSV parse + warmup vs binary snapshot load.
+//!
+//! ```text
+//! snapshot-cold-start [--scale tiny|default|paper] [--repeats N]
+//!                     [--out FILE] [--min-speedup X]
+//! ```
+//!
+//! Generates the DBLP-like network at `--scale`, saves it as TSV, and
+//! measures the two ways a server can come up:
+//!
+//! 1. **TSV path** — parse `{schema,nodes,edges}.tsv`, build the [`Hin`]
+//!    through the COO pipeline, then warm the standard DBLP relevance
+//!    paths (`A-P-C`, `A-P-A`, `C-P-A-P-C`, `A-P-C-P-A`, `A-P-T-P-A`) by
+//!    materializing their half-path products (the paper's Section 4.6
+//!    offline step).
+//! 2. **Snapshot path** — `read_snapshot` of a file written with the same
+//!    warmed paths embedded, then `install_warm_paths` into a fresh
+//!    engine.
+//!
+//! Each path runs `--repeats` times; the minimum wall time is kept.
+//! Before any number is reported, the snapshot-started engine's
+//! single-source scores along every warmed path are asserted *bitwise*
+//! identical to the TSV-started engine's — a snapshot that loads fast but
+//! scores differently is a bug, not a result. With `--min-speedup X` the
+//! binary exits nonzero unless snapshot load is at least `X`× faster than
+//! TSV load + warmup.
+//!
+//! Writes `BENCH_snapshot.json` (or `--out`) with per-phase milliseconds,
+//! the speedup, file sizes, and the bit-identity verdict. Like the
+//! SpGEMM scaling bench, results carry a `degraded` flag when the host
+//! has fewer than 4 cores: the loader verifies and decodes sections
+//! concurrently and the TSV side warms through the parallel SpGEMM pool,
+//! so single-core hosts understate both, and the speedup most of all.
+
+use hetesim_bench::datasets::{dblp_dataset, Scale};
+use hetesim_core::snapshot;
+use hetesim_core::HeteSimEngine;
+use hetesim_graph::{io, Hin, MetaPath};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const WARM_SPECS: [&str; 5] = ["A-P-C", "A-P-A", "C-P-A-P-C", "A-P-C-P-A", "A-P-T-P-A"];
+
+struct Args {
+    scale: Scale,
+    repeats: usize,
+    out: String,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = Scale::Default;
+    let mut repeats = 3usize;
+    let mut out = "BENCH_snapshot.json".to_string();
+    let mut min_speedup = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+            }
+            "--repeats" => {
+                let v = args.next().ok_or("--repeats needs a value")?;
+                repeats = v
+                    .parse()
+                    .map_err(|_| format!("--repeats expects an integer, got {v:?}"))?;
+            }
+            "--out" => out = args.next().ok_or("--out needs a value")?.to_string(),
+            "--min-speedup" => {
+                let v = args.next().ok_or("--min-speedup needs a value")?;
+                min_speedup = Some(
+                    v.parse()
+                        .map_err(|_| format!("--min-speedup expects a number, got {v:?}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: snapshot-cold-start [--scale tiny|default|paper] [--repeats N] \
+                     [--out FILE] [--min-speedup X]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        scale,
+        repeats: repeats.max(1),
+        out,
+        min_speedup,
+    })
+}
+
+/// Unique scratch location for this run's TSV directory and snapshot.
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hetesim-bench-snap-{}-{tag}", std::process::id()))
+}
+
+fn parse_warm_paths(hin: &Hin) -> Vec<MetaPath> {
+    WARM_SPECS
+        .iter()
+        .map(|spec| MetaPath::parse(hin.schema(), spec).expect("standard DBLP path"))
+        .collect()
+}
+
+/// TSV cold start: parse + build + warm. Returns the ready engine's
+/// scores for verification, plus (load_ms, warm_ms) of the fastest run.
+fn time_tsv(dir: &PathBuf, repeats: usize) -> (f64, f64) {
+    let (mut best_load, mut best_warm) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let hin = io::load(dir).expect("load TSV");
+        let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let engine = HeteSimEngine::new(&hin);
+        let t1 = Instant::now();
+        for path in parse_warm_paths(&hin) {
+            engine.warm(&path).expect("warm");
+        }
+        let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+        best_load = best_load.min(load_ms);
+        best_warm = best_warm.min(warm_ms);
+    }
+    (best_load, best_warm)
+}
+
+/// Snapshot cold start: read + verify + install. Returns fastest ms.
+fn time_snapshot(file: &PathBuf, repeats: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let snap = snapshot::read_snapshot(file).expect("read snapshot");
+        let engine = HeteSimEngine::new(&snap.hin);
+        snapshot::install_warm_paths(&engine, snap.warm).expect("install");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Bitwise score comparison across every warmed path: single-source rows
+/// for a deterministic sample of sources.
+fn scores_match(tsv: &Hin, snap: &Hin) -> bool {
+    let a = HeteSimEngine::with_threads(tsv, 1);
+    let b = HeteSimEngine::with_threads(snap, 1);
+    for path in parse_warm_paths(tsv) {
+        let n = tsv.node_count(path.source_type());
+        let sample: Vec<u32> = (0..n as u32).step_by((n / 16).max(1)).collect();
+        for src in sample {
+            let ra = a.single_source(&path, src).expect("tsv scores");
+            let rb = b.single_source(&path, src).expect("snapshot scores");
+            if ra.len() != rb.len() {
+                return false;
+            }
+            if ra.iter().zip(&rb).any(|(x, y)| x.to_bits() != y.to_bits()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn dir_bytes(dir: &PathBuf) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    hetesim_obs::enable();
+
+    eprintln!("generating DBLP-like network ({:?})...", args.scale);
+    let data = dblp_dataset(args.scale);
+    let hin = data.hin;
+    eprintln!(
+        "network: {} nodes, {} edges",
+        hin.total_nodes(),
+        hin.total_edges()
+    );
+
+    let tsv_dir = scratch("tsv");
+    let snap_file = scratch("file").with_extension("snap");
+    io::save(&hin, &tsv_dir).expect("save TSV");
+
+    // Build the snapshot once (timed separately from the load loop).
+    let build_engine = HeteSimEngine::new(&hin);
+    let warm: Vec<_> = parse_warm_paths(&hin)
+        .into_iter()
+        .map(|p| {
+            let h = build_engine.materialized_halves(&p).expect("materialize");
+            (p, h)
+        })
+        .collect();
+    let t = Instant::now();
+    let info = snapshot::write_snapshot(&snap_file, &hin, &warm).expect("write snapshot");
+    let write_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(warm);
+    drop(build_engine);
+
+    eprintln!("timing TSV cold start ({} repeats)...", args.repeats);
+    let (tsv_load_ms, tsv_warm_ms) = time_tsv(&tsv_dir, args.repeats);
+    eprintln!("timing snapshot cold start ({} repeats)...", args.repeats);
+    let snap_load_ms = time_snapshot(&snap_file, args.repeats);
+
+    eprintln!("verifying bitwise score identity...");
+    let reread = snapshot::read_snapshot(&snap_file).expect("re-read snapshot");
+    let identical = scores_match(&hin, &reread.hin) && {
+        // Also check the *installed* halves (not rebuilt ones) score
+        // identically: a fresh engine fed the snapshot's warm products.
+        let cold = HeteSimEngine::with_threads(&reread.hin, 1);
+        snapshot::install_warm_paths(&cold, reread.warm).expect("install");
+        let warm_ref = HeteSimEngine::with_threads(&hin, 1);
+        parse_warm_paths(&hin).iter().all(|p| {
+            let n = hin.node_count(p.source_type()).min(8) as u32;
+            (0..n).all(|s| {
+                let x = warm_ref.single_source(p, s).expect("ref");
+                let y = cold.single_source(p, s).expect("cold");
+                x.iter().zip(&y).all(|(a, b)| a.to_bits() == b.to_bits())
+            })
+        })
+    };
+
+    let total_tsv = tsv_load_ms + tsv_warm_ms;
+    let speedup = total_tsv / snap_load_ms.max(1e-9);
+    let tsv_bytes = dir_bytes(&tsv_dir);
+    let scale_name = format!("{:?}", args.scale).to_lowercase();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let degraded = cores < 4;
+
+    let json = format!(
+        "{{\n  \"bench\": \"snapshot_cold_start\",\n  \"dataset\": \"dblp\",\n  \
+         \"scale\": \"{}\",\n  \"nodes\": {},\n  \"edges\": {},\n  \
+         \"warm_paths\": {},\n  \"repeats\": {},\n  \
+         \"tsv_load_ms\": {:.3},\n  \"tsv_warm_ms\": {:.3},\n  \
+         \"tsv_total_ms\": {:.3},\n  \"snapshot_write_ms\": {:.3},\n  \
+         \"snapshot_load_ms\": {:.3},\n  \"speedup\": {:.2},\n  \
+         \"tsv_bytes\": {},\n  \"snapshot_bytes\": {},\n  \
+         \"cores\": {},\n  \"degraded\": {},\n  \
+         \"bit_identical\": {}\n}}\n",
+        scale_name,
+        hin.total_nodes(),
+        hin.total_edges(),
+        WARM_SPECS.len(),
+        args.repeats,
+        tsv_load_ms,
+        tsv_warm_ms,
+        total_tsv,
+        write_ms,
+        snap_load_ms,
+        speedup,
+        tsv_bytes,
+        info.file_bytes,
+        cores,
+        degraded,
+        identical,
+    );
+    std::fs::write(&args.out, &json).expect("write bench json");
+    print!("{json}");
+
+    std::fs::remove_dir_all(&tsv_dir).ok();
+    std::fs::remove_file(&snap_file).ok();
+
+    if !identical {
+        eprintln!("FAIL: snapshot-started engine is not bit-identical to TSV-started engine");
+        return ExitCode::FAILURE;
+    }
+    if let Some(min) = args.min_speedup {
+        if speedup < min {
+            eprintln!("FAIL: speedup {speedup:.2}x below required {min}x");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("speedup {speedup:.2}x >= required {min}x");
+    }
+    ExitCode::SUCCESS
+}

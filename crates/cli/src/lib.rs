@@ -16,11 +16,20 @@
 //!                         [--warmup-paths FILE] [--trace-sample N]
 //!                         [--slow-ms MS] [--slow-log FILE]
 //!                         [--trace-out FILE] [--trace-ring N]
+//! hetesim-cli snapshot build DIR --out net.snap [--warm-paths FILE]
+//! hetesim-cli snapshot info  FILE
 //! hetesim-cli trace   DIR --path APVC --source NAME [--k 10] [--warm]
 //! hetesim-cli profile DIR --path APVC --source NAME [--k 10] [--repeat 20]
 //!                         [--warm] [--out flame.svg] [--folded-out FILE]
 //! hetesim-cli help
 //! ```
+//!
+//! The query subcommands (`query`/`top-k`, `pair`, `join`) and `serve`
+//! accept `--snapshot FILE` in place of the network directory: the
+//! network (and any half-path products materialized at `snapshot build`
+//! time) is loaded from the checksummed binary format of
+//! `docs/SNAPSHOT.md` — an order of magnitude faster than TSV parsing at
+//! paper scale, with bitwise-identical scores.
 //!
 //! Every subcommand additionally accepts `--metrics[=tree|json]` to print
 //! an observability snapshot (span timings, kernel counters, cache
@@ -44,6 +53,7 @@ mod args;
 
 use args::Parsed;
 use hetesim_baselines::{PathSim, Pcrw};
+use hetesim_core::snapshot::{self, WarmPath};
 use hetesim_core::{HeteSimEngine, PathMeasure};
 use hetesim_data::{acm, dblp};
 use hetesim_graph::{enumerate, io, stats, Hin, MetaPath};
@@ -86,6 +96,16 @@ commands:
       than --slow-ms are always kept and logged to --slow-log (JSONL;
       stderr when unset; 0 = off). Ctrl-C shuts down gracefully, draining
       in-flight requests.
+  snapshot build DIR --out net.snap [--warm-paths FILE] [--threads N]
+      Serialize a TSV network into the checksummed binary snapshot format
+      (docs/SNAPSHOT.md). --warm-paths FILE additionally materializes the
+      half-path products of one meta-path per line ('#' comments allowed)
+      and embeds them, so a snapshot-loaded engine starts with those
+      paths already warm.
+  snapshot info FILE
+      Verify every checksum of a snapshot and print its summary (schema
+      and node/edge counts, warmed paths, per-section sizes and CRCs).
+      Exits nonzero on any corruption — usable as an integrity check.
   trace DIR --path APVC --source NAME [--k 10] [--threads N] [--warm]
       Replay one query under forced trace capture and print its stage
       tree: each engine stage with duration and share of the total.
@@ -110,6 +130,12 @@ query commands (query/top-k, pair, join) also accept:
                           or available cores), 1 = serial. Results are
                           bit-identical at every thread count.
 
+query commands and serve accept, instead of the network directory:
+  --snapshot FILE         cold-start from a binary snapshot written by
+                          `snapshot build`: the network and any embedded
+                          half-path products load in one checksummed
+                          pass, with bitwise-identical scores.
+
 every command also accepts:
   --metrics[=tree|json]   print span timings / counters / histograms after
                           the command (default format: tree)
@@ -117,6 +143,52 @@ every command also accepts:
 
 fn load(dir: &str) -> Result<Hin, String> {
     io::load(Path::new(dir)).map_err(|e| format!("cannot load network from {dir:?}: {e}"))
+}
+
+/// A network obtained from either a TSV directory (the positional
+/// argument) or a binary snapshot (`--snapshot FILE`), carrying the
+/// snapshot's warmed half-products and provenance when applicable.
+struct Loaded {
+    hin: Hin,
+    warm: Vec<WarmPath>,
+    /// `(file, format version)` when loaded from a snapshot.
+    snapshot: Option<(String, u32)>,
+}
+
+/// Loads the network per the source flags: `--snapshot FILE` takes the
+/// binary cold-start path, otherwise the positional directory is parsed
+/// as TSV. Giving both is ambiguous and rejected.
+fn load_source(p: &Parsed) -> Result<Loaded, String> {
+    match p.flags.get("snapshot") {
+        Some(file) => {
+            if !p.positional.is_empty() {
+                return Err(format!(
+                    "give a network directory or --snapshot, not both \
+                     (got directory {:?} and snapshot {file:?})",
+                    p.positional[0]
+                ));
+            }
+            let snap = snapshot::read_snapshot(Path::new(file))
+                .map_err(|e| format!("cannot load snapshot {file:?}: {e}"))?;
+            Ok(Loaded {
+                hin: snap.hin,
+                warm: snap.warm,
+                snapshot: Some((file.clone(), snap.version)),
+            })
+        }
+        None => Ok(Loaded {
+            hin: load(p.one_positional("network directory (or --snapshot FILE)")?)?,
+            warm: Vec::new(),
+            snapshot: None,
+        }),
+    }
+}
+
+/// Installs a snapshot's warmed half-products into a fresh engine so the
+/// first queries along those paths are cache hits; returns the count.
+fn install_warm(engine: &HeteSimEngine, warm: Vec<WarmPath>) -> Result<usize, String> {
+    snapshot::install_warm_paths(engine, warm)
+        .map_err(|e| format!("cannot install warmed paths: {e}"))
 }
 
 /// Publishes gauge-style cache readings so they appear in the snapshot
@@ -210,7 +282,7 @@ fn engine_with_threads<'a>(p: &Parsed, hin: &'a Hin) -> Result<HeteSimEngine<'a>
 }
 
 fn cmd_query(p: &Parsed) -> Result<(), String> {
-    let hin = load(p.one_positional("network directory")?)?;
+    let Loaded { hin, warm, .. } = load_source(p)?;
     let path = parse_path(&hin, p.require("path")?)?;
     let source_name = p.require("source")?;
     let source = hin
@@ -220,6 +292,7 @@ fn cmd_query(p: &Parsed) -> Result<(), String> {
     let repeat = p.get_usize("repeat", 1)?.max(1);
     let measure = p.get_or("measure", "hetesim");
     let engine = engine_with_threads(p, &hin)?;
+    install_warm(&engine, warm)?;
     let pcrw = Pcrw::new(&hin);
     let pathsim = PathSim::new(&hin);
     let mut ranked = Vec::new();
@@ -264,7 +337,7 @@ fn cmd_query(p: &Parsed) -> Result<(), String> {
 }
 
 fn cmd_pair(p: &Parsed) -> Result<(), String> {
-    let hin = load(p.one_positional("network directory")?)?;
+    let Loaded { hin, warm, .. } = load_source(p)?;
     let path = parse_path(&hin, p.require("path")?)?;
     let a = hin
         .node_id(path.source_type(), p.require("source")?)
@@ -273,6 +346,7 @@ fn cmd_pair(p: &Parsed) -> Result<(), String> {
         .node_id(path.target_type(), p.require("target")?)
         .map_err(|e| e.to_string())?;
     let engine = engine_with_threads(p, &hin)?;
+    install_warm(&engine, warm)?;
     let norm = engine.pair(&path, a, b).map_err(|e| e.to_string())?;
     let raw = engine
         .pair_unnormalized(&path, a, b)
@@ -325,10 +399,11 @@ fn cmd_pair(p: &Parsed) -> Result<(), String> {
 }
 
 fn cmd_join(p: &Parsed) -> Result<(), String> {
-    let hin = load(p.one_positional("network directory")?)?;
+    let Loaded { hin, warm, .. } = load_source(p)?;
     let path = parse_path(&hin, p.require("path")?)?;
     let k = p.get_usize("k", 10)?;
     let engine = engine_with_threads(p, &hin)?;
+    install_warm(&engine, warm)?;
     let pairs = engine.top_k_pairs(&path, k).map_err(|e| e.to_string())?;
     record_cache_gauges(&engine);
     println!(
@@ -492,9 +567,17 @@ fn cmd_profile(p: &Parsed) -> Result<(), String> {
 
 fn cmd_serve(p: &Parsed) -> Result<(), String> {
     use hetesim_serve::{App, ServeConfig, Server};
-    let hin = load(p.one_positional("network directory")?)?;
+    let Loaded {
+        hin,
+        warm,
+        snapshot,
+    } = load_source(p)?;
     let budget = p.get_u64("cache-budget-bytes", 0)?;
     let engine = engine_with_threads(p, &hin)?.with_cache_budget(budget);
+    let warmed = install_warm(&engine, warm)?;
+    if warmed > 0 {
+        eprintln!("snapshot: installed {warmed} warmed path(s)");
+    }
     // `GET /metrics` serves the observability snapshot, so recording must
     // be on for the whole server lifetime, not only under `--metrics`.
     hetesim_obs::enable();
@@ -513,7 +596,10 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
     // worker count; arrivals queue in the listener during warmup.
     let server =
         Server::bind(&config).map_err(|e| format!("cannot bind {:?}: {e}", config.addr))?;
-    let app = App::new(&hin, engine).with_workers(server.workers());
+    let mut app = App::new(&hin, engine).with_workers(server.workers());
+    if let Some((file, version)) = &snapshot {
+        app = app.with_snapshot(file, *version);
+    }
     if let Some(file) = p.flags.get("warmup-paths") {
         let text = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read warmup paths from {file:?}: {e}"))?;
@@ -540,6 +626,86 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
         config.queue_depth,
     );
     server.run(&app).map_err(|e| e.to_string())
+}
+
+/// `snapshot build DIR --out FILE [--warm-paths FILE]` /
+/// `snapshot info FILE`: write a binary snapshot of a TSV network (with
+/// optionally pre-materialized half-path products), or verify and
+/// summarize an existing one. `info` exits nonzero on any corruption, so
+/// it doubles as an integrity check in deployment scripts.
+fn cmd_snapshot(p: &Parsed) -> Result<(), String> {
+    match p.positional.first().map(String::as_str) {
+        Some("build") => {
+            let dir = p.positional.get(1).ok_or_else(|| {
+                "usage: snapshot build DIR --out FILE [--warm-paths FILE]".to_string()
+            })?;
+            let out = p.require("out")?;
+            let hin = load(dir)?;
+            let engine = engine_with_threads(p, &hin)?;
+            let mut warm = Vec::new();
+            if let Some(file) = p.flags.get("warm-paths") {
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read warm paths from {file:?}: {e}"))?;
+                for spec in text
+                    .lines()
+                    .map(str::trim)
+                    .filter(|line| !line.is_empty() && !line.starts_with('#'))
+                {
+                    let path = parse_path(&hin, spec)?;
+                    let halves = engine
+                        .materialized_halves(&path)
+                        .map_err(|e| format!("cannot materialize {spec}: {e}"))?;
+                    warm.push((path, halves));
+                }
+            }
+            let info = snapshot::write_snapshot(Path::new(out), &hin, &warm)
+                .map_err(|e| format!("cannot write snapshot to {out:?}: {e}"))?;
+            println!(
+                "wrote {out} (format v{}, {} bytes): {} nodes, {} edges, {} warmed path(s)",
+                info.version,
+                info.file_bytes,
+                info.nodes,
+                info.edges,
+                info.warm_paths.len()
+            );
+            Ok(())
+        }
+        Some("info") => {
+            let file = p
+                .positional
+                .get(1)
+                .ok_or_else(|| "usage: snapshot info FILE".to_string())?;
+            let info = snapshot::snapshot_info(Path::new(file))
+                .map_err(|e| format!("snapshot {file:?} failed verification: {e}"))?;
+            println!(
+                "snapshot {file} (format v{}, {} bytes)",
+                info.version, info.file_bytes
+            );
+            println!(
+                "  {} types, {} relations, {} nodes, {} edges",
+                info.types, info.relations, info.nodes, info.edges
+            );
+            if info.warm_paths.is_empty() {
+                println!("  no warmed paths");
+            } else {
+                println!(
+                    "  {} warmed path(s): {}",
+                    info.warm_paths.len(),
+                    info.warm_paths.join(", ")
+                );
+            }
+            println!("  sections (all checksums verified):");
+            for s in &info.sections {
+                println!(
+                    "    {:<10} {:>12} bytes  crc32 {:#010x}",
+                    s.name, s.bytes, s.crc32
+                );
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown snapshot action {other:?} (build|info)")),
+        None => Err("usage: snapshot build DIR --out FILE | snapshot info FILE".to_string()),
+    }
 }
 
 /// Whether this invocation asked for metrics; enables recording if so.
@@ -599,6 +765,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "pair" => "cli.pair",
             "join" => "cli.join",
             "serve" => "cli.serve",
+            "snapshot" => "cli.snapshot",
             "trace" => "cli.trace",
             "profile" => "cli.profile",
             _ => "cli.unknown",
@@ -611,6 +778,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "pair" => cmd_pair(&parsed),
             "join" => cmd_join(&parsed),
             "serve" => cmd_serve(&parsed),
+            "snapshot" => cmd_snapshot(&parsed),
             "trace" => cmd_trace(&parsed),
             "profile" => cmd_profile(&parsed),
             other => Err(format!("unknown command {other:?}; try `hetesim-cli help`")),

@@ -406,3 +406,94 @@ fn bad_invocations_fail_cleanly() {
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn snapshot_build_info_and_bit_identical_query() {
+    let dir = temp_net("snap");
+    generate(&dir);
+    let snap = std::env::temp_dir().join(format!("hetesim-cli-snap-{}.snap", std::process::id()));
+    let warm_file =
+        std::env::temp_dir().join(format!("hetesim-cli-snap-warm-{}.txt", std::process::id()));
+    std::fs::write(&warm_file, "# warmed offline\nAPVC\nAPA\n").unwrap();
+
+    let build = run(&[
+        "snapshot",
+        "build",
+        dir.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+        "--warm-paths",
+        warm_file.to_str().unwrap(),
+    ]);
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    let text = String::from_utf8_lossy(&build.stdout);
+    assert!(text.contains("2 warmed path(s)"), "{text}");
+
+    let info = run(&["snapshot", "info", snap.to_str().unwrap()]);
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("format v1"), "{text}");
+    assert!(text.contains("A-P-V-C"), "{text}");
+    assert!(text.contains("schema"), "{text}");
+
+    // The same query from TSV and from the snapshot must print the same
+    // ranking, byte for byte.
+    let q = |source: &[&str]| {
+        let mut args = source.to_vec();
+        args.extend_from_slice(&[
+            "--path",
+            "APVC",
+            "--source",
+            "star_concentrated",
+            "--k",
+            "5",
+        ]);
+        let out = run(&["query"]
+            .iter()
+            .chain(args.iter())
+            .copied()
+            .collect::<Vec<_>>()
+            .as_slice());
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let from_tsv = q(&[dir.to_str().unwrap()]);
+    let from_snap = q(&["--snapshot", snap.to_str().unwrap()]);
+    assert_eq!(from_tsv, from_snap);
+
+    // Directory and snapshot together are ambiguous.
+    let both = run(&[
+        "query",
+        dir.to_str().unwrap(),
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "--path",
+        "APVC",
+        "--source",
+        "star_concentrated",
+    ]);
+    assert!(!both.status.success());
+    assert!(String::from_utf8_lossy(&both.stderr).contains("not both"));
+
+    // A flipped byte makes `snapshot info` fail with a nonzero exit.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).unwrap();
+    let corrupt = run(&["snapshot", "info", snap.to_str().unwrap()]);
+    assert!(!corrupt.status.success());
+    let err = String::from_utf8_lossy(&corrupt.stderr);
+    assert!(err.contains("failed verification"), "{err}");
+
+    std::fs::remove_file(&snap).ok();
+    std::fs::remove_file(&warm_file).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -234,6 +234,27 @@ impl PathCache {
         Ok(built)
     }
 
+    /// Installs a pre-built entry under `key` — the snapshot warm-start
+    /// path. Counted as neither hit nor miss (nothing was looked up);
+    /// budget accounting and eviction behave exactly as for
+    /// [`PathCache::get_or_build`], including refusing to cache a value
+    /// larger than the whole budget.
+    pub fn insert(&self, key: &str, value: Arc<Halves>) {
+        let bytes = value.mem_bytes() as u64;
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget != 0 && bytes > budget {
+            return;
+        }
+        let entry = Entry::new(value, bytes, self.next_tick());
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        let mut partial = self.partial.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(old) = inner.insert(key.to_string(), entry) {
+            self.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.evict_locked(&mut inner, &mut partial);
+    }
+
     /// Fetches a materialized step-prefix product, or builds and inserts
     /// it. Prefix lookups are tracked separately from half-path lookups
     /// (`core.cache.prefix.*` counters) so the two reuse mechanisms stay

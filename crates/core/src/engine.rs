@@ -100,6 +100,48 @@ impl<'a> HeteSimEngine<'a> {
         self.halves(path).map(|_| ())
     }
 
+    /// Materializes (or fetches) the half-path products of `path` and
+    /// hands back the shared artifacts. This is the snapshot writer's
+    /// entry point: [`crate::snapshot::write_snapshot`] serializes the
+    /// `left`/`right` halves it returns.
+    pub fn materialized_halves(&self, path: &MetaPath) -> Result<Arc<Halves>> {
+        self.halves(path)
+    }
+
+    /// Installs externally produced half-products for `path` — the
+    /// snapshot *load* path. Only the raw halves come from outside; the
+    /// derived structures (transpose, row norms) are recomputed here by
+    /// the same deterministic code [`HeteSimEngine::warm`] runs, so an
+    /// engine restored from a snapshot is bitwise-identical to one that
+    /// built the products itself. The halves are validated (finite
+    /// values, matching middle dimension) before they are cached.
+    pub fn install_halves(&self, path: &MetaPath, left: CsrMatrix, right: CsrMatrix) -> Result<()> {
+        left.check_finite("hetesim left half")?;
+        right.check_finite("hetesim right half")?;
+        if left.ncols() != right.ncols() {
+            return Err(CoreError::Sparse(
+                hetesim_sparse::SparseError::DimensionMismatch {
+                    op: "install_halves",
+                    left: left.shape(),
+                    right: right.shape(),
+                },
+            ));
+        }
+        let (left_norms, right_norms, right_t) =
+            (left.row_l2_norms(), right.row_l2_norms(), right.transpose());
+        self.cache.insert(
+            &path.cache_key(),
+            Arc::new(Halves {
+                left,
+                right,
+                right_t,
+                left_norms,
+                right_norms,
+            }),
+        );
+        Ok(())
+    }
+
     /// Materialized product of the row-stochastic transitions of a step
     /// sequence, reusing the longest cached prefix.
     fn prefix_product(&self, steps: &[Step]) -> Result<Arc<CsrMatrix>> {

@@ -66,12 +66,14 @@ pub mod decompose;
 pub mod explain;
 pub mod learning;
 pub mod reachable;
+pub mod snapshot;
 
 pub use cache::{CacheStats, Halves, PathCache};
 pub use engine::HeteSimEngine;
 pub use error::CoreError;
 pub use hetesim_sparse::parallel::default_threads;
 pub use measure::{PathMeasure, Ranked};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotInfo};
 pub use topk::{RankedPair, TopK};
 
 /// Convenience alias used by fallible entry points of this crate.

@@ -1,0 +1,246 @@
+//! Binary (de)serialization of the graph-side snapshot sections: the
+//! [`Schema`] and the per-type node-name registries.
+//!
+//! These are the `SCHEMA` and `NODES` section payloads of the snapshot
+//! format specified in `docs/SNAPSHOT.md`. Everything is little-endian;
+//! strings are a `u32` byte length followed by UTF-8 bytes. The decoders
+//! are strict: malformed input (truncation, bad UTF-8, out-of-range ids,
+//! duplicate names) surfaces as a typed [`GraphError`], never a panic —
+//! schemas are rebuilt through the same validating constructors the
+//! in-memory builder uses, so a decoded schema upholds every invariant a
+//! hand-built one does.
+
+use crate::{GraphError, Result, Schema};
+
+/// Appends a length-prefixed UTF-8 string.
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    // Name lengths are user data; u32 is checked rather than assumed.
+    let len = u32::try_from(s.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..len as usize]);
+}
+
+/// A bounds-checked little-endian reader (the graph-side twin of
+/// `hetesim_sparse::binio::ByteReader`, reporting [`GraphError`]).
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes, or reports truncation.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        match self.buf.get(self.pos..self.pos.saturating_add(n)) {
+            Some(bytes) => {
+                self.pos += n;
+                Ok(bytes)
+            }
+            None => Err(GraphError::Format(format!(
+                "truncated while reading {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ))),
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&mut self, what: &str) -> Result<u16> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self, what: &str) -> Result<String> {
+        let len = self.read_u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| GraphError::Format(format!("{what}: invalid UTF-8")))
+    }
+}
+
+/// Encodes a schema: type count, then `(name, abbrev)` per type; relation
+/// count, then `(name, src, dst)` per relation. Ids are positional — the
+/// decoder re-registers everything in order, so `TypeId`/`RelId` values
+/// are stable across a round-trip.
+pub fn encode_schema(schema: &Schema, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(schema.type_count() as u16).to_le_bytes());
+    for ty in schema.type_ids() {
+        encode_str(schema.type_name(ty), out);
+        out.extend_from_slice(&(schema.type_abbrev(ty) as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&(schema.relation_count() as u16).to_le_bytes());
+    for rel in schema.relation_ids() {
+        encode_str(schema.relation_name(rel), out);
+        out.extend_from_slice(&(schema.relation_src(rel).index() as u16).to_le_bytes());
+        out.extend_from_slice(&(schema.relation_dst(rel).index() as u16).to_le_bytes());
+    }
+}
+
+/// Decodes a schema, rebuilding it through the validating registration
+/// API — duplicate names, bad abbreviations and dangling type ids are
+/// rejected exactly as they would be at build time.
+pub fn decode_schema(reader: &mut ByteReader<'_>) -> Result<Schema> {
+    let mut schema = Schema::new();
+    let ntypes = reader.read_u16("schema type count")?;
+    let mut type_ids = Vec::with_capacity(ntypes as usize);
+    for i in 0..ntypes {
+        let name = reader.read_str(&format!("type #{i} name"))?;
+        let abbrev_raw = reader.read_u32(&format!("type #{i} abbreviation"))?;
+        let abbrev = char::from_u32(abbrev_raw).ok_or_else(|| {
+            GraphError::Format(format!("type #{i}: {abbrev_raw:#x} is not a char"))
+        })?;
+        type_ids.push(schema.add_type_with_abbrev(&name, abbrev)?);
+    }
+    let nrels = reader.read_u16("schema relation count")?;
+    for i in 0..nrels {
+        let name = reader.read_str(&format!("relation #{i} name"))?;
+        let src = reader.read_u16(&format!("relation #{i} source type"))? as usize;
+        let dst = reader.read_u16(&format!("relation #{i} target type"))? as usize;
+        let src = *type_ids
+            .get(src)
+            .ok_or_else(|| GraphError::Format(format!("relation #{i}: source type #{src}")))?;
+        let dst = *type_ids
+            .get(dst)
+            .ok_or_else(|| GraphError::Format(format!("relation #{i}: target type #{dst}")))?;
+        schema.add_relation(&name, src, dst)?;
+    }
+    Ok(schema)
+}
+
+/// Encodes the per-type node-name registries: for each type in schema
+/// order, a `u32` node count followed by that many names in index order.
+pub fn encode_names(names: &[Vec<String>], out: &mut Vec<u8>) {
+    for per_type in names {
+        out.extend_from_slice(&(per_type.len() as u32).to_le_bytes());
+        for name in per_type {
+            encode_str(name, out);
+        }
+    }
+}
+
+/// Decodes node-name registries for `ntypes` types.
+pub fn decode_names(reader: &mut ByteReader<'_>, ntypes: usize) -> Result<Vec<Vec<String>>> {
+    let mut names = Vec::with_capacity(ntypes);
+    for ty in 0..ntypes {
+        let count = reader.read_u32(&format!("type #{ty} node count"))? as usize;
+        let mut per_type = Vec::with_capacity(count.min(reader.remaining() / 4));
+        for i in 0..count {
+            per_type.push(reader.read_str(&format!("type #{ty} node #{i} name"))?);
+        }
+        names.push(per_type);
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bib_schema() -> Schema {
+        let mut s = Schema::new();
+        let a = s.add_type("author").unwrap();
+        let p = s.add_type("paper").unwrap();
+        let c = s.add_type_with_abbrev("conference", 'C').unwrap();
+        s.add_relation("writes", a, p).unwrap();
+        s.add_relation("published_in", p, c).unwrap();
+        s
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = bib_schema();
+        let mut bytes = Vec::new();
+        encode_schema(&schema, &mut bytes);
+        let back = decode_schema(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.type_count(), schema.type_count());
+        assert_eq!(back.relation_count(), schema.relation_count());
+        for ty in schema.type_ids() {
+            assert_eq!(back.type_name(ty), schema.type_name(ty));
+            assert_eq!(back.type_abbrev(ty), schema.type_abbrev(ty));
+        }
+        for rel in schema.relation_ids() {
+            assert_eq!(back.relation_name(rel), schema.relation_name(rel));
+            assert_eq!(back.relation_src(rel), schema.relation_src(rel));
+            assert_eq!(back.relation_dst(rel), schema.relation_dst(rel));
+        }
+    }
+
+    #[test]
+    fn names_roundtrip_including_unicode() {
+        let names = vec![
+            vec![
+                "Tom".to_string(),
+                "Ada Lovelace".to_string(),
+                "Erdős".to_string(),
+            ],
+            vec![],
+            vec!["P1".to_string()],
+        ];
+        let mut bytes = Vec::new();
+        encode_names(&names, &mut bytes);
+        let back = decode_names(&mut ByteReader::new(&bytes), 3).unwrap();
+        assert_eq!(back, names);
+    }
+
+    #[test]
+    fn truncated_schema_rejected() {
+        let mut bytes = Vec::new();
+        encode_schema(&bib_schema(), &mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_schema(&mut ByteReader::new(&bytes[..cut])).is_err(),
+                "cut {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u16.to_le_bytes()); // one type
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // name length 2
+        bytes.extend_from_slice(&[0xff, 0xfe]); // invalid UTF-8
+        bytes.extend_from_slice(&('A' as u32).to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // no relations
+        assert!(matches!(
+            decode_schema(&mut ByteReader::new(&bytes)),
+            Err(GraphError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_relation_type_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        encode_str("author", &mut bytes);
+        bytes.extend_from_slice(&('A' as u32).to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        encode_str("writes", &mut bytes);
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // src: ok
+        bytes.extend_from_slice(&7u16.to_le_bytes()); // dst: no such type
+        assert!(decode_schema(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn giant_declared_name_count_fails_cleanly() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // node count
+        assert!(decode_names(&mut ByteReader::new(&bytes), 1).is_err());
+    }
+}

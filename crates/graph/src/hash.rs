@@ -1,0 +1,119 @@
+//! Fast non-cryptographic hashing for node-name indexes.
+//!
+//! `Hin` keeps one `name -> id` map per node type; rebuilding those maps
+//! is on the critical path of every cold start (TSV load and snapshot
+//! load alike), and at paper scale it means tens of thousands of short
+//! string insertions. The standard library's SipHash is keyed against
+//! hash-flooding, which node registries don't need — names come from the
+//! operator's own dataset, not an adversary mid-request — so the index
+//! uses the Fx word-at-a-time multiply hash (the scheme used by the Rust
+//! compiler's own symbol tables) instead. The hasher is deterministic, so
+//! it also removes per-process seed variation from the one `HashMap` the
+//! query path touches.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// `name -> id` map specialized for node registries.
+pub(crate) type NameMap = HashMap<String, u32, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Builds [`FxHasher`]s; stateless, so every map hashes identically.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: 0 }
+    }
+}
+
+/// Word-at-a-time rotate/xor/multiply hasher (Fx).
+#[derive(Clone, Debug)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes([
+                chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+            ]));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            // rest.len() < 8, so this indexing cannot go out of bounds.
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.add(b as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let build = FxBuildHasher;
+        let mut a = build.build_hasher();
+        let mut b = build.build_hasher();
+        a.write(b"jiawei_han");
+        b.write(b"jiawei_han");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_prefixes_and_lengths() {
+        let build = FxBuildHasher;
+        let digests: Vec<u64> = ["a", "b", "ab", "ba", "abcdefgh", "abcdefghi", ""]
+            .iter()
+            .map(|s| {
+                let mut h = build.build_hasher();
+                h.write(s.as_bytes());
+                h.write_u8(0xff);
+                h.finish()
+            })
+            .collect();
+        for (i, x) in digests.iter().enumerate() {
+            for y in &digests[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn name_map_round_trips() {
+        let mut map = NameMap::default();
+        for i in 0..1000u32 {
+            map.insert(format!("node_{i}"), i);
+        }
+        assert_eq!(map.get("node_123"), Some(&123));
+        assert_eq!(map.get("node_999"), Some(&999));
+        assert_eq!(map.get("absent"), None);
+    }
+}

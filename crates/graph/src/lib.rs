@@ -45,10 +45,12 @@
 //! ```
 
 mod error;
+mod hash;
 mod metapath;
 mod network;
 mod schema;
 
+pub mod binio;
 pub mod enumerate;
 pub mod io;
 pub mod stats;

@@ -1,6 +1,6 @@
+use crate::hash::NameMap;
 use crate::{Direction, GraphError, RelId, Result, Schema, Step, TypeId};
 use hetesim_sparse::{CooMatrix, CsrMatrix};
-use std::collections::HashMap;
 
 /// A typed reference to one node: its type plus its index within that
 /// type's registry.
@@ -29,12 +29,77 @@ impl NodeRef {
 pub struct Hin {
     schema: Schema,
     names: Vec<Vec<String>>,
-    index: Vec<HashMap<String, u32>>,
+    index: Vec<NameMap>,
     adj: Vec<CsrMatrix>,
     adj_t: Vec<CsrMatrix>,
 }
 
 impl Hin {
+    /// Reassembles a network from pre-validated parts, the fast path used
+    /// by snapshot loading: no COO round-trip, no parallel-edge merging —
+    /// the adjacency matrices are installed as given and only the
+    /// transposes and name indexes are recomputed (both deterministic, so
+    /// a snapshotted network is bitwise-identical to its source).
+    ///
+    /// Validates that the parts are mutually consistent: one name registry
+    /// per schema type, one adjacency per relation, each adjacency shaped
+    /// `src_count x dst_count`, and no duplicate names within a type.
+    pub fn from_parts(schema: Schema, names: Vec<Vec<String>>, adj: Vec<CsrMatrix>) -> Result<Hin> {
+        if names.len() != schema.type_count() {
+            return Err(GraphError::Format(format!(
+                "{} name registries for {} types",
+                names.len(),
+                schema.type_count()
+            )));
+        }
+        if adj.len() != schema.relation_count() {
+            return Err(GraphError::Format(format!(
+                "{} adjacency matrices for {} relations",
+                adj.len(),
+                schema.relation_count()
+            )));
+        }
+        for (rel, m) in schema.relation_ids().zip(&adj) {
+            let want = (
+                names[schema.relation_src(rel).index()].len(),
+                names[schema.relation_dst(rel).index()].len(),
+            );
+            if m.shape() != want {
+                return Err(GraphError::Format(format!(
+                    "relation {} adjacency is {}x{}, expected {}x{}",
+                    schema.relation_name(rel),
+                    m.nrows(),
+                    m.ncols(),
+                    want.0,
+                    want.1
+                )));
+            }
+        }
+        let mut index = Vec::with_capacity(names.len());
+        for (ti, per_type) in names.iter().enumerate() {
+            let mut map = NameMap::with_capacity_and_hasher(per_type.len(), Default::default());
+            for (i, name) in per_type.iter().enumerate() {
+                let id = u32::try_from(i).map_err(|_| {
+                    GraphError::Format(format!("type #{ti} has more than u32::MAX nodes"))
+                })?;
+                if map.insert(name.clone(), id).is_some() {
+                    return Err(GraphError::Format(format!(
+                        "duplicate node name {name:?} in type #{ti}"
+                    )));
+                }
+            }
+            index.push(map);
+        }
+        let adj_t: Vec<CsrMatrix> = adj.iter().map(CsrMatrix::transpose).collect();
+        Ok(Hin {
+            schema,
+            names,
+            index,
+            adj,
+            adj_t,
+        })
+    }
+
     /// The network's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -145,7 +210,7 @@ struct PendingEdge {
 pub struct HinBuilder {
     schema: Schema,
     names: Vec<Vec<String>>,
-    index: Vec<HashMap<String, u32>>,
+    index: Vec<NameMap>,
     edges: Vec<PendingEdge>,
 }
 
@@ -156,7 +221,7 @@ impl HinBuilder {
         HinBuilder {
             schema,
             names: vec![Vec::new(); n],
-            index: vec![HashMap::new(); n],
+            index: vec![NameMap::default(); n],
             edges: Vec::new(),
         }
     }
@@ -404,6 +469,59 @@ mod tests {
         assert_eq!(evolved.out_degree(w, tom), hin.out_degree(w, tom) + 1);
         // The original is untouched.
         assert_eq!(hin.out_degree(w, tom), 2);
+    }
+
+    #[test]
+    fn from_parts_matches_builder_output() {
+        let hin = toy();
+        let names: Vec<Vec<String>> = hin
+            .schema()
+            .type_ids()
+            .map(|ty| hin.node_names(ty).to_vec())
+            .collect();
+        let adj: Vec<CsrMatrix> = hin
+            .schema()
+            .relation_ids()
+            .map(|rel| hin.adjacency(rel).clone())
+            .collect();
+        let back = Hin::from_parts(hin.schema().clone(), names, adj).unwrap();
+        assert_eq!(back.total_nodes(), hin.total_nodes());
+        assert_eq!(back.total_edges(), hin.total_edges());
+        let a = hin.schema().type_id("author").unwrap();
+        let w = hin.schema().relation_id("writes").unwrap();
+        assert_eq!(
+            back.node_id(a, "Mary").unwrap(),
+            hin.node_id(a, "Mary").unwrap()
+        );
+        assert_eq!(back.adjacency(w), hin.adjacency(w));
+        assert_eq!(back.adjacency_t(w), hin.adjacency_t(w));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        let hin = toy();
+        let names: Vec<Vec<String>> = hin
+            .schema()
+            .type_ids()
+            .map(|ty| hin.node_names(ty).to_vec())
+            .collect();
+        let adj: Vec<CsrMatrix> = hin
+            .schema()
+            .relation_ids()
+            .map(|rel| hin.adjacency(rel).clone())
+            .collect();
+
+        // Wrong registry count.
+        assert!(Hin::from_parts(hin.schema().clone(), names[..2].to_vec(), adj.clone()).is_err());
+        // Wrong adjacency count.
+        assert!(Hin::from_parts(hin.schema().clone(), names.clone(), adj[..1].to_vec()).is_err());
+        // Shape mismatch: swap the two relations' matrices.
+        let swapped = vec![adj[1].clone(), adj[0].clone()];
+        assert!(Hin::from_parts(hin.schema().clone(), names.clone(), swapped).is_err());
+        // Duplicate node name within a type.
+        let mut dup = names.clone();
+        dup[0][1] = dup[0][0].clone();
+        assert!(Hin::from_parts(hin.schema().clone(), dup, adj).is_err());
     }
 
     #[test]

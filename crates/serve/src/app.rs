@@ -24,6 +24,9 @@ pub struct App<'h> {
     engine: HeteSimEngine<'h>,
     started: Instant,
     workers: usize,
+    /// `(file path, format version)` when the network was cold-started
+    /// from a binary snapshot; reported by `/healthz` as provenance.
+    snapshot: Option<(String, u32)>,
 }
 
 impl<'h> App<'h> {
@@ -35,6 +38,7 @@ impl<'h> App<'h> {
             engine,
             started: Instant::now(),
             workers: 0,
+            snapshot: None,
         }
     }
 
@@ -42,6 +46,14 @@ impl<'h> App<'h> {
     /// (`0` = unknown, e.g. when the app is exercised without a server).
     pub fn with_workers(mut self, workers: usize) -> App<'h> {
         self.workers = workers;
+        self
+    }
+
+    /// Records that the network was loaded from a binary snapshot, so
+    /// `/healthz` reports the provenance (`snapshot_loaded`,
+    /// `snapshot_path`, `snapshot_version`).
+    pub fn with_snapshot(mut self, path: &str, version: u32) -> App<'h> {
+        self.snapshot = Some((path.to_string(), version));
         self
     }
 
@@ -140,11 +152,19 @@ impl<'h> App<'h> {
 
     fn healthz(&self) -> Response {
         let stats = self.engine.cache_stats();
+        let snapshot = match &self.snapshot {
+            Some((path, version)) => format!(
+                "\"snapshot_loaded\":true,\"snapshot_path\":\"{}\",\
+                 \"snapshot_version\":{version},",
+                escape(path)
+            ),
+            None => "\"snapshot_loaded\":false,".to_string(),
+        };
         Response::json(
             200,
             format!(
                 "{{\"status\":\"ok\",\"version\":\"{}\",\"uptime_seconds\":{},\
-                 \"workers\":{},\"nodes\":{},\"edges\":{},\
+                 \"workers\":{},{snapshot}\"nodes\":{},\"edges\":{},\
                  \"cache\":{{\"entries\":{},\"resident_bytes\":{},\"budget_bytes\":{}}}}}",
                 escape(env!("CARGO_PKG_VERSION")),
                 self.started.elapsed().as_secs(),

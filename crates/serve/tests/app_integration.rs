@@ -69,6 +69,36 @@ fn healthz_reports_ok() {
         assert!(cache.get("entries").unwrap().as_u64().is_some());
         assert!(cache.get("resident_bytes").unwrap().as_u64().is_some());
         assert_eq!(cache.get("budget_bytes").unwrap().as_u64(), Some(1 << 20));
+        // No snapshot provenance when TSV-loaded.
+        assert_eq!(v.get("snapshot_loaded").unwrap().as_bool(), Some(false));
+        assert!(v.get("snapshot_path").is_none());
+    });
+}
+
+#[test]
+fn healthz_reports_snapshot_provenance() {
+    let (hin, _) = network();
+    let engine = HeteSimEngine::new(&hin);
+    let server = Server::bind(&config()).expect("bind");
+    let app = App::new(&hin, engine)
+        .with_workers(server.workers())
+        .with_snapshot("/data/net.snap", 1);
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&app));
+        let stop = StopOnDrop(handle);
+        let r = client::get(addr, "/healthz").unwrap();
+        assert_eq!(r.status, 200);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("snapshot_loaded").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("snapshot_path").unwrap().as_str(),
+            Some("/data/net.snap")
+        );
+        assert_eq!(v.get("snapshot_version").unwrap().as_u64(), Some(1));
+        drop(stop);
+        serving.join().unwrap().unwrap();
     });
 }
 

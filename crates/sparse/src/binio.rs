@@ -1,0 +1,336 @@
+//! Raw little-endian binary (de)serialization of [`CsrMatrix`].
+//!
+//! This is the matrix payload encoding of the snapshot format specified in
+//! `docs/SNAPSHOT.md`: a fixed 24-byte shape header (`nrows`, `ncols`,
+//! `nnz` as `u64`) followed by the three CSR arrays verbatim — `u32` row
+//! pointers (the PR 7 narrow-indptr layout round-trips without widening),
+//! `u32` column indices, and `f64` values as raw IEEE 754 bit patterns.
+//! Everything is little-endian; values survive bit-for-bit, so a decoded
+//! matrix is `==` (and bitwise identical) to the one encoded.
+//!
+//! The decoder is strict: every structural invariant of [`CsrMatrix`] is
+//! re-validated against the untrusted bytes (monotone row pointers, sorted
+//! in-bounds column indices, `nnz` within the `u32` index space) and a
+//! violation surfaces as a typed [`SparseError`] — never a panic. Integrity
+//! against bit flips is the caller's job (the snapshot layer checksums
+//! whole sections); this layer only guarantees that whatever bytes arrive
+//! either decode into a structurally valid matrix or are rejected.
+
+use crate::{check_nnz, CsrMatrix, Result, SparseError};
+
+/// Exact encoded size of a matrix in bytes:
+/// `24 + 4·(nrows+1) + 12·nnz`.
+pub fn encoded_len(m: &CsrMatrix) -> usize {
+    24 + 4 * (m.nrows() + 1) + 12 * m.nnz()
+}
+
+/// Appends the binary encoding of `m` to `out`.
+pub fn encode_csr(m: &CsrMatrix, out: &mut Vec<u8>) {
+    out.reserve(encoded_len(m));
+    out.extend_from_slice(&(m.nrows() as u64).to_le_bytes());
+    out.extend_from_slice(&(m.ncols() as u64).to_le_bytes());
+    out.extend_from_slice(&(m.nnz() as u64).to_le_bytes());
+    for &p in m.indptr() {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    for &c in m.indices() {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    for &v in m.values() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// A bounds-checked little-endian reader over an untrusted byte slice.
+///
+/// Every read either yields the requested bytes or a
+/// [`SparseError::Codec`]; offsets never wrap and slicing never panics.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes, or reports what was missing.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        match self.buf.get(self.pos..self.pos.saturating_add(n)) {
+            Some(bytes) => {
+                self.pos += n;
+                Ok(bytes)
+            }
+            None => Err(SparseError::Codec {
+                detail: format!(
+                    "truncated while reading {what}: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.remaining()
+                ),
+            }),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `u64` that must fit in `usize`.
+    pub fn read_len(&mut self, what: &str) -> Result<usize> {
+        let v = self.read_u64(what)?;
+        usize::try_from(v).map_err(|_| SparseError::Codec {
+            detail: format!("{what} {v} does not fit the platform's usize"),
+        })
+    }
+}
+
+/// Decodes one matrix from `reader`, validating every structural
+/// invariant.
+///
+/// Errors are typed: a count past the `u32` index space is
+/// [`SparseError::NnzOverflow`]; any other malformation (truncation,
+/// non-monotone row pointers, unsorted or out-of-bounds column indices,
+/// shape/array disagreement) is [`SparseError::Codec`] naming the violated
+/// invariant. On success the reader is positioned one byte past the
+/// matrix's encoding.
+pub fn decode_csr(reader: &mut ByteReader<'_>) -> Result<CsrMatrix> {
+    let nrows = reader.read_len("csr nrows")?;
+    let ncols = reader.read_len("csr ncols")?;
+    let nnz = reader.read_len("csr nnz")?;
+    let nnz32 = check_nnz(nnz)?;
+    // Cheap upfront bound: the declared arrays must fit in what's left,
+    // so a corrupt huge count fails here instead of attempting a giant
+    // allocation.
+    let declared = (nrows.saturating_add(1))
+        .saturating_mul(4)
+        .saturating_add(nnz.saturating_mul(12));
+    if declared > reader.remaining() {
+        return Err(SparseError::Codec {
+            detail: format!(
+                "declared {nrows}x{ncols} matrix with {nnz} entries needs {declared} bytes, \
+                 only {} remain",
+                reader.remaining()
+            ),
+        });
+    }
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    {
+        let bytes = reader.take(4 * (nrows + 1), "csr indptr")?;
+        for chunk in bytes.chunks_exact(4) {
+            indptr.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+    }
+    if indptr.first() != Some(&0) {
+        return Err(SparseError::Codec {
+            detail: "indptr must start at 0".to_string(),
+        });
+    }
+    if indptr.last() != Some(&nnz32) {
+        return Err(SparseError::Codec {
+            detail: format!(
+                "indptr must end at nnz ({nnz}), ends at {:?}",
+                indptr.last()
+            ),
+        });
+    }
+    if indptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SparseError::Codec {
+            detail: "indptr is not monotone non-decreasing".to_string(),
+        });
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    {
+        let bytes = reader.take(4 * nnz, "csr indices")?;
+        for chunk in bytes.chunks_exact(4) {
+            indices.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+    }
+    for r in 0..nrows {
+        let (lo, hi) = (indptr[r] as usize, indptr[r + 1] as usize);
+        // lo <= hi <= nnz holds by the monotonicity and end checks above.
+        let row = &indices[lo..hi];
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SparseError::Codec {
+                detail: format!("row {r}: column indices not strictly increasing"),
+            });
+        }
+        if row.last().is_some_and(|&c| c as usize >= ncols) {
+            return Err(SparseError::Codec {
+                detail: format!("row {r}: column index out of bounds (ncols {ncols})"),
+            });
+        }
+    }
+    let mut values = Vec::with_capacity(nnz);
+    {
+        let bytes = reader.take(8 * nnz, "csr values")?;
+        for chunk in bytes.chunks_exact(8) {
+            values.push(f64::from_bits(u64::from_le_bytes([
+                chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+            ])));
+        }
+    }
+    // Every invariant `from_raw` asserts has been re-validated above, so
+    // this constructor cannot panic on untrusted input.
+    Ok(CsrMatrix::from_raw(nrows, ncols, indptr, indices, values))
+}
+
+/// Convenience wrapper decoding a matrix that occupies `buf` entirely.
+pub fn decode_csr_exact(buf: &[u8]) -> Result<CsrMatrix> {
+    let mut reader = ByteReader::new(buf);
+    let m = decode_csr(&mut reader)?;
+    if reader.remaining() != 0 {
+        return Err(SparseError::Codec {
+            detail: format!("{} trailing bytes after matrix payload", reader.remaining()),
+        });
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.5);
+        coo.push(0, 3, -2.25);
+        coo.push(2, 1, f64::MIN_POSITIVE); // subnormal-adjacent bit pattern
+        coo.push(2, 2, 1.0 / 3.0); // non-terminating binary fraction
+        coo.to_csr()
+    }
+
+    fn encode(m: &CsrMatrix) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_csr(m, &mut out);
+        out
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let m = sample();
+        let bytes = encode(&m);
+        assert_eq!(bytes.len(), encoded_len(&m));
+        let back = decode_csr_exact(&bytes).unwrap();
+        assert_eq!(back, m);
+        // Value bits, not just numeric equality.
+        for (a, b) in m.values().iter().zip(back.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_and_zero_shape() {
+        for m in [
+            CsrMatrix::zeros(0, 0),
+            CsrMatrix::zeros(5, 0),
+            CsrMatrix::zeros(0, 7),
+        ] {
+            assert_eq!(decode_csr_exact(&encode(&m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = encode(&sample());
+        for cut in [0, 10, 24, bytes.len() - 1] {
+            let err = decode_csr_exact(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, SparseError::Codec { .. }), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            decode_csr_exact(&bytes).unwrap_err(),
+            SparseError::Codec { .. }
+        ));
+    }
+
+    #[test]
+    fn nnz_overflow_is_typed() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // nrows
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // ncols
+        bytes.extend_from_slice(&(u32::MAX as u64 + 1).to_le_bytes()); // nnz
+        assert!(matches!(
+            decode_csr_exact(&bytes).unwrap_err(),
+            SparseError::NnzOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_indptr_rejected() {
+        let m = sample();
+        let mut bytes = encode(&m);
+        // indptr[0] lives at offset 24; make it nonzero.
+        bytes[24] = 1;
+        assert!(matches!(
+            decode_csr_exact(&bytes).unwrap_err(),
+            SparseError::Codec { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_column_rejected() {
+        let m = sample();
+        let mut bytes = encode(&m);
+        // First column index sits after the 24-byte header and the
+        // (nrows+1) indptr words.
+        let off = 24 + 4 * (m.nrows() + 1);
+        bytes[off..off + 4].copy_from_slice(&(m.ncols() as u32).to_le_bytes());
+        let err = decode_csr_exact(&bytes).unwrap_err();
+        assert!(matches!(err, SparseError::Codec { .. }), "{err}");
+    }
+
+    #[test]
+    fn unsorted_columns_rejected() {
+        // Row 0 of `sample` stores columns 0 and 3; swapping them breaks
+        // the strictly-increasing invariant.
+        let m = sample();
+        let mut bytes = encode(&m);
+        let off = 24 + 4 * (m.nrows() + 1);
+        bytes[off..off + 4].copy_from_slice(&3u32.to_le_bytes());
+        bytes[off + 4..off + 8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_csr_exact(&bytes).unwrap_err(),
+            SparseError::Codec { .. }
+        ));
+    }
+
+    #[test]
+    fn giant_declared_count_fails_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // nrows
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // ncols
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // nnz
+        assert!(matches!(
+            decode_csr_exact(&bytes).unwrap_err(),
+            SparseError::Codec { .. }
+        ));
+    }
+}

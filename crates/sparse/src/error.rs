@@ -39,6 +39,13 @@ pub enum SparseError {
         /// The offending entry count.
         nnz: usize,
     },
+    /// A binary-encoded matrix failed structural validation while being
+    /// decoded (see [`crate::binio`]). The payload names the first
+    /// violated invariant.
+    Codec {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -61,6 +68,9 @@ impl fmt::Display for SparseError {
                     f,
                     "{nnz} stored entries exceed the u32 index space (nnz must be < 2^32)"
                 )
+            }
+            SparseError::Codec { detail } => {
+                write!(f, "binary CSR decode failed: {detail}")
             }
         }
     }

@@ -49,6 +49,7 @@ mod kernel;
 mod scratch;
 mod vector;
 
+pub mod binio;
 pub mod chain;
 pub mod io;
 pub mod parallel;

@@ -1,6 +1,6 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use hetesim_sparse::{chain, check_nnz, io, parallel, CooMatrix, CsrMatrix, SparseVec};
+use hetesim_sparse::{binio, chain, check_nnz, io, parallel, CooMatrix, CsrMatrix, SparseVec};
 use proptest::prelude::*;
 
 /// Strategy producing an arbitrary sparse matrix of bounded shape with
@@ -357,6 +357,34 @@ proptest! {
         )
         .unwrap();
         prop_assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn binio_roundtrip_is_bit_identical(m in arb_matrix(15, 40)) {
+        // Row-normalize so values include non-terminating binary
+        // fractions (1/3, 1/7, …) — the cases where "approximately
+        // equal" and "bit-identical" diverge.
+        for m in [m.clone(), m.row_normalized()] {
+            let mut bytes = Vec::new();
+            binio::encode_csr(&m, &mut bytes);
+            prop_assert_eq!(bytes.len(), binio::encoded_len(&m));
+            let back = binio::decode_csr_exact(&bytes).unwrap();
+            prop_assert_eq!(&back, &m);
+            for (a, b) in m.values().iter().zip(back.values()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn binio_rejects_every_truncation(m in arb_matrix(6, 12)) {
+        let mut bytes = Vec::new();
+        binio::encode_csr(&m, &mut bytes);
+        // Cut at every prefix length: each must fail with a typed error,
+        // never panic or decode successfully.
+        for cut in 0..bytes.len() {
+            prop_assert!(binio::decode_csr_exact(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
     }
 
     #[test]
