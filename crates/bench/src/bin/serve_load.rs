@@ -17,10 +17,12 @@
 //!
 //! Writes `BENCH_serve.json` (or `--out`) with p50/p95/p99 latency over
 //! the successful requests, aggregate throughput, the shed / timeout
-//! rates, and the engine's path-cache hit rate — the run-level view of
-//! the same counters `GET /metrics` exposes per process. `--profile-out`
-//! additionally writes the run's aggregated span profile as a flamegraph
-//! SVG (or folded stacks unless the name ends in `.svg`).
+//! rates, the engine's path-cache hit rate, the server's own `GET /slo`
+//! burn-rate verdict, and the resident size of the retained metrics
+//! time-series — the run-level view of the same counters `GET /metrics`
+//! exposes per process. `--profile-out` additionally writes the run's
+//! aggregated span profile as a flamegraph SVG (or folded stacks unless
+//! the name ends in `.svg`).
 
 use hetesim_bench::datasets::{acm_dataset, Scale};
 use hetesim_core::HeteSimEngine;
@@ -195,6 +197,9 @@ fn main() -> ExitCode {
         // run, so the stage breakdown below covers every success.
         trace_sample: 1,
         trace_ring: args.clients * args.requests + 16,
+        // Fast sampler ticks so even a short run fills the history ring;
+        // the run-end report includes its resident size vs budget.
+        history_tick_ms: 100,
         ..ServeConfig::default()
     };
     let server = match Server::bind(&config) {
@@ -219,64 +224,92 @@ fn main() -> ExitCode {
     let timeouts = AtomicU64::new(0);
     let failures = AtomicU64::new(0);
     let t0 = Instant::now();
-    type LoadOutcome = (Vec<u64>, HashSet<String>, Option<String>, Duration);
-    let (mut latencies_us, ok_trace_ids, traces_body, elapsed): LoadOutcome =
-        std::thread::scope(|scope| {
-            let serving = scope.spawn(|| server.run(&app));
-            let clients: Vec<_> = (0..args.clients)
-                .map(|c| {
-                    let (ok, shed, timeouts, failures) = (&ok, &shed, &timeouts, &failures);
-                    scope.spawn(move || {
-                        let mut lats = Vec::with_capacity(args.requests);
-                        let mut ids = Vec::with_capacity(args.requests);
-                        for i in 0..args.requests {
-                            let path = PATHS[(c + i) % PATHS.len()];
-                            let source = (c * 131 + i * 17) % n_authors;
-                            let body =
-                                format!("{{\"path\":\"{path}\",\"source\":{source},\"k\":10}}");
-                            let t = Instant::now();
-                            match client::post_json(addr, "/query", &body) {
-                                Ok(r) => match r.status {
-                                    200 => {
-                                        lats.push(t.elapsed().as_micros() as u64);
-                                        ok.fetch_add(1, Ordering::Relaxed);
-                                        if let Some(id) = r.header("x-trace-id") {
-                                            ids.push(id.to_string());
-                                        }
+    struct LoadOutcome {
+        latencies_us: Vec<u64>,
+        ok_trace_ids: HashSet<String>,
+        traces_body: Option<String>,
+        slo_body: Option<String>,
+        history_body: Option<String>,
+        elapsed: Duration,
+    }
+    let LoadOutcome {
+        mut latencies_us,
+        ok_trace_ids,
+        traces_body,
+        slo_body,
+        history_body,
+        elapsed,
+    } = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&app));
+        let clients: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let (ok, shed, timeouts, failures) = (&ok, &shed, &timeouts, &failures);
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(args.requests);
+                    let mut ids = Vec::with_capacity(args.requests);
+                    for i in 0..args.requests {
+                        let path = PATHS[(c + i) % PATHS.len()];
+                        let source = (c * 131 + i * 17) % n_authors;
+                        let body = format!("{{\"path\":\"{path}\",\"source\":{source},\"k\":10}}");
+                        let t = Instant::now();
+                        match client::post_json(addr, "/query", &body) {
+                            Ok(r) => match r.status {
+                                200 => {
+                                    lats.push(t.elapsed().as_micros() as u64);
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(id) = r.header("x-trace-id") {
+                                        ids.push(id.to_string());
                                     }
-                                    503 => {
-                                        shed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    504 => {
-                                        timeouts.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    _ => {
-                                        failures.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                },
-                                Err(_) => {
+                                }
+                                503 => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                504 => {
+                                    timeouts.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
                                     failures.fetch_add(1, Ordering::Relaxed);
                                 }
+                            },
+                            Err(_) => {
+                                failures.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        (lats, ids)
-                    })
+                    }
+                    (lats, ids)
                 })
-                .collect();
-            let mut all = Vec::new();
-            let mut all_ids = HashSet::new();
-            for client in clients {
-                let (lats, ids) = client.join().expect("client thread");
-                all.extend(lats);
-                all_ids.extend(ids);
-            }
-            let elapsed = t0.elapsed();
-            // Pull the ring before shutdown: it lives in the server.
-            let traces_body = client::get(addr, "/traces/recent").ok().map(|r| r.body);
-            handle.shutdown();
-            serving.join().expect("server thread").expect("clean exit");
-            (all, all_ids, traces_body, elapsed)
-        });
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut all_ids = HashSet::new();
+        for client in clients {
+            let (lats, ids) = client.join().expect("client thread");
+            all.extend(lats);
+            all_ids.extend(ids);
+        }
+        let elapsed = t0.elapsed();
+        // Pull the ring, SLO report, and history stats before
+        // shutdown: they all live in the server.
+        let body = |target: &str| {
+            client::get(addr, target)
+                .ok()
+                .filter(|r| r.status == 200)
+                .map(|r| r.body)
+        };
+        let traces_body = body("/traces/recent");
+        let slo_body = body("/slo");
+        let history_body = body("/metrics/history");
+        handle.shutdown();
+        serving.join().expect("server thread").expect("clean exit");
+        LoadOutcome {
+            latencies_us: all,
+            ok_trace_ids: all_ids,
+            traces_body,
+            slo_body,
+            history_body,
+            elapsed,
+        }
+    });
     latencies_us.sort_unstable();
     // Join each successful request's X-Trace-Id to its stage trace in the
     // server's ring, yielding per-stage latency distributions.
@@ -341,6 +374,30 @@ fn main() -> ExitCode {
     json.push_str(&format!(
         "  \"shed_rate\": {:.4},\n",
         shed as f64 / total as f64
+    ));
+    // The server's own SLO verdict for the run, verbatim: burn rates and
+    // alert state as `GET /slo` reported them just before shutdown.
+    if let Some(slo) = slo_body.as_deref().filter(|b| Json::parse(b).is_ok()) {
+        json.push_str(&format!("  \"slo\": {},\n", slo.trim()));
+    }
+    // History-retention overhead: what the in-process time-series cost.
+    let history = history_body.as_deref().and_then(|b| Json::parse(b).ok());
+    let hist_stat = |key: &str| {
+        history
+            .as_ref()
+            .and_then(|v| v.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    json.push_str(&format!(
+        "  \"history\": {{\"resident_bytes\": {}, \"budget_bytes\": {}, \"tick_ms\": {}, \
+         \"samples\": {}, \"samples_merged\": {}, \"samples_evicted\": {}}},\n",
+        hist_stat("resident_bytes"),
+        hist_stat("budget_bytes"),
+        hist_stat("tick_ms"),
+        hist_stat("samples"),
+        hist_stat("samples_merged"),
+        hist_stat("samples_evicted"),
     ));
     json.push_str(&format!(
         "  \"cache\": {{\"hit_rate\": {:.4}, \"entries\": {}, \"resident_bytes\": {}, \

@@ -97,6 +97,18 @@ impl Parsed {
         }
     }
 
+    /// Optional f64 flag (e.g. `--slo-availability 0.999`).
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
     /// The single required positional argument (e.g. the network dir).
     pub fn one_positional(&self, what: &str) -> Result<&str, String> {
         match self.positional.as_slice() {
@@ -169,6 +181,16 @@ mod tests {
         let p = parse(&s(&["q", "--k", "lots"])).unwrap();
         assert!(p.get_usize("k", 1).is_err());
         assert!(p.get_u64("k", 1).is_err());
+        assert!(p.get_f64("k", 1.0).is_err());
+    }
+
+    #[test]
+    fn f64_flags_parse_and_reject_non_finite() {
+        let p = parse(&s(&["q", "--target", "0.999"])).unwrap();
+        assert_eq!(p.get_f64("target", 0.5).unwrap(), 0.999);
+        assert_eq!(p.get_f64("missing", 0.5).unwrap(), 0.5);
+        let p = parse(&s(&["q", "--target", "inf"])).unwrap();
+        assert!(p.get_f64("target", 0.5).is_err());
     }
 
     #[test]

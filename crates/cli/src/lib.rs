@@ -16,6 +16,9 @@
 //!                         [--warmup-paths FILE] [--trace-sample N]
 //!                         [--slow-ms MS] [--slow-log FILE]
 //!                         [--trace-out FILE] [--trace-ring N]
+//!                         [--history-budget-bytes N] [--history-tick-ms MS]
+//!                         [--slo-latency-ms MS] [--slo-availability F]
+//! hetesim-cli watch   URL [--interval-ms MS] [--iterations N]
 //! hetesim-cli snapshot build DIR --out net.snap [--warm-paths FILE]
 //! hetesim-cli snapshot info  FILE
 //! hetesim-cli trace   DIR --path APVC --source NAME [--k 10] [--warm]
@@ -82,8 +85,11 @@ commands:
             [--queue-depth 64] [--cache-budget-bytes 0] [--warmup-paths FILE]
             [--trace-sample N] [--slow-ms MS] [--slow-log FILE]
             [--trace-out FILE] [--trace-ring 128]
+            [--history-budget-bytes 1048576] [--history-tick-ms 1000]
+            [--slo-latency-ms 500] [--slo-availability 0.999]
       Serve relevance queries over HTTP (GET /healthz, GET /metrics,
-      GET /profile, GET /traces/recent, POST /query, POST /pair,
+      GET /metrics/history, GET /slo, GET /dashboard, GET /profile,
+      GET /traces/recent, POST /query, POST /pair,
       POST /warmup — see docs/API.md). --workers 0 = auto; --deadline-ms 0 = no per-request
       deadline; --queue-depth bounds waiting connections (overload answers
       503 + Retry-After); --cache-budget-bytes 0 = unlimited path cache,
@@ -94,8 +100,20 @@ commands:
       a ring of --trace-ring entries served at GET /traces/recent and
       appended to --trace-out as JSONL (rotated once); requests slower
       than --slow-ms are always kept and logged to --slow-log (JSONL;
-      stderr when unset; 0 = off). Ctrl-C shuts down gracefully, draining
-      in-flight requests.
+      stderr when unset; 0 = off). A background sampler retains a
+      metrics time-series in at most --history-budget-bytes of memory
+      (0 = off), sampled every --history-tick-ms, served at
+      GET /metrics/history and rendered at GET /dashboard as a
+      self-contained HTML page; GET /slo reports availability
+      (target --slo-availability) and latency (p99 < --slo-latency-ms)
+      burn rates over fast (5 m) and slow (1 h) windows. Ctrl-C shuts
+      down gracefully, draining in-flight requests.
+  watch URL [--interval-ms 1000] [--iterations 0]
+      Live terminal view of a running server: polls /slo and
+      /metrics/history and redraws SLO burn rates plus sparklines of
+      request rate, p99 latency, and shed rate. URL is HOST:PORT (an
+      http:// prefix is fine). --iterations N stops after N frames and
+      prints them without clearing the screen (0 = run until ctrl-c).
   snapshot build DIR --out net.snap [--warm-paths FILE] [--threads N]
       Serialize a TSV network into the checksummed binary snapshot format
       (docs/SNAPSHOT.md). --warm-paths FILE additionally materializes the
@@ -581,6 +599,12 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
     // `GET /metrics` serves the observability snapshot, so recording must
     // be on for the whole server lifetime, not only under `--metrics`.
     hetesim_obs::enable();
+    let slo_availability = p.get_f64("slo-availability", 0.999)?;
+    if !(0.0..1.0).contains(&slo_availability) {
+        return Err(format!(
+            "--slo-availability expects a target in [0, 1), got {slo_availability}"
+        ));
+    }
     let config = ServeConfig {
         addr: p.get_or("addr", "127.0.0.1:7878").to_string(),
         workers: p.get_usize("workers", 0)?,
@@ -591,6 +615,10 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
         trace_sample: p.get_u64("trace-sample", 0)?,
         trace_out: p.flags.get("trace-out").cloned(),
         trace_ring: p.get_usize("trace-ring", 128)?,
+        history_budget_bytes: p.get_usize("history-budget-bytes", 1 << 20)?,
+        history_tick_ms: p.get_u64("history-tick-ms", 1_000)?,
+        slo_latency_ms: p.get_u64("slo-latency-ms", 500)?,
+        slo_availability,
     };
     // Bind before building the app so `/healthz` can report the resolved
     // worker count; arrivals queue in the listener during warmup.
@@ -625,7 +653,155 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
         server.local_addr(),
         config.queue_depth,
     );
+    if config.history_budget_bytes > 0 {
+        eprintln!(
+            "dashboard: http://{}/dashboard (history: {} bytes @ {} ms ticks; \
+             SLOs: p99 < {} ms, availability {})",
+            server.local_addr(),
+            config.history_budget_bytes,
+            config.history_tick_ms,
+            config.slo_latency_ms,
+            config.slo_availability,
+        );
+    }
     server.run(&app).map_err(|e| e.to_string())
+}
+
+/// `watch URL` — a terminal dashboard: polls `/slo` and
+/// `/metrics/history` and redraws burn rates plus unicode sparklines of
+/// the request rate, tail latency, and shed rate.
+fn cmd_watch(p: &Parsed) -> Result<(), String> {
+    use hetesim_serve::client;
+    let raw = p.one_positional("server address (HOST:PORT or http://HOST:PORT)")?;
+    let addr = resolve_addr(raw)?;
+    let interval_ms = p.get_u64("interval-ms", 1_000)?.max(50);
+    let iterations = p.get_u64("iterations", 0)?;
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let slo = client::get(addr, "/slo").map_err(|e| format!("cannot reach {addr}: {e}"))?;
+        if slo.status == 404 {
+            return Err(
+                "server keeps no history (started with --history-budget-bytes 0?)".to_string(),
+            );
+        }
+        if slo.status != 200 {
+            return Err(format!("GET /slo answered {}: {}", slo.status, slo.body));
+        }
+        let frame = render_watch_frame(addr, &slo.body)?;
+        // Interactive (endless) mode redraws in place; a finite
+        // --iterations run prints plain frames so output stays pipeable.
+        if iterations == 0 {
+            print!("\x1b[2J\x1b[H{frame}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        } else {
+            print!("{frame}");
+        }
+        if iterations > 0 && round >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Accepts `HOST:PORT`, `http://HOST:PORT`, and a trailing slash.
+fn resolve_addr(raw: &str) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    let trimmed = raw
+        .strip_prefix("http://")
+        .unwrap_or(raw)
+        .trim_end_matches('/');
+    trimmed
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {raw:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address behind {raw:?}"))
+}
+
+/// One full frame of `watch` output: the SLO summary plus sparklines.
+fn render_watch_frame(addr: std::net::SocketAddr, slo_body: &str) -> Result<String, String> {
+    use hetesim_serve::Json;
+    use std::fmt::Write;
+    let slo = Json::parse(slo_body).map_err(|e| format!("bad /slo payload: {e}"))?;
+    let mut out = String::new();
+    let state = slo.get("state").and_then(Json::as_str).unwrap_or("?");
+    writeln!(out, "hetesim watch — http://{addr}  state: {state}").unwrap();
+    for objective in ["availability", "latency"] {
+        let Some(o) = slo.get(objective) else {
+            continue;
+        };
+        let burn = |k: &str| o.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        writeln!(
+            out,
+            "  {objective:<13} burn fast {:>6.2}x  slow {:>6.2}x  ({})",
+            burn("fast_burn"),
+            burn("slow_burn"),
+            o.get("state").and_then(Json::as_str).unwrap_or("?"),
+        )
+        .unwrap();
+    }
+    if let Some(us) = slo.get("latency_threshold_us").and_then(Json::as_u64) {
+        writeln!(out, "  latency objective: p99 < {} ms", us / 1_000).unwrap();
+    }
+    writeln!(out).unwrap();
+    let rows = [
+        ("requests/s", "serve.server.requests", "rate_per_sec", 1.0),
+        ("p99 ms", "serve.server.latency_us", "p99", 1e-3),
+        ("shed/s", "serve.server.shed", "rate_per_sec", 1.0),
+    ];
+    for (label, name, field, unit) in rows {
+        let values: Vec<f64> = series_values(addr, name, field)
+            .into_iter()
+            .map(|v| v * unit)
+            .collect();
+        let last = values.last().copied().unwrap_or(0.0);
+        writeln!(out, "  {label:<11} {}  last {last:.2}", spark(&values)).unwrap();
+    }
+    Ok(out)
+}
+
+/// Pulls one numeric field out of every history point of a series;
+/// empty when the series does not exist yet or the server is unreachable.
+fn series_values(addr: std::net::SocketAddr, name: &str, field: &str) -> Vec<f64> {
+    use hetesim_serve::{client, Json};
+    let target = format!("/metrics/history?name={name}&window=10m");
+    let Ok(r) = client::get(addr, &target) else {
+        return Vec::new();
+    };
+    if r.status != 200 {
+        return Vec::new();
+    }
+    let Ok(v) = Json::parse(&r.body) else {
+        return Vec::new();
+    };
+    let Some(points) = v.get("points").and_then(Json::as_array) else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .filter_map(|point| point.get(field).and_then(Json::as_f64))
+        .collect()
+}
+
+/// `[0.0, 3.0, 6.0]` → `"▁▄█"`: one block per point, scaled to the max.
+/// The last 60 points are shown so a frame fits a terminal line.
+fn spark(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return "(collecting…)".to_string();
+    }
+    let tail = &values[values.len().saturating_sub(60)..];
+    let max = tail.iter().copied().fold(0.0f64, f64::max);
+    tail.iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[((v / max) * 7.0).round() as usize % 8]
+            }
+        })
+        .collect()
 }
 
 /// `snapshot build DIR --out FILE [--warm-paths FILE]` /
@@ -765,6 +941,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "pair" => "cli.pair",
             "join" => "cli.join",
             "serve" => "cli.serve",
+            "watch" => "cli.watch",
             "snapshot" => "cli.snapshot",
             "trace" => "cli.trace",
             "profile" => "cli.profile",
@@ -778,6 +955,7 @@ pub fn run_with_args(raw: &[String]) -> Result<(), String> {
             "pair" => cmd_pair(&parsed),
             "join" => cmd_join(&parsed),
             "serve" => cmd_serve(&parsed),
+            "watch" => cmd_watch(&parsed),
             "snapshot" => cmd_snapshot(&parsed),
             "trace" => cmd_trace(&parsed),
             "profile" => cmd_profile(&parsed),

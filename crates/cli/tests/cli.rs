@@ -408,6 +408,83 @@ fn bad_invocations_fail_cleanly() {
 }
 
 #[test]
+fn watch_renders_a_live_frame_from_a_served_network() {
+    use std::io::{BufRead, BufReader, Read};
+    let dir = temp_net("watch");
+    generate(&dir);
+
+    // Serve on an ephemeral port with a fast sampler tick; the resolved
+    // address is announced on stderr.
+    let mut server = Command::new(bin())
+        .args([
+            "serve",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--history-tick-ms",
+            "25",
+            "--slo-latency-ms",
+            "250",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stderr = BufReader::new(server.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .trim_end_matches("/dashboard")
+                .to_string();
+        }
+    };
+    // Drain stderr in the background so the server never blocks on a
+    // full pipe.
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = stderr.read_to_end(&mut sink);
+    });
+
+    // Let a few sampler ticks land, then take two plain (finite) frames.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let watch = run(&[
+        "watch",
+        &format!("http://{addr}/"),
+        "--iterations",
+        "2",
+        "--interval-ms",
+        "50",
+    ]);
+    server.kill().ok();
+    server.wait().ok();
+    assert!(
+        watch.status.success(),
+        "{}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+    let text = String::from_utf8_lossy(&watch.stdout);
+    assert!(text.contains("state:"), "{text}");
+    assert!(text.contains("availability"), "{text}");
+    assert!(text.contains("latency"), "{text}");
+    assert!(text.contains("requests/s"), "{text}");
+    assert!(text.contains("p99 ms"), "{text}");
+    // Finite runs print plain frames: no ANSI clear-screen codes.
+    assert!(!text.contains('\x1b'), "{text:?}");
+
+    // A server without history answers 404 and watch reports it plainly.
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn snapshot_build_info_and_bit_identical_query() {
     let dir = temp_net("snap");
     generate(&dir);

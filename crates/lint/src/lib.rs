@@ -219,11 +219,18 @@ pub fn run_with(
 
     let mut matched = 0usize;
     for f in raw {
-        let line_text = files
-            .iter()
-            .find(|s| s.rel == f.file)
-            .map(|s| s.line_text(f.line))
-            .unwrap_or("");
+        // Findings point at .rs sources or at the registry itself
+        // (unit-suffix/dead entries); resolve the line either way so the
+        // allowlist can bless both.
+        let line_text = if f.file == REGISTRY_PATH && f.line > 0 {
+            registry_text.lines().nth(f.line as usize - 1).unwrap_or("")
+        } else {
+            files
+                .iter()
+                .find(|s| s.rel == f.file)
+                .map(|s| s.line_text(f.line))
+                .unwrap_or("")
+        };
         if allow.suppresses(&f, line_text) {
             matched += 1;
         } else {

@@ -202,6 +202,28 @@ pub fn run(
         }
     }
 
+    // Histograms must carry their unit in the name: a distribution whose
+    // samples could be µs, bytes, or a ratio is unreadable on a dashboard
+    // and ambiguous in the Prometheus exposition.
+    const HIST_UNIT_SUFFIXES: [&str; 3] = ["_us", "_bytes", "_ratio"];
+    for (name, kind) in &registry.kinds {
+        if kind != "histogram" {
+            continue;
+        }
+        let last = name.rsplit('.').next().unwrap_or(name);
+        if !HIST_UNIT_SUFFIXES.iter().any(|s| last.ends_with(s)) {
+            findings.push(Finding {
+                pass: Pass::ObsNames,
+                file: crate::REGISTRY_PATH.to_string(),
+                line: registry.names.get(name).copied().unwrap_or(0),
+                message: format!(
+                    "histogram `{name}` does not name its unit: the last segment \
+                     must end in `_us`, `_bytes`, or `_ratio`"
+                ),
+            });
+        }
+    }
+
     // Docs: any backticked metric-shaped name must be registered, so API
     // docs cannot drift from the exposition.
     for doc in &cfg.docs {

@@ -18,6 +18,9 @@ use std::collections::BTreeMap;
 pub struct NameRegistry {
     /// Registered names, sorted (BTreeMap for stable iteration).
     pub names: BTreeMap<String, u32>,
+    /// Name → declared kind (`span`, `counter`, `gauge`, `histogram`,
+    /// `trace event`, …): the word between the bullet's `—` and `:`.
+    pub kinds: BTreeMap<String, String>,
 }
 
 impl NameRegistry {
@@ -31,7 +34,7 @@ impl NameRegistry {
             let Some(rest) = line.strip_prefix("- `") else {
                 continue;
             };
-            let Some((name, _)) = rest.split_once('`') else {
+            let Some((name, after)) = rest.split_once('`') else {
                 findings.push(Finding {
                     pass: Pass::ObsNames,
                     file: file_label.to_string(),
@@ -50,6 +53,14 @@ impl NameRegistry {
                     ),
                 });
                 continue;
+            }
+            if let Some(kind) = after
+                .split_once('—')
+                .and_then(|(_, k)| k.split_once(':'))
+                .map(|(k, _)| k.trim())
+                .filter(|k| !k.is_empty())
+            {
+                reg.kinds.insert(name.to_string(), kind.to_string());
             }
             if reg.names.insert(name.to_string(), lineno).is_some() {
                 findings.push(Finding {

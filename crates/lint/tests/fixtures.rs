@@ -77,6 +77,55 @@ fn l1_dead_registry_entry_is_flagged() {
 }
 
 #[test]
+fn l1_histogram_without_unit_suffix_is_flagged() {
+    let src = r#"fn f(v: u64) { hetesim_obs::record("core.cache.fix_wait", v); }"#;
+    let registry = "- `core.cache.fix_wait` — histogram: fixture with no unit\n";
+    let report = lint_one("crates/core/src/a.rs", "core", src, registry, "");
+    assert!(
+        report
+            .of(Pass::ObsNames)
+            .any(|f| f.message.contains("does not name its unit")),
+        "{}",
+        report.render_tree()
+    );
+    // Same name declared with a unit suffix is clean; other kinds are
+    // exempt from the rule.
+    let src = r#"fn f(v: u64) { hetesim_obs::record("core.cache.fix_wait_us", v); }"#;
+    let registry = "- `core.cache.fix_wait_us` — histogram: fixture\n";
+    let report = lint_one("crates/core/src/a.rs", "core", src, registry, "");
+    assert_eq!(
+        count(&report, Pass::ObsNames),
+        0,
+        "{}",
+        report.render_tree()
+    );
+    let src = r#"fn f() { hetesim_obs::add("core.cache.fix_wait", 1); }"#;
+    let registry = "- `core.cache.fix_wait` — counter: counters need no unit\n";
+    let report = lint_one("crates/core/src/a.rs", "core", src, registry, "");
+    assert_eq!(
+        count(&report, Pass::ObsNames),
+        0,
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l1_unit_suffix_finding_can_be_blessed_in_the_registry_file() {
+    let src = r#"fn f(v: u64) { hetesim_obs::record("core.cache.fix_wait", v); }"#;
+    let registry = "- `core.cache.fix_wait` — histogram: grandfathered fixture\n";
+    let allow = "[[allow]]\npass = \"obs-names\"\npath = \"crates/obs/NAMES.md\"\npattern = \"core.cache.fix_wait\"\njustification = \"frozen pre-rule name\"\n";
+    let report = lint_one("crates/core/src/a.rs", "core", src, registry, allow);
+    assert_eq!(
+        count(&report, Pass::ObsNames),
+        0,
+        "{}",
+        report.render_tree()
+    );
+    assert_eq!(report.allowlist_matched, 1);
+}
+
+#[test]
 fn l1_span_macro_derives_field_counters() {
     let src = r#"fn f() { let _g = hetesim_obs::span!("core.engine.fix", k = 1u64); }"#;
     let registry = "- `core.engine.fix` — span: fixture\n";

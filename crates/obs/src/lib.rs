@@ -73,12 +73,22 @@
 
 mod flame;
 mod profile;
+mod slo;
 mod snapshot;
+mod timeseries;
 mod trace;
 
 pub use flame::{flame_layout, flamegraph_svg, FlameRect};
 pub use profile::{folded_stacks, profile_frames, ProfileFrame};
+pub use slo::{
+    AlertState, ObjectiveReport, SloReport, SloSpec, FAST_WINDOW_MS, PAGE_BURN, SLOW_WINDOW_MS,
+    WARN_BURN,
+};
 pub use snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+pub use timeseries::{
+    fraction_le, merge_samples, quantile_upper, History, HistoryConfig, Sample, Sampler,
+    SeriesKind, SeriesPoint, TierSpec,
+};
 pub use trace::{
     add_trace_sink, clear_trace_sinks, flush_trace, next_trace_id, set_trace_config,
     trace_annotate, trace_begin, trace_event, trace_push_completed, trace_should_capture,

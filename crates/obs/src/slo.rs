@@ -1,0 +1,327 @@
+//! SLO evaluation with multi-window burn-rate alerting over a
+//! [`History`].
+//!
+//! Two declared objectives, evaluated against retained metric history
+//! rather than point-in-time readings:
+//!
+//! * **availability** — the fraction of requests that were neither shed
+//!   nor timed out must stay above a target (default 99.9%);
+//! * **latency** — a target fraction of requests (default 99%) must
+//!   complete under a threshold.
+//!
+//! Each objective reports a *burn rate*: the error-budget consumption
+//! speed, `observed error ratio / allowed error ratio`. A burn of 1.0
+//! spends exactly the budget over the SLO period; 14.4 exhausts a
+//! 30-day budget in ~2 days. Following the SRE-workbook pattern, alerts
+//! require the burn to exceed the threshold over *two* windows at once —
+//! a fast window (5 m) so pages are prompt, and a slow window (1 h) so a
+//! single spike that already subsided cannot page: the fast window
+//! recovers quickly, the slow window proves the problem is sustained.
+//!
+//! Everything here is pure over [`History`] — no registry, no clock —
+//! so burn-rate transitions are unit-testable with synthetic samples.
+
+use crate::timeseries::{fraction_le, History};
+
+/// Fast alert window: 5 minutes.
+pub const FAST_WINDOW_MS: u64 = 5 * 60 * 1000;
+/// Slow alert window: 1 hour.
+pub const SLOW_WINDOW_MS: u64 = 60 * 60 * 1000;
+/// Burn rate at or above which (in both windows) the state is
+/// [`AlertState::Page`]: budget gone in ~2 days of a 30-day period.
+pub const PAGE_BURN: f64 = 14.4;
+/// Burn rate at or above which (in both windows) the state is at least
+/// [`AlertState::Warning`].
+pub const WARN_BURN: f64 = 3.0;
+
+/// Declared service-level objectives, with the metric names they read.
+/// The defaults match the serve crate's instrumentation; tests point the
+/// names at synthetic series.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Minimum fraction of requests neither shed nor timed out
+    /// (e.g. 0.999).
+    pub availability_target: f64,
+    /// Latency threshold in microseconds for the latency objective.
+    pub latency_threshold_us: u64,
+    /// Fraction of requests that must finish under the threshold
+    /// (e.g. 0.99 — "p99 under threshold").
+    pub latency_target: f64,
+    /// Counter of handled requests.
+    pub requests_counter: String,
+    /// Counters of unavailability events (summed): shed, timeouts.
+    pub error_counters: Vec<String>,
+    /// Histogram of request latencies in microseconds.
+    pub latency_histogram: String,
+}
+
+impl Default for SloSpec {
+    fn default() -> SloSpec {
+        SloSpec {
+            availability_target: 0.999,
+            latency_threshold_us: 500_000,
+            latency_target: 0.99,
+            requests_counter: "serve.server.requests".to_string(),
+            error_counters: vec![
+                "serve.server.shed".to_string(),
+                "serve.server.timeouts".to_string(),
+            ],
+            latency_histogram: "serve.server.latency_us".to_string(),
+        }
+    }
+}
+
+/// Typed alert state, ordered by severity. The numeric values are the
+/// published `obs.slo.alert_state` gauge readings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertState {
+    /// Burn under the warning threshold in at least one window.
+    Ok = 0,
+    /// Burn at or above [`WARN_BURN`] in both windows.
+    Warning = 1,
+    /// Burn at or above [`PAGE_BURN`] in both windows.
+    Page = 2,
+}
+
+impl AlertState {
+    /// Lowercase name used in JSON payloads.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warning => "warning",
+            AlertState::Page => "page",
+        }
+    }
+
+    fn from_burns(fast: f64, slow: f64) -> AlertState {
+        if fast >= PAGE_BURN && slow >= PAGE_BURN {
+            AlertState::Page
+        } else if fast >= WARN_BURN && slow >= WARN_BURN {
+            AlertState::Warning
+        } else {
+            AlertState::Ok
+        }
+    }
+}
+
+/// One objective's evaluation.
+#[derive(Debug, Clone)]
+pub struct ObjectiveReport {
+    /// Declared target (a fraction, e.g. 0.999).
+    pub target: f64,
+    /// Observed error ratio over the fast window.
+    pub fast_ratio: f64,
+    /// Observed error ratio over the slow window.
+    pub slow_ratio: f64,
+    /// Budget burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Budget burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Alert state from the two burns.
+    pub state: AlertState,
+}
+
+impl ObjectiveReport {
+    fn from_ratios(target: f64, fast_ratio: f64, slow_ratio: f64) -> ObjectiveReport {
+        let budget = (1.0 - target).max(1e-9);
+        let fast_burn = fast_ratio / budget;
+        let slow_burn = slow_ratio / budget;
+        ObjectiveReport {
+            target,
+            fast_ratio,
+            slow_ratio,
+            fast_burn,
+            slow_burn,
+            state: AlertState::from_burns(fast_burn, slow_burn),
+        }
+    }
+}
+
+/// Both objectives plus the worst state across them.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// The availability objective.
+    pub availability: ObjectiveReport,
+    /// The latency objective.
+    pub latency: ObjectiveReport,
+    /// The more severe of the two objective states.
+    pub worst: AlertState,
+}
+
+impl SloReport {
+    /// Hand-built JSON document, served verbatim by `GET /slo`.
+    pub fn to_json(&self, latency_threshold_us: u64) -> String {
+        fn objective(o: &ObjectiveReport) -> String {
+            format!(
+                "{{\"target\":{},\"fast_ratio\":{:.6},\"slow_ratio\":{:.6},\
+                 \"fast_burn\":{:.3},\"slow_burn\":{:.3},\"state\":\"{}\"}}",
+                o.target,
+                o.fast_ratio,
+                o.slow_ratio,
+                o.fast_burn,
+                o.slow_burn,
+                o.state.as_str()
+            )
+        }
+        format!(
+            "{{\"availability\":{},\"latency\":{},\"latency_threshold_us\":{},\
+             \"windows\":{{\"fast_ms\":{FAST_WINDOW_MS},\"slow_ms\":{SLOW_WINDOW_MS}}},\
+             \"thresholds\":{{\"warn_burn\":{WARN_BURN},\"page_burn\":{PAGE_BURN}}},\
+             \"state\":\"{}\"}}",
+            objective(&self.availability),
+            objective(&self.latency),
+            latency_threshold_us,
+            self.worst.as_str()
+        )
+    }
+}
+
+impl SloSpec {
+    /// Evaluates both objectives over the history's fast and slow
+    /// trailing windows. A window with no traffic burns nothing.
+    pub fn evaluate(&self, history: &History) -> SloReport {
+        let availability = ObjectiveReport::from_ratios(
+            self.availability_target,
+            self.error_ratio(history, FAST_WINDOW_MS),
+            self.error_ratio(history, SLOW_WINDOW_MS),
+        );
+        let latency = ObjectiveReport::from_ratios(
+            self.latency_target,
+            self.slow_ratio(history, FAST_WINDOW_MS),
+            self.slow_ratio(history, SLOW_WINDOW_MS),
+        );
+        let worst = availability.state.max(latency.state);
+        SloReport {
+            availability,
+            latency,
+            worst,
+        }
+    }
+
+    /// `(shed + timeouts) / (requests + shed)` over the window; 0 with
+    /// no traffic.
+    fn error_ratio(&self, history: &History, window_ms: u64) -> f64 {
+        let errors: u64 = self
+            .error_counters
+            .iter()
+            .map(|n| history.counter_delta(n, window_ms))
+            .sum();
+        // Shed requests never reach the handled-requests counter, so the
+        // offered load is handled + errors. Error classes that are also
+        // counted as handled (timeouts) inflate the denominator slightly,
+        // erring toward *under*-reporting the burn — acceptable for an
+        // estimate that alerts on orders of magnitude.
+        let handled = history.counter_delta(&self.requests_counter, window_ms);
+        let total = handled + errors;
+        if total == 0 {
+            return 0.0;
+        }
+        (errors as f64 / total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of requests over the threshold in the window; 0 with no
+    /// recorded latencies.
+    fn slow_ratio(&self, history: &History, window_ms: u64) -> f64 {
+        match history.merged_histogram(&self.latency_histogram, window_ms) {
+            None => 0.0,
+            Some(h) => (1.0 - fraction_le(&h, self.latency_threshold_us)).clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot};
+    use crate::timeseries::{HistoryConfig, Sample};
+
+    fn spec() -> SloSpec {
+        SloSpec {
+            availability_target: 0.999,
+            latency_threshold_us: 1_000,
+            latency_target: 0.99,
+            requests_counter: "t.s.requests".to_string(),
+            error_counters: vec!["t.s.shed".to_string()],
+            latency_histogram: "t.s.latency_us".to_string(),
+        }
+    }
+
+    fn traffic_sample(end_ms: u64, requests: u64, shed: u64, latency_us: u64) -> Sample {
+        let mut hist = HistogramSnapshot::empty("t.s.latency_us");
+        for _ in 0..requests {
+            hist.record(latency_us);
+        }
+        Sample {
+            end_ms,
+            span_ms: 1_000,
+            delta: MetricsSnapshot {
+                counters: vec![
+                    CounterSnapshot {
+                        name: "t.s.requests".to_string(),
+                        value: requests,
+                        gauge: false,
+                    },
+                    CounterSnapshot {
+                        name: "t.s.shed".to_string(),
+                        value: shed,
+                        gauge: false,
+                    },
+                ],
+                histograms: vec![hist],
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_is_ok() {
+        let mut h = History::new(HistoryConfig::default());
+        for i in 0..60u64 {
+            h.push_delta(traffic_sample((i + 1) * 1000, 100, 0, 100));
+        }
+        let report = spec().evaluate(&h);
+        assert_eq!(report.worst, AlertState::Ok);
+        assert!(report.availability.fast_burn < WARN_BURN);
+        assert!(report.latency.fast_burn < WARN_BURN);
+    }
+
+    #[test]
+    fn shedding_burns_the_availability_budget() {
+        let mut h = History::new(HistoryConfig::default());
+        // 10% shed: ratio 0.1 against a 0.001 budget ⇒ burn 100 in both
+        // windows (both cover all retained samples here).
+        for i in 0..60u64 {
+            h.push_delta(traffic_sample((i + 1) * 1000, 90, 10, 100));
+        }
+        let report = spec().evaluate(&h);
+        assert!(report.availability.fast_burn > PAGE_BURN);
+        assert!(report.availability.slow_burn > PAGE_BURN);
+        assert_eq!(report.availability.state, AlertState::Page);
+        assert_eq!(report.worst, AlertState::Page);
+    }
+
+    #[test]
+    fn no_traffic_burns_nothing() {
+        let h = History::new(HistoryConfig::default());
+        let report = spec().evaluate(&h);
+        assert_eq!(report.worst, AlertState::Ok);
+        assert_eq!(report.availability.fast_burn, 0.0);
+        assert_eq!(report.latency.fast_burn, 0.0);
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let h = History::new(HistoryConfig::default());
+        let json = spec().evaluate(&h).to_json(1_000);
+        for needle in [
+            "\"availability\":{",
+            "\"latency\":{",
+            "\"fast_burn\":",
+            "\"state\":\"ok\"",
+            "\"windows\":{",
+            "\"page_burn\":14.4",
+        ] {
+            assert!(json.contains(needle), "{needle} missing in {json}");
+        }
+    }
+}

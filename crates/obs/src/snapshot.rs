@@ -254,11 +254,17 @@ impl MetricsSnapshot {
 
     /// Point-in-time difference: what happened between `earlier` and
     /// `self` (two snapshots of the same registry, `earlier` taken
-    /// first). Spans, plain counters, and histograms subtract entry-wise
-    /// (saturating, so a registry reset between the two snapshots cannot
-    /// underflow); gauges keep the current reading. Entries that did not
-    /// change are dropped, so profiling a window over a long-lived
-    /// server only shows that window's activity.
+    /// first). Spans, plain counters, and histograms subtract entry-wise;
+    /// gauges keep the current reading. Entries that did not change are
+    /// dropped, so profiling a window over a long-lived server only shows
+    /// that window's activity.
+    ///
+    /// Counter resets are detected, not smeared: a monotonic counter (or
+    /// histogram count) that reads *lower* than it did in `earlier` can
+    /// only mean the registry was reset (or the counter wrapped) between
+    /// the two snapshots, so the delta is the new reading itself — the
+    /// activity since the reset — rather than a saturated-to-zero nothing
+    /// that silently swallows the window.
     pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let spans = self
             .spans
@@ -290,7 +296,14 @@ impl MetricsSnapshot {
                     return Some(c.clone());
                 }
                 let prev = earlier.counter(&c.name).unwrap_or(0);
-                let value = c.value.saturating_sub(prev);
+                // Reset-safe: new < old means the registry was cleared (or
+                // the counter wrapped); everything now visible happened
+                // after the reset.
+                let value = if c.value < prev {
+                    c.value
+                } else {
+                    c.value - prev
+                };
                 if value == 0 {
                     return None;
                 }
@@ -307,10 +320,15 @@ impl MetricsSnapshot {
             .filter_map(|h| {
                 let mut out = h.clone();
                 if let Some(prev) = earlier.histogram(&h.name) {
-                    out.count = h.count.saturating_sub(prev.count);
-                    out.sum = h.sum.saturating_sub(prev.sum);
-                    for (b, p) in out.buckets.iter_mut().zip(prev.buckets.iter()) {
-                        *b = b.saturating_sub(*p);
+                    if h.count < prev.count {
+                        // Reset between the snapshots: the whole current
+                        // histogram is the window's activity.
+                    } else {
+                        out.count = h.count - prev.count;
+                        out.sum = h.sum.saturating_sub(prev.sum);
+                        for (b, p) in out.buckets.iter_mut().zip(prev.buckets.iter()) {
+                            *b = b.saturating_sub(*p);
+                        }
                     }
                 }
                 if out.count == 0 {
@@ -431,6 +449,34 @@ impl MetricsSnapshot {
                 }
                 "serve.server.latency_us" => {
                     "End-to-end request latency in microseconds, accept to response written."
+                }
+                "obs.ts.ticks" => "Completed history sampler ticks.",
+                "obs.ts.resident_bytes" => {
+                    "Approximate bytes retained by the metrics history ring."
+                }
+                "obs.ts.samples_merged" => {
+                    "Fine history samples merged into coarser tiers so far."
+                }
+                "obs.ts.samples_evicted" => {
+                    "History samples dropped to stay within capacity or byte budget."
+                }
+                "obs.ts.sample_us" => {
+                    "Microseconds one history sampler tick spent snapshotting and folding."
+                }
+                "obs.slo.availability_burn_fast_permille" => {
+                    "Availability error-budget burn rate over the fast (5 m) window, in thousandths."
+                }
+                "obs.slo.availability_burn_slow_permille" => {
+                    "Availability error-budget burn rate over the slow (1 h) window, in thousandths."
+                }
+                "obs.slo.latency_burn_fast_permille" => {
+                    "Latency error-budget burn rate over the fast (5 m) window, in thousandths."
+                }
+                "obs.slo.latency_burn_slow_permille" => {
+                    "Latency error-budget burn rate over the slow (1 h) window, in thousandths."
+                }
+                "obs.slo.alert_state" => {
+                    "Worst SLO alert state: 0 = ok, 1 = warning, 2 = page."
                 }
                 _ => return format!("Value of the {dotted} observability metric."),
             };
@@ -836,6 +882,32 @@ mod tests {
         assert_eq!(h.sum, 100);
         // Diffing a gauge-free snapshot against itself is empty (gauges
         // are point-in-time readings and always survive).
+        assert!(earlier.diff(&earlier).is_empty());
+    }
+
+    #[test]
+    fn diff_detects_counter_reset() {
+        // The registry was reset (or a counter wrapped) between the two
+        // snapshots: the new reading is *lower* than the old one. The
+        // delta must be the new reading — activity since the reset — not
+        // a saturated zero that hides the window.
+        let earlier = sample(); // c.hits = 3, h.one: {0, 7}, count 2
+        let mut now = MetricsSnapshot::default();
+        now.counters.push(CounterSnapshot {
+            name: "c.hits".into(),
+            value: 2,
+            gauge: false,
+        });
+        let mut h = HistogramSnapshot::empty("h.one");
+        h.record(9);
+        now.histograms.push(h);
+        let d = now.diff(&earlier);
+        assert_eq!(d.counter("c.hits"), Some(2));
+        let h = d.histogram("h.one").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 9);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 1);
+        // A genuine no-op window still diffs to empty.
         assert!(earlier.diff(&earlier).is_empty());
     }
 

@@ -1,0 +1,818 @@
+//! Retained metric history: a fixed-budget, three-tier downsampling ring
+//! fed by a background sampler thread.
+//!
+//! The registry answers "what is happening right now"; this module gives
+//! the process a memory. A [`Sampler`] snapshots the registry on a fixed
+//! tick and stores the *delta* since the previous tick (counter-reset-safe
+//! via [`MetricsSnapshot::diff`]) in a [`History`]: three ring tiers of
+//! increasing period — by default 1 s × 120, 10 s × 360, 60 s × 720 —
+//! where a tier that overflows merges its oldest samples into one coarser
+//! sample for the next tier instead of dropping them. Memory is bounded by
+//! construction (fixed tier capacities) *and* by an explicit byte budget
+//! that evicts from the coarsest tier first.
+//!
+//! Because every stored sample is a delta, merging conserves counter mass
+//! (the sum of fine deltas folded into a coarse sample equals the coarse
+//! delta — property-tested in `tests/timeseries_props.rs`), rolling rates
+//! over any trailing window are one pass of additions, and log₂-histogram
+//! quantile estimates come from merging bucket vectors. Gauges are
+//! point-in-time readings: a merged sample keeps the maximum (the
+//! conservative reading for residency/depth-style gauges).
+//!
+//! With the `obs` feature compiled out the [`Sampler`] is inert — no
+//! thread, no storage, every query empty — so the disabled path costs
+//! exactly nothing, like the rest of the crate.
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One downsampling tier: how many base ticks one sample spans, and how
+/// many samples the tier retains before folding into the next.
+#[derive(Debug, Clone, Copy)]
+pub struct TierSpec {
+    /// Sample period in base ticks (tier 0 is 1 by convention).
+    pub period_ticks: u64,
+    /// Samples retained before the oldest are merged onward (or, for the
+    /// last tier, dropped).
+    pub capacity: usize,
+}
+
+/// Configuration for a [`History`] ring and the [`Sampler`] feeding it.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryConfig {
+    /// Base sampling period in milliseconds.
+    pub tick_ms: u64,
+    /// The three tiers, finest first. `period_ticks` must be
+    /// nondecreasing and each coarser period a multiple of the finer one.
+    pub tiers: [TierSpec; 3],
+    /// Approximate retained-bytes ceiling; 0 means "tier capacities
+    /// only". Enforced by evicting the oldest sample of the coarsest
+    /// non-empty tier.
+    pub budget_bytes: usize,
+}
+
+impl Default for HistoryConfig {
+    /// 1 s ticks; 2 minutes at 1 s, another hour at 10 s, another twelve
+    /// hours at 60 s; 1 MiB budget.
+    fn default() -> HistoryConfig {
+        HistoryConfig {
+            tick_ms: 1_000,
+            tiers: [
+                TierSpec {
+                    period_ticks: 1,
+                    capacity: 120,
+                },
+                TierSpec {
+                    period_ticks: 10,
+                    capacity: 360,
+                },
+                TierSpec {
+                    period_ticks: 60,
+                    capacity: 720,
+                },
+            ],
+            budget_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One retained sample: the registry delta over `[end_ms - span_ms,
+/// end_ms)` on the sampler's monotonic clock.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// End of the covered interval, milliseconds since the sampler
+    /// started (monotonic, not wall time).
+    pub end_ms: u64,
+    /// Width of the covered interval in milliseconds.
+    pub span_ms: u64,
+    /// What happened during the interval. Spans are stripped (the span
+    /// *histogramable* signal, latency, is already a histogram); counters
+    /// hold deltas, gauges hold the reading at `end_ms`.
+    pub delta: MetricsSnapshot,
+}
+
+impl Sample {
+    /// Approximate retained bytes: struct overhead plus per-entry name
+    /// and payload costs. Deliberately simple and deterministic — the
+    /// budget is a ceiling on growth, not an allocator audit.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = 48;
+        for c in &self.delta.counters {
+            bytes += c.name.len() + 40;
+        }
+        for h in &self.delta.histograms {
+            bytes += h.name.len() + 64 + h.buckets.len() * 8;
+        }
+        bytes
+    }
+}
+
+/// What kind of series a name resolves to inside a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeriesKind {
+    /// Monotonic counter: stored as per-sample deltas.
+    Counter,
+    /// Point-in-time gauge: stored as readings.
+    Gauge,
+    /// Log₂ histogram: stored as per-sample bucket deltas.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Lowercase name used in JSON payloads.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One point of a rendered series.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesPoint {
+    /// End of the sample interval (sampler-relative milliseconds).
+    pub end_ms: u64,
+    /// Width of the sample interval in milliseconds.
+    pub span_ms: u64,
+    /// Counter: delta over the interval. Gauge: the reading.
+    /// Histogram (via [`History::series_quantile`]): the quantile
+    /// estimate's upper bound.
+    pub value: f64,
+}
+
+/// The three-tier ring itself. Pure data structure — it never touches the
+/// registry or the clock, which keeps the downsampling laws property-
+/// testable with synthetic samples.
+#[derive(Debug)]
+pub struct History {
+    cfg: HistoryConfig,
+    /// `tiers[0]` finest. Within a tier: front = oldest, back = newest.
+    tiers: [VecDeque<Sample>; 3],
+    last_full: Option<MetricsSnapshot>,
+    used_bytes: usize,
+    merged: u64,
+    evicted: u64,
+}
+
+impl History {
+    /// An empty history with the given shape.
+    pub fn new(cfg: HistoryConfig) -> History {
+        History {
+            cfg,
+            tiers: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            last_full: None,
+            used_bytes: 0,
+            merged: 0,
+            evicted: 0,
+        }
+    }
+
+    /// The configuration this history was built with.
+    pub fn config(&self) -> &HistoryConfig {
+        &self.cfg
+    }
+
+    /// Approximate bytes currently retained across all tiers.
+    pub fn resident_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Fine samples folded into coarser tiers so far.
+    pub fn samples_merged(&self) -> u64 {
+        self.merged
+    }
+
+    /// Samples dropped (tier-capacity overflow of the last tier, or byte
+    /// budget) so far.
+    pub fn samples_evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total samples currently retained.
+    pub fn sample_count(&self) -> usize {
+        self.tiers.iter().map(VecDeque::len).sum()
+    }
+
+    /// Folds a full registry snapshot taken at `end_ms` into the ring:
+    /// stores the delta against the previous full snapshot (reset-safe —
+    /// see [`MetricsSnapshot::diff`]) with spans stripped.
+    pub fn observe(&mut self, end_ms: u64, full: &MetricsSnapshot) {
+        let mut delta = match &self.last_full {
+            Some(prev) => full.diff(prev),
+            None => full.clone(),
+        };
+        delta.spans.clear();
+        let span_ms = match &self.last_full {
+            Some(_) => end_ms.saturating_sub(self.latest_ms().unwrap_or(0)),
+            None => self.cfg.tick_ms,
+        };
+        self.last_full = Some(full.clone());
+        self.push_delta(Sample {
+            end_ms,
+            span_ms: span_ms.max(1),
+            delta,
+        });
+    }
+
+    /// Appends one already-computed delta sample (newest) and rebalances
+    /// the tiers. Public so tests and benches can drive the ring without
+    /// a registry or a clock.
+    pub fn push_delta(&mut self, sample: Sample) {
+        self.used_bytes += sample.approx_bytes();
+        self.tiers[0].push_back(sample);
+        for k in 0..2 {
+            let ratio = (self.cfg.tiers[k + 1].period_ticks / self.cfg.tiers[k].period_ticks.max(1))
+                .max(1) as usize;
+            while self.tiers[k].len() > self.cfg.tiers[k].capacity {
+                let take = ratio.min(self.tiers[k].len());
+                let mut batch = Vec::with_capacity(take);
+                for _ in 0..take {
+                    if let Some(s) = self.tiers[k].pop_front() {
+                        self.used_bytes = self.used_bytes.saturating_sub(s.approx_bytes());
+                        batch.push(s);
+                    }
+                }
+                let folded = merge_samples(&batch);
+                self.merged += take as u64;
+                self.used_bytes += folded.approx_bytes();
+                self.tiers[k + 1].push_back(folded);
+            }
+        }
+        while self.tiers[2].len() > self.cfg.tiers[2].capacity {
+            let Some(s) = self.tiers[2].pop_front() else {
+                break;
+            };
+            self.used_bytes = self.used_bytes.saturating_sub(s.approx_bytes());
+            self.evicted += 1;
+        }
+        if self.cfg.budget_bytes > 0 {
+            while self.used_bytes > self.cfg.budget_bytes && self.evict_oldest() {}
+        }
+    }
+
+    /// Drops the single oldest retained sample (coarsest tier first).
+    /// Returns false when nothing is left to drop.
+    fn evict_oldest(&mut self) -> bool {
+        for tier in self.tiers.iter_mut().rev() {
+            if let Some(s) = tier.pop_front() {
+                self.used_bytes = self.used_bytes.saturating_sub(s.approx_bytes());
+                self.evicted += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// End of the newest retained interval, if any.
+    pub fn latest_ms(&self) -> Option<u64> {
+        for tier in &self.tiers {
+            if let Some(s) = tier.back() {
+                return Some(s.end_ms);
+            }
+        }
+        None
+    }
+
+    /// Retained samples whose interval *ends* inside the trailing
+    /// `window_ms`, oldest first. `window_ms == 0` means everything.
+    pub fn samples_in(&self, window_ms: u64) -> impl Iterator<Item = &Sample> {
+        let cutoff = match (window_ms, self.latest_ms()) {
+            (0, _) | (_, None) => 0,
+            (w, Some(latest)) => latest.saturating_sub(w),
+        };
+        // Chronological: coarsest tier holds the oldest samples.
+        self.tiers[2]
+            .iter()
+            .chain(self.tiers[1].iter())
+            .chain(self.tiers[0].iter())
+            .filter(move |s| s.end_ms > cutoff)
+    }
+
+    /// Sorted names of every series present anywhere in the ring.
+    pub fn names(&self) -> Vec<(String, SeriesKind)> {
+        let mut out: Vec<(String, SeriesKind)> = Vec::new();
+        let mut push = |name: &str, kind: SeriesKind| {
+            if !out.iter().any(|(n, _)| n == name) {
+                out.push((name.to_string(), kind));
+            }
+        };
+        for s in self.samples_in(0) {
+            for c in &s.delta.counters {
+                push(
+                    &c.name,
+                    if c.gauge {
+                        SeriesKind::Gauge
+                    } else {
+                        SeriesKind::Counter
+                    },
+                );
+            }
+            for h in &s.delta.histograms {
+                push(&h.name, SeriesKind::Histogram);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// What kind of series `name` is, if it appears in the ring at all.
+    pub fn kind_of(&self, name: &str) -> Option<SeriesKind> {
+        for s in self.samples_in(0) {
+            if s.delta.histograms.iter().any(|h| h.name == name) {
+                return Some(SeriesKind::Histogram);
+            }
+            if let Some(c) = s.delta.counters.iter().find(|c| c.name == name) {
+                return Some(if c.gauge {
+                    SeriesKind::Gauge
+                } else {
+                    SeriesKind::Counter
+                });
+            }
+        }
+        None
+    }
+
+    /// Total counter delta for `name` over the trailing window.
+    pub fn counter_delta(&self, name: &str, window_ms: u64) -> u64 {
+        self.samples_in(window_ms)
+            .filter_map(|s| {
+                s.delta
+                    .counters
+                    .iter()
+                    .find(|c| c.name == name && !c.gauge)
+                    .map(|c| c.value)
+            })
+            .sum()
+    }
+
+    /// Rolling rate per second for counter `name` over the trailing
+    /// window: total delta over the time actually covered by retained
+    /// samples (so partially-filled rings do not dilute the rate).
+    pub fn rate_per_sec(&self, name: &str, window_ms: u64) -> f64 {
+        let mut delta = 0u64;
+        let mut covered_ms = 0u64;
+        for s in self.samples_in(window_ms) {
+            covered_ms += s.span_ms;
+            if let Some(c) = s.delta.counters.iter().find(|c| c.name == name && !c.gauge) {
+                delta += c.value;
+            }
+        }
+        if covered_ms == 0 {
+            return 0.0;
+        }
+        delta as f64 * 1000.0 / covered_ms as f64
+    }
+
+    /// Most recent reading of gauge `name`, if any sample carries one.
+    pub fn gauge_last(&self, name: &str) -> Option<u64> {
+        // Newest first: reverse chronological order.
+        self.tiers[0]
+            .iter()
+            .rev()
+            .chain(self.tiers[1].iter().rev())
+            .chain(self.tiers[2].iter().rev())
+            .find_map(|s| {
+                s.delta
+                    .counters
+                    .iter()
+                    .find(|c| c.name == name && c.gauge)
+                    .map(|c| c.value)
+            })
+    }
+
+    /// All of histogram `name`'s activity over the trailing window,
+    /// merged into one histogram. `None` when no sample carries it.
+    pub fn merged_histogram(&self, name: &str, window_ms: u64) -> Option<HistogramSnapshot> {
+        let mut acc: Option<HistogramSnapshot> = None;
+        for s in self.samples_in(window_ms) {
+            if let Some(h) = s.delta.histograms.iter().find(|h| h.name == name) {
+                acc = Some(match acc {
+                    Some(a) => a.merge(h),
+                    None => h.clone(),
+                });
+            }
+        }
+        acc
+    }
+
+    /// Quantile estimate (upper bound) for histogram `name` over the
+    /// trailing window. See [`quantile_upper`].
+    pub fn quantile(&self, name: &str, q: f64, window_ms: u64) -> Option<u64> {
+        self.merged_histogram(name, window_ms)
+            .and_then(|h| quantile_upper(&h, q))
+    }
+
+    /// Per-sample series for a counter (delta per interval) or gauge
+    /// (reading per interval) over the trailing window, oldest first.
+    pub fn series_value(&self, name: &str, window_ms: u64) -> Vec<SeriesPoint> {
+        self.samples_in(window_ms)
+            .filter_map(|s| {
+                let c = s.delta.counters.iter().find(|c| c.name == name)?;
+                Some(SeriesPoint {
+                    end_ms: s.end_ms,
+                    span_ms: s.span_ms,
+                    value: c.value as f64,
+                })
+            })
+            .collect()
+    }
+
+    /// Per-sample quantile estimates for histogram `name` over the
+    /// trailing window, oldest first. Samples without the histogram are
+    /// skipped.
+    pub fn series_quantile(&self, name: &str, q: f64, window_ms: u64) -> Vec<SeriesPoint> {
+        self.samples_in(window_ms)
+            .filter_map(|s| {
+                let h = s.delta.histograms.iter().find(|h| h.name == name)?;
+                let upper = quantile_upper(h, q)?;
+                Some(SeriesPoint {
+                    end_ms: s.end_ms,
+                    span_ms: s.span_ms,
+                    value: upper as f64,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Folds consecutive samples (oldest first) into one coarse sample:
+/// interval end is the newest end, width is the sum of widths, counters
+/// add, histograms merge bucket-wise, gauges keep the maximum reading.
+/// Counter mass is conserved by construction.
+pub fn merge_samples(batch: &[Sample]) -> Sample {
+    let mut delta = MetricsSnapshot::default();
+    let mut span_ms = 0u64;
+    let mut end_ms = 0u64;
+    for s in batch {
+        delta = delta.merge(&s.delta);
+        span_ms += s.span_ms;
+        end_ms = end_ms.max(s.end_ms);
+    }
+    delta.spans.clear();
+    Sample {
+        end_ms,
+        span_ms,
+        delta,
+    }
+}
+
+/// Smallest bucket upper bound at or below which at least `q` of the
+/// recorded values fall — the log₂ layout's quantile estimate. `None`
+/// for an empty histogram or a `q` outside `(0, 1]`.
+pub fn quantile_upper(h: &HistogramSnapshot, q: f64) -> Option<u64> {
+    if h.count == 0 || !(0.0..=1.0).contains(&q) || q <= 0.0 {
+        return None;
+    }
+    let need = (q * h.count as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= need {
+            return Some(HistogramSnapshot::bucket_upper(i).unwrap_or(u64::MAX));
+        }
+    }
+    Some(u64::MAX)
+}
+
+/// Fraction of recorded values at or below `threshold`, with linear
+/// interpolation inside the bucket that straddles it. 1.0 for an empty
+/// histogram (no evidence of violation).
+pub fn fraction_le(h: &HistogramSnapshot, threshold: u64) -> f64 {
+    if h.count == 0 {
+        return 1.0;
+    }
+    let mut below = 0.0f64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if i == 0 {
+            // Bucket 0 holds exact zeros, always at or below the threshold.
+            below += c as f64;
+            continue;
+        }
+        let upper = HistogramSnapshot::bucket_upper(i).unwrap_or(u64::MAX);
+        if upper <= threshold {
+            below += c as f64;
+            continue;
+        }
+        // Bucket i (> 0) holds [2^(i-1), 2^i); interpolate the share of
+        // the bucket at or below the threshold.
+        let lower = upper / 2;
+        if threshold > lower {
+            let width = (upper - lower) as f64;
+            below += c as f64 * (threshold - lower) as f64 / width;
+        }
+    }
+    (below / h.count as f64).clamp(0.0, 1.0)
+}
+
+/// Shared state between the sampler thread and its readers.
+struct SamplerShared {
+    history: Mutex<History>,
+    stop: AtomicBool,
+    /// Signalled on shutdown so the tick loop exits without waiting out
+    /// its period.
+    wake: Condvar,
+    wake_guard: Mutex<()>,
+}
+
+fn lock_ok<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A background thread snapshotting the registry into a [`History`] on a
+/// fixed tick, optionally evaluating an SLO specification each tick and
+/// publishing `obs.ts.*` / `obs.slo.*` gauges back into the registry.
+///
+/// With the `obs` feature compiled out no thread is spawned and every
+/// query answers from an empty history.
+pub struct Sampler {
+    shared: Arc<SamplerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampler")
+            .field("running", &self.thread.is_some())
+            .finish()
+    }
+}
+
+impl Sampler {
+    /// Starts sampling with `cfg`, evaluating `slo` each tick when given.
+    pub fn start(cfg: HistoryConfig, slo: Option<crate::SloSpec>) -> Sampler {
+        let shared = Arc::new(SamplerShared {
+            history: Mutex::new(History::new(cfg)),
+            stop: AtomicBool::new(false),
+            wake: Condvar::new(),
+            wake_guard: Mutex::new(()),
+        });
+        let thread = if cfg!(feature = "obs") {
+            let shared = Arc::clone(&shared);
+            // If the OS refuses a thread the process runs without
+            // retained history — degraded observability beats not serving.
+            std::thread::Builder::new()
+                .name("hetesim-ts-sampler".to_string())
+                .spawn(move || tick_loop(&shared, cfg.tick_ms, slo))
+                .ok()
+        } else {
+            None
+        };
+        Sampler { shared, thread }
+    }
+
+    /// Runs `f` against the current history under its lock. Keep `f`
+    /// short — the sampler tick takes the same lock.
+    pub fn with_history<R>(&self, f: impl FnOnce(&History) -> R) -> R {
+        let guard = lock_ok(self.shared.history.lock());
+        f(&guard)
+    }
+
+    /// Stops the tick thread and joins it. Called automatically on drop.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        drop(lock_ok(self.shared.wake_guard.lock()));
+        self.shared.wake.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn tick_loop(shared: &SamplerShared, tick_ms: u64, slo: Option<crate::SloSpec>) {
+    let started = Instant::now();
+    let period = Duration::from_millis(tick_ms.max(1));
+    loop {
+        {
+            let guard = lock_ok(shared.wake_guard.lock());
+            let (_guard, _timeout) = shared
+                .wake
+                .wait_timeout(guard, period)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let t0 = Instant::now();
+        let full = crate::snapshot();
+        let now_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+        let (resident, merged, evicted) = {
+            let mut h = lock_ok(shared.history.lock());
+            h.observe(now_ms, &full);
+            if let Some(spec) = &slo {
+                let report = spec.evaluate(&h);
+                crate::set(
+                    "obs.slo.availability_burn_fast_permille",
+                    to_permille(report.availability.fast_burn),
+                );
+                crate::set(
+                    "obs.slo.availability_burn_slow_permille",
+                    to_permille(report.availability.slow_burn),
+                );
+                crate::set(
+                    "obs.slo.latency_burn_fast_permille",
+                    to_permille(report.latency.fast_burn),
+                );
+                crate::set(
+                    "obs.slo.latency_burn_slow_permille",
+                    to_permille(report.latency.slow_burn),
+                );
+                crate::set("obs.slo.alert_state", report.worst as u64);
+            }
+            (
+                h.resident_bytes() as u64,
+                h.samples_merged(),
+                h.samples_evicted(),
+            )
+        };
+        crate::add("obs.ts.ticks", 1);
+        crate::set("obs.ts.resident_bytes", resident);
+        crate::set("obs.ts.samples_merged", merged);
+        crate::set("obs.ts.samples_evicted", evicted);
+        crate::record(
+            "obs.ts.sample_us",
+            t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
+    }
+}
+
+/// Clamped thousandths for publishing a ratio as an integer gauge.
+fn to_permille(v: f64) -> u64 {
+    (v * 1000.0).clamp(0.0, u64::MAX as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::CounterSnapshot;
+
+    fn counter_sample(end_ms: u64, span_ms: u64, name: &str, value: u64) -> Sample {
+        Sample {
+            end_ms,
+            span_ms,
+            delta: MetricsSnapshot {
+                counters: vec![CounterSnapshot {
+                    name: name.to_string(),
+                    value,
+                    gauge: false,
+                }],
+                ..Default::default()
+            },
+        }
+    }
+
+    fn tiny_cfg() -> HistoryConfig {
+        HistoryConfig {
+            tick_ms: 1,
+            tiers: [
+                TierSpec {
+                    period_ticks: 1,
+                    capacity: 4,
+                },
+                TierSpec {
+                    period_ticks: 2,
+                    capacity: 4,
+                },
+                TierSpec {
+                    period_ticks: 4,
+                    capacity: 4,
+                },
+            ],
+            budget_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn rotation_folds_oldest_into_coarser_tiers() {
+        let mut h = History::new(tiny_cfg());
+        for i in 0..20u64 {
+            h.push_delta(counter_sample(i + 1, 1, "t.c.hits", 1));
+        }
+        // Mass is conserved across every fold.
+        assert_eq!(h.counter_delta("t.c.hits", 0), 20);
+        assert!(h.tiers[0].len() <= 4);
+        assert!(h.tiers[1].len() <= 4);
+        assert!(h.samples_merged() > 0);
+        // Chronological iteration.
+        let ends: Vec<u64> = h.samples_in(0).map(|s| s.end_ms).collect();
+        let mut sorted = ends.clone();
+        sorted.sort_unstable();
+        assert_eq!(ends, sorted);
+    }
+
+    #[test]
+    fn byte_budget_evicts_coarsest_first() {
+        let mut cfg = tiny_cfg();
+        cfg.budget_bytes = 600;
+        let mut h = History::new(cfg);
+        for i in 0..200u64 {
+            h.push_delta(counter_sample(i + 1, 1, "t.c.hits", 1));
+        }
+        assert!(h.resident_bytes() <= 600, "{}", h.resident_bytes());
+        assert!(h.samples_evicted() > 0);
+        // The newest samples survive.
+        assert_eq!(h.latest_ms(), Some(200));
+    }
+
+    #[test]
+    fn windows_select_trailing_samples() {
+        let mut h = History::new(tiny_cfg());
+        for i in 0..4u64 {
+            h.push_delta(counter_sample((i + 1) * 1000, 1000, "t.c.hits", 10));
+        }
+        assert_eq!(h.counter_delta("t.c.hits", 1000), 10);
+        assert_eq!(h.counter_delta("t.c.hits", 2000), 20);
+        assert_eq!(h.counter_delta("t.c.hits", 0), 40);
+        let rate = h.rate_per_sec("t.c.hits", 2000);
+        assert!((rate - 10.0).abs() < 1e-9, "{rate}");
+    }
+
+    #[test]
+    fn gauge_last_reads_newest() {
+        let mut h = History::new(tiny_cfg());
+        for (i, v) in [3u64, 9, 5].iter().enumerate() {
+            h.push_delta(Sample {
+                end_ms: (i as u64 + 1) * 10,
+                span_ms: 10,
+                delta: MetricsSnapshot {
+                    counters: vec![CounterSnapshot {
+                        name: "t.g.depth".to_string(),
+                        value: *v,
+                        gauge: true,
+                    }],
+                    ..Default::default()
+                },
+            });
+        }
+        assert_eq!(h.gauge_last("t.g.depth"), Some(5));
+        assert_eq!(h.kind_of("t.g.depth"), Some(SeriesKind::Gauge));
+    }
+
+    #[test]
+    fn quantile_and_fraction_agree_on_log2_buckets() {
+        let mut hist = HistogramSnapshot::empty("t.h.lat_us");
+        for _ in 0..90 {
+            hist.record(100);
+        }
+        for _ in 0..10 {
+            hist.record(10_000);
+        }
+        // p50 and p90 land in the 100s bucket; p99 in the 10_000s bucket.
+        let p50 = quantile_upper(&hist, 0.50).unwrap();
+        let p99 = quantile_upper(&hist, 0.99).unwrap();
+        assert!(p50 >= 100 && p50 < 256, "{p50}");
+        assert!(p99 >= 10_000, "{p99}");
+        assert!(p50 <= p99);
+        assert!(fraction_le(&hist, u64::MAX) >= 0.999);
+        let f = fraction_le(&hist, 255);
+        assert!((0.85..=0.95).contains(&f), "{f}");
+        assert_eq!(fraction_le(&HistogramSnapshot::empty("t.h.e_us"), 1), 1.0);
+    }
+
+    #[test]
+    fn observe_strips_spans_and_is_reset_safe() {
+        let mut h = History::new(tiny_cfg());
+        let mut full = MetricsSnapshot::default();
+        full.counters.push(CounterSnapshot {
+            name: "t.c.hits".to_string(),
+            value: 7,
+            gauge: false,
+        });
+        h.observe(10, &full);
+        full.counters[0].value = 12;
+        h.observe(20, &full);
+        // Registry reset: reading drops to 3 ⇒ delta is 3, not 0.
+        full.counters[0].value = 3;
+        h.observe(30, &full);
+        assert_eq!(h.counter_delta("t.c.hits", 0), 7 + 5 + 3);
+        assert!(h.samples_in(0).all(|s| s.delta.spans.is_empty()));
+    }
+
+    #[test]
+    fn sampler_is_inert_without_obs_or_collects_with_it() {
+        let mut cfg = tiny_cfg();
+        cfg.tick_ms = 5;
+        let sampler = Sampler::start(cfg, None);
+        std::thread::sleep(Duration::from_millis(40));
+        let ticked = sampler.with_history(|h| h.sample_count());
+        if cfg!(feature = "obs") {
+            assert!(ticked > 0, "sampler never ticked");
+        } else {
+            assert_eq!(ticked, 0, "sampler must be inert without obs");
+        }
+        drop(sampler);
+    }
+}

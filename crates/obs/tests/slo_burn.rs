@@ -1,0 +1,104 @@
+//! Integration test: a synthetic latency regression must flip the SLO
+//! burn-rate alert from `Ok` to `Page`, and recovery must clear the fast
+//! window first — the two-window design's whole point.
+
+use hetesim_obs::{
+    AlertState, CounterSnapshot, HistogramSnapshot, History, HistoryConfig, MetricsSnapshot,
+    Sample, SloSpec, FAST_WINDOW_MS, PAGE_BURN,
+};
+
+fn spec() -> SloSpec {
+    SloSpec {
+        availability_target: 0.999,
+        latency_threshold_us: 1_000,
+        latency_target: 0.99,
+        requests_counter: "t.b.requests".to_string(),
+        error_counters: vec!["t.b.shed".to_string()],
+        latency_histogram: "t.b.latency_us".to_string(),
+    }
+}
+
+/// One second of traffic: `requests` requests at `latency_us` each.
+fn second(end_ms: u64, requests: u64, latency_us: u64) -> Sample {
+    let mut hist = HistogramSnapshot::empty("t.b.latency_us");
+    for _ in 0..requests {
+        hist.record(latency_us);
+    }
+    Sample {
+        end_ms,
+        span_ms: 1_000,
+        delta: MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: "t.b.requests".to_string(),
+                value: requests,
+                gauge: false,
+            }],
+            histograms: vec![hist],
+            ..Default::default()
+        },
+    }
+}
+
+#[test]
+fn latency_regression_flips_the_alert_and_recovery_clears_it() {
+    let slo = spec();
+    let mut h = History::new(HistoryConfig::default());
+    let mut now_ms = 0u64;
+    let mut tick = |h: &mut History, latency_us: u64| {
+        now_ms += 1_000;
+        h.push_delta(second(now_ms, 50, latency_us));
+    };
+
+    // Phase 1: a healthy hour at 100 µs — well under the 1 ms
+    // threshold, both windows quiet and the slow window fully seeded.
+    for _ in 0..3_600 {
+        tick(&mut h, 100);
+    }
+    let report = slo.evaluate(&h);
+    assert_eq!(report.worst, AlertState::Ok, "{report:?}");
+    assert!(report.latency.fast_burn < 1.0, "{report:?}");
+
+    // Phase 2: a sustained regression — every request now takes 50 ms.
+    // The slow-ratio goes to ~1.0 against a 1% budget ⇒ burn ~100 in the
+    // fast window immediately; the slow window follows as the bad
+    // minutes accumulate past the point where burn ≥ 14.4.
+    let mut flipped_at = None;
+    for minute in 0..60 {
+        for _ in 0..60 {
+            tick(&mut h, 50_000);
+        }
+        let report = slo.evaluate(&h);
+        assert!(
+            report.latency.fast_burn >= PAGE_BURN,
+            "fast window must see the regression at once: {report:?}"
+        );
+        if report.worst == AlertState::Page {
+            flipped_at = Some(minute);
+            break;
+        }
+    }
+    let flipped_at = flipped_at.expect("sustained regression never paged");
+    // 1 h of history was healthy, so the slow burn needs roughly
+    // slow_burn·budget ≈ bad_share minutes: ~9 of 60 to cross 14.4·0.01.
+    assert!(flipped_at <= 15, "paged only after {flipped_at} minutes");
+
+    // Keep burning a little longer so the incident is solidly inside the
+    // slow window when we check post-recovery memory below.
+    for _ in 0..300 {
+        tick(&mut h, 50_000);
+    }
+
+    // Phase 3: recovery. The fast window drains in 5 minutes and the
+    // page clears (both-windows rule) even while the slow window still
+    // remembers the incident.
+    for _ in 0..(FAST_WINDOW_MS / 1_000 + 60) {
+        tick(&mut h, 100);
+    }
+    let report = slo.evaluate(&h);
+    assert!(report.latency.fast_burn < PAGE_BURN, "{report:?}");
+    assert!(
+        report.latency.slow_burn >= PAGE_BURN,
+        "slow window should still remember the incident: {report:?}"
+    );
+    assert_ne!(report.worst, AlertState::Page, "{report:?}");
+}

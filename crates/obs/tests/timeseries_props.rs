@@ -1,0 +1,140 @@
+//! Property-based tests for the three-tier history ring: downsampling
+//! must conserve counter mass, and quantile estimates must be coherent
+//! across quantiles and windows.
+
+use hetesim_obs::{
+    CounterSnapshot, HistogramSnapshot, History, HistoryConfig, MetricsSnapshot, Sample, TierSpec,
+};
+use proptest::prelude::*;
+
+fn counter_sample(end_ms: u64, value: u64) -> Sample {
+    Sample {
+        end_ms,
+        span_ms: 1,
+        delta: MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: "t.p.hits".to_string(),
+                value,
+                gauge: false,
+            }],
+            ..Default::default()
+        },
+    }
+}
+
+fn hist_sample(end_ms: u64, values: &[u64]) -> Sample {
+    let mut h = HistogramSnapshot::empty("t.p.lat_us");
+    for &v in values {
+        h.record(v);
+    }
+    Sample {
+        end_ms,
+        span_ms: 1,
+        delta: MetricsSnapshot {
+            histograms: vec![h],
+            ..Default::default()
+        },
+    }
+}
+
+/// Tiny tiers so any generated sequence forces multiple fold rounds.
+fn churny_cfg() -> HistoryConfig {
+    HistoryConfig {
+        tick_ms: 1,
+        tiers: [
+            TierSpec {
+                period_ticks: 1,
+                capacity: 3,
+            },
+            TierSpec {
+                period_ticks: 3,
+                capacity: 3,
+            },
+            TierSpec {
+                period_ticks: 9,
+                capacity: 1024,
+            },
+        ],
+        budget_bytes: 0,
+    }
+}
+
+proptest! {
+    #[test]
+    fn downsampling_conserves_counter_mass(
+        deltas in proptest::collection::vec(0u64..=1_000_000, 1..120),
+    ) {
+        // Σ fine deltas pushed in == Σ deltas retained after any number
+        // of tier folds (the last tier is big enough that nothing is
+        // evicted outright).
+        let mut h = History::new(churny_cfg());
+        for (i, &d) in deltas.iter().enumerate() {
+            h.push_delta(counter_sample(i as u64 + 1, d));
+        }
+        let total: u64 = deltas.iter().sum();
+        prop_assert_eq!(h.counter_delta("t.p.hits", 0), total);
+        prop_assert!(h.samples_merged() > 0 || deltas.len() <= 3);
+    }
+
+    #[test]
+    fn merging_a_batch_equals_the_coarse_delta(
+        deltas in proptest::collection::vec(0u64..=1_000_000, 1..40),
+    ) {
+        // The fold primitive itself: merging fine samples into one coarse
+        // sample yields exactly the summed counter delta and the summed
+        // interval width.
+        let batch: Vec<Sample> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| counter_sample(i as u64 + 1, d))
+            .collect();
+        let folded = hetesim_obs::merge_samples(&batch);
+        let total: u64 = deltas.iter().sum();
+        let c = folded.delta.counters.iter().find(|c| c.name == "t.p.hits");
+        prop_assert_eq!(c.map(|c| c.value).unwrap_or(0), total);
+        prop_assert_eq!(folded.span_ms, deltas.len() as u64);
+        prop_assert_eq!(folded.end_ms, deltas.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in proptest::collection::vec(0u64..=10_000_000, 1..60),
+        qa in 1u32..=100,
+        qb in 1u32..=100,
+    ) {
+        let mut h = History::new(churny_cfg());
+        for (i, chunk) in values.chunks(5).enumerate() {
+            h.push_delta(hist_sample(i as u64 + 1, chunk));
+        }
+        let (lo, hi) = (qa.min(qb) as f64 / 100.0, qa.max(qb) as f64 / 100.0);
+        let q_lo = h.quantile("t.p.lat_us", lo, 0);
+        let q_hi = h.quantile("t.p.lat_us", hi, 0);
+        prop_assert!(q_lo.is_some() && q_hi.is_some());
+        prop_assert!(q_lo <= q_hi, "q{lo} = {q_lo:?} > q{hi} = {q_hi:?}");
+    }
+
+    #[test]
+    fn wider_windows_see_no_fewer_recordings(
+        values in proptest::collection::vec(0u64..=10_000_000, 1..60),
+        wa in 1u64..=100,
+        wb in 1u64..=100,
+    ) {
+        // Quantile estimates over a window are monotone in the window in
+        // the evidence sense: a wider trailing window merges a superset
+        // of samples, so the merged count never shrinks and the estimate
+        // stays within the recorded value range.
+        let mut h = History::new(churny_cfg());
+        for (i, chunk) in values.chunks(5).enumerate() {
+            h.push_delta(hist_sample(i as u64 + 1, chunk));
+        }
+        let (narrow, wide) = (wa.min(wb), wa.max(wb));
+        let count = |w| h.merged_histogram("t.p.lat_us", w).map_or(0, |m| m.count);
+        prop_assert!(count(narrow) <= count(wide));
+        prop_assert_eq!(count(0), values.len() as u64);
+        if let Some(q) = h.quantile("t.p.lat_us", 0.99, wide) {
+            let max = *values.iter().max().expect("nonempty");
+            // Log₂ upper bound: at most one bucket above the max value.
+            prop_assert!(q <= max.saturating_mul(2).max(1));
+        }
+    }
+}

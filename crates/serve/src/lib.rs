@@ -26,9 +26,21 @@
 //!   so the path cache LRU-evicts instead of growing with the set of
 //!   queried paths.
 //!
-//! Endpoints: `GET /healthz`, `GET /metrics`, `POST /query`,
+//! Endpoints: `GET /healthz`, `GET /metrics`, `GET /metrics/history`,
+//! `GET /slo`, `GET /dashboard`, `GET /traces/recent`, `POST /query`,
 //! `POST /pair`, `POST /warmup` — request/response schemas are documented
 //! in `docs/API.md`.
+//!
+//! The three watch endpoints are served from an in-process metrics
+//! time-series: a background sampler snapshots the
+//! [`hetesim_obs`] registry every [`ServeConfig::history_tick_ms`],
+//! retains deltas in a byte-bounded three-tier downsampling ring
+//! ([`ServeConfig::history_budget_bytes`], `0` disables all three
+//! endpoints), and evaluates availability/latency SLOs with
+//! multi-window burn-rate alerting
+//! ([`ServeConfig::slo_latency_ms`], [`ServeConfig::slo_availability`]).
+//! `GET /dashboard` renders the rings as a self-contained HTML+SVG
+//! page — no scripts, no external assets.
 //!
 //! # Example
 //!
@@ -65,6 +77,7 @@
 
 mod app;
 pub mod client;
+mod dashboard;
 mod http;
 mod json;
 mod server;

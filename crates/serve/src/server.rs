@@ -73,6 +73,18 @@ pub struct ServeConfig {
     pub trace_out: Option<String>,
     /// Kept traces in the in-memory ring served by `GET /traces/recent`.
     pub trace_ring: usize,
+    /// Byte budget for retained metric history (the three-tier ring
+    /// behind `GET /metrics/history`, `/slo`, and `/dashboard`); `0`
+    /// disables the sampler and those endpoints answer `404`.
+    pub history_budget_bytes: usize,
+    /// History sampling period in milliseconds (tests and short-lived
+    /// load runs shrink it; `0` falls back to 1000).
+    pub history_tick_ms: u64,
+    /// Latency-SLO threshold in milliseconds: the latency target fraction
+    /// of requests must finish under this.
+    pub slo_latency_ms: u64,
+    /// Availability-SLO target as a fraction (e.g. `0.999`).
+    pub slo_availability: f64,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +99,10 @@ impl Default for ServeConfig {
             trace_sample: 0,
             trace_out: None,
             trace_ring: 128,
+            history_budget_bytes: 1 << 20,
+            history_tick_ms: 1_000,
+            slo_latency_ms: 500,
+            slo_availability: 0.999,
         }
     }
 }
@@ -175,6 +191,16 @@ pub struct Server {
     ring: Arc<RingSink>,
     /// Optional rotating JSONL sink receiving every kept trace.
     trace_out: Option<JsonlSink>,
+    /// Metric-history sampler plus the SLO spec it is judged against;
+    /// `None` when `history_budget_bytes` is 0 (endpoints answer `404`).
+    watch: Option<Watch>,
+}
+
+/// The server's retained-history machinery: the background sampler and
+/// the declared objectives evaluated over it.
+struct Watch {
+    sampler: hetesim_obs::Sampler,
+    slo: hetesim_obs::SloSpec,
 }
 
 /// How big a trace JSONL file may grow before rotating to `<path>.1`.
@@ -218,11 +244,31 @@ impl Server {
             Some(path) => Some(JsonlSink::create(path, TRACE_OUT_MAX_BYTES)?),
             None => None,
         };
-        if config.trace_sample > 0 || config.slow_ms > 0 {
-            // Traces are recorded through the span machinery, which is
-            // inert until metrics are on.
+        if config.trace_sample > 0 || config.slow_ms > 0 || config.history_budget_bytes > 0 {
+            // Traces and history are recorded through the metrics
+            // machinery, which is inert until metrics are on.
             hetesim_obs::enable();
         }
+        let watch = (config.history_budget_bytes > 0).then(|| {
+            let history = hetesim_obs::HistoryConfig {
+                tick_ms: if config.history_tick_ms == 0 {
+                    1_000
+                } else {
+                    config.history_tick_ms
+                },
+                budget_bytes: config.history_budget_bytes,
+                ..hetesim_obs::HistoryConfig::default()
+            };
+            let slo = hetesim_obs::SloSpec {
+                availability_target: config.slo_availability.clamp(0.0, 1.0),
+                latency_threshold_us: config.slo_latency_ms.saturating_mul(1_000),
+                ..hetesim_obs::SloSpec::default()
+            };
+            Watch {
+                sampler: hetesim_obs::Sampler::start(history, Some(slo.clone())),
+                slo,
+            }
+        });
         Ok(Server {
             listener,
             local_addr,
@@ -240,6 +286,7 @@ impl Server {
             trace_counter: AtomicU64::new(0),
             ring: Arc::new(RingSink::new(config.trace_ring)),
             trace_out,
+            watch,
         })
     }
 
@@ -405,6 +452,138 @@ impl Server {
         Response::json(200, body)
     }
 
+    /// `GET /metrics/history?name=&window=`: retained history as JSON.
+    /// Without `name`, lists every available series plus ring residency;
+    /// with one, returns its points over the trailing window (default
+    /// `5m`; `0` means everything retained).
+    fn metrics_history(&self, req: &Request) -> Response {
+        let Some(watch) = &self.watch else {
+            return Response::error(404, "metric history is disabled (history budget is 0)");
+        };
+        let window_ms = match req.query_param("window") {
+            None => hetesim_obs::FAST_WINDOW_MS,
+            Some(raw) => match parse_window_ms(raw) {
+                Some(w) => w,
+                None => {
+                    return Response::error(
+                        400,
+                        "\"window\" must be seconds or a number suffixed s/m/h",
+                    )
+                }
+            },
+        };
+        let name = req.query_param("name");
+        watch.sampler.with_history(|h| {
+            let mut body = format!(
+                "{{\"resident_bytes\":{},\"budget_bytes\":{},\"tick_ms\":{},\
+                 \"samples\":{},\"samples_merged\":{},\"samples_evicted\":{}",
+                h.resident_bytes(),
+                h.config().budget_bytes,
+                h.config().tick_ms,
+                h.sample_count(),
+                h.samples_merged(),
+                h.samples_evicted(),
+            );
+            match name {
+                None => {
+                    body.push_str(",\"series\":[");
+                    for (i, (name, kind)) in h.names().iter().enumerate() {
+                        if i > 0 {
+                            body.push(',');
+                        }
+                        body.push_str(&format!(
+                            "{{\"name\":\"{}\",\"kind\":\"{}\"}}",
+                            crate::json::escape(name),
+                            kind.as_str()
+                        ));
+                    }
+                    body.push(']');
+                }
+                Some(name) => {
+                    let Some(kind) = h.kind_of(name) else {
+                        return Response::error(404, &format!("no series named {name:?}"));
+                    };
+                    body.push_str(&format!(
+                        ",\"name\":\"{}\",\"kind\":\"{}\",\"window_ms\":{window_ms},\"points\":[",
+                        crate::json::escape(name),
+                        kind.as_str()
+                    ));
+                    let mut first = true;
+                    let mut push = |p: String| {
+                        if !first {
+                            body.push(',');
+                        }
+                        first = false;
+                        body.push_str(&p);
+                    };
+                    match kind {
+                        hetesim_obs::SeriesKind::Histogram => {
+                            for s in h.samples_in(window_ms) {
+                                let Some(hist) = s.delta.histograms.iter().find(|x| x.name == name)
+                                else {
+                                    continue;
+                                };
+                                let q = |q| hetesim_obs::quantile_upper(hist, q).unwrap_or(0);
+                                push(format!(
+                                    "{{\"t_ms\":{},\"span_ms\":{},\"count\":{},\
+                                     \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                                    s.end_ms,
+                                    s.span_ms,
+                                    hist.count,
+                                    q(0.50),
+                                    q(0.95),
+                                    q(0.99)
+                                ));
+                            }
+                        }
+                        hetesim_obs::SeriesKind::Counter => {
+                            for p in h.series_value(name, window_ms) {
+                                let rate = p.value * 1000.0 / p.span_ms.max(1) as f64;
+                                push(format!(
+                                    "{{\"t_ms\":{},\"span_ms\":{},\"delta\":{},\
+                                     \"rate_per_sec\":{rate:.3}}}",
+                                    p.end_ms, p.span_ms, p.value as u64
+                                ));
+                            }
+                        }
+                        hetesim_obs::SeriesKind::Gauge => {
+                            for p in h.series_value(name, window_ms) {
+                                push(format!(
+                                    "{{\"t_ms\":{},\"span_ms\":{},\"value\":{}}}",
+                                    p.end_ms, p.span_ms, p.value as u64
+                                ));
+                            }
+                        }
+                    }
+                    body.push(']');
+                }
+            }
+            body.push('}');
+            Response::json(200, body)
+        })
+    }
+
+    /// `GET /slo`: both objectives' burn rates and the typed alert state,
+    /// evaluated over the retained history right now.
+    fn slo_report(&self) -> Response {
+        let Some(watch) = &self.watch else {
+            return Response::error(404, "SLO tracking is disabled (history budget is 0)");
+        };
+        let report = watch.sampler.with_history(|h| watch.slo.evaluate(h));
+        Response::json(200, report.to_json(watch.slo.latency_threshold_us))
+    }
+
+    /// `GET /dashboard`: the self-contained HTML+SVG live view.
+    fn dashboard(&self) -> Response {
+        let Some(watch) = &self.watch else {
+            return Response::error(404, "dashboard is disabled (history budget is 0)");
+        };
+        let html = watch
+            .sampler
+            .with_history(|h| crate::dashboard::render(h, &watch.slo));
+        Response::text(200, "text/html; charset=utf-8", html)
+    }
+
     /// Appends one structured line to the slow-query log (file or stderr).
     fn log_slow(
         &self,
@@ -537,6 +716,12 @@ impl Server {
                     // Served here rather than by the handler: the ring
                     // belongs to the server, not the application.
                     self.traces_recent(&request)
+                } else if request.method == "GET" && request.path() == "/metrics/history" {
+                    self.metrics_history(&request)
+                } else if request.method == "GET" && request.path() == "/slo" {
+                    self.slo_report()
+                } else if request.method == "GET" && request.path() == "/dashboard" {
+                    self.dashboard()
                 } else {
                     let response = {
                         let _stage = hetesim_obs::span("serve.server.handle");
@@ -581,6 +766,21 @@ impl Server {
 
 fn expired(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|t| Instant::now() > t)
+}
+
+/// Parses a trailing-window spec: plain digits are seconds; `s`/`m`/`h`
+/// suffixes scale. `0` means "everything retained".
+pub(crate) fn parse_window_ms(raw: &str) -> Option<u64> {
+    let (digits, scale_ms) = match raw.as_bytes().last()? {
+        b's' => (&raw[..raw.len() - 1], 1_000),
+        b'm' => (&raw[..raw.len() - 1], 60_000),
+        b'h' => (&raw[..raw.len() - 1], 3_600_000),
+        _ => (raw, 1_000),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(scale_ms))
 }
 
 /// Writes the response, half-closes, and drains whatever the client was

@@ -1,0 +1,217 @@
+//! End-to-end tests for the retained-history endpoints: `/metrics/history`
+//! must stay inside its byte budget under churn, `/slo` must report both
+//! objectives, and `/dashboard` must be a self-contained well-formed page.
+
+use hetesim_core::HeteSimEngine;
+use hetesim_data::acm;
+use hetesim_graph::Hin;
+use hetesim_serve::{client, App, Json, ServeConfig, Server, ShutdownHandle};
+use std::time::Duration;
+
+struct StopOnDrop(ShutdownHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn network() -> (Hin, String) {
+    let data = acm::generate(&acm::AcmConfig::tiny(7));
+    (data.hin, data.star_concentrated)
+}
+
+/// Small budget, fast tick: a short test sees many samples and real
+/// tier/budget churn.
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        deadline_ms: 30_000,
+        history_budget_bytes: 16 * 1024,
+        history_tick_ms: 20,
+        slo_latency_ms: 250,
+        slo_availability: 0.999,
+        ..ServeConfig::default()
+    }
+}
+
+fn with_app<F>(config: ServeConfig, hin: &Hin, body: F)
+where
+    F: FnOnce(std::net::SocketAddr),
+{
+    let engine = HeteSimEngine::new(hin).with_cache_budget(1 << 20);
+    let server = Server::bind(&config).expect("bind");
+    let app = App::new(hin, engine).with_workers(server.workers());
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&app));
+        let stop = StopOnDrop(handle);
+        body(addr);
+        drop(stop);
+        serving.join().unwrap().unwrap();
+    });
+}
+
+#[test]
+fn history_respects_byte_budget_under_churn() {
+    let (hin, source) = network();
+    with_app(config(), &hin, |addr| {
+        // Churn: enough queries across enough ticks that samples rotate
+        // through the tiers while the budget stays binding.
+        let body = format!("{{\"path\":\"APA\",\"source\":\"{source}\",\"k\":3}}");
+        for round in 0..12 {
+            for _ in 0..5 {
+                let r = client::post_json(addr, "/query", &body).unwrap();
+                assert_eq!(r.status, 200, "{}", r.body);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            let r = client::get(addr, "/metrics/history").unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            let v = Json::parse(&r.body).unwrap();
+            let resident = v.get("resident_bytes").unwrap().as_u64().unwrap();
+            let budget = v.get("budget_bytes").unwrap().as_u64().unwrap();
+            assert_eq!(budget, 16 * 1024);
+            assert!(
+                resident <= budget,
+                "round {round}: resident {resident} > budget {budget}"
+            );
+        }
+        // After the churn the ring must actually hold request series.
+        let r = client::get(addr, "/metrics/history").unwrap();
+        let v = Json::parse(&r.body).unwrap();
+        let series = v.get("series").unwrap();
+        let names: Vec<&str> = series
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(
+            names.contains(&"serve.server.requests"),
+            "series: {names:?}"
+        );
+        assert!(
+            names.contains(&"serve.server.latency_us"),
+            "series: {names:?}"
+        );
+
+        // A named counter series answers points with deltas and rates.
+        let r = client::get(
+            addr,
+            "/metrics/history?name=serve.server.requests&window=5m",
+        )
+        .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("counter"));
+        let points = v.get("points").unwrap().as_array().unwrap();
+        assert!(!points.is_empty());
+        let total: u64 = points
+            .iter()
+            .map(|p| p.get("delta").unwrap().as_u64().unwrap())
+            .sum();
+        assert!(total >= 1, "no requests in history");
+        // The tight budget must actually have been binding: the server
+        // stayed under it by evicting, not because nothing was stored.
+        let evicted = v.get("samples_evicted").unwrap().as_u64().unwrap();
+        assert!(evicted > 0, "budget never forced an eviction");
+
+        // A histogram series answers per-sample quantiles.
+        let r = client::get(addr, "/metrics/history?name=serve.server.latency_us").unwrap();
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("histogram"));
+        let points = v.get("points").unwrap().as_array().unwrap();
+        assert!(!points.is_empty());
+        for p in points {
+            let p50 = p.get("p50").unwrap().as_u64().unwrap();
+            let p99 = p.get("p99").unwrap().as_u64().unwrap();
+            assert!(p50 <= p99);
+        }
+
+        // Unknown series and malformed windows are client errors.
+        let r = client::get(addr, "/metrics/history?name=no.such.series").unwrap();
+        assert_eq!(r.status, 404);
+        let r = client::get(
+            addr,
+            "/metrics/history?name=serve.server.requests&window=zebra",
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+    });
+}
+
+#[test]
+fn slo_reports_both_objectives() {
+    let (hin, source) = network();
+    with_app(config(), &hin, |addr| {
+        let body = format!("{{\"path\":\"APA\",\"source\":\"{source}\",\"k\":3}}");
+        for _ in 0..10 {
+            client::post_json(addr, "/query", &body).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        let r = client::get(addr, "/slo").unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        for objective in ["availability", "latency"] {
+            let o = v.get(objective).unwrap();
+            assert!(o.get("fast_burn").unwrap().as_f64().is_some());
+            assert!(o.get("slow_burn").unwrap().as_f64().is_some());
+            let state = o.get("state").unwrap().as_str().unwrap();
+            assert!(["ok", "warning", "page"].contains(&state), "{state}");
+        }
+        assert_eq!(
+            v.get("latency_threshold_us").unwrap().as_u64(),
+            Some(250_000)
+        );
+        assert!(v.get("state").unwrap().as_str().is_some());
+        let windows = v.get("windows").unwrap();
+        assert_eq!(windows.get("fast_ms").unwrap().as_u64(), Some(300_000));
+        assert_eq!(windows.get("slow_ms").unwrap().as_u64(), Some(3_600_000));
+    });
+}
+
+#[test]
+fn dashboard_is_well_formed_html_svg() {
+    let (hin, source) = network();
+    with_app(config(), &hin, |addr| {
+        let body = format!("{{\"path\":\"APA\",\"source\":\"{source}\",\"k\":3}}");
+        for _ in 0..10 {
+            client::post_json(addr, "/query", &body).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        let r = client::get(addr, "/dashboard").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(
+            r.header("content-type")
+                .unwrap_or("")
+                .starts_with("text/html"),
+            "{:?}",
+            r.header("content-type")
+        );
+        let html = &r.body;
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+        assert_eq!(html.matches("<div").count(), html.matches("</div>").count());
+        assert!(!html.contains("<script"));
+        for needle in ["requests / s", "availability burn", "latency burn"] {
+            assert!(html.contains(needle), "{needle} missing");
+        }
+    });
+}
+
+#[test]
+fn endpoints_404_when_history_disabled() {
+    let (hin, _) = network();
+    let mut config = config();
+    config.history_budget_bytes = 0;
+    with_app(config, &hin, |addr| {
+        for target in ["/metrics/history", "/slo", "/dashboard"] {
+            let r = client::get(addr, target).unwrap();
+            assert_eq!(r.status, 404, "{target}: {}", r.body);
+        }
+    });
+}

@@ -7,6 +7,8 @@ Reads the exposition from stdin (or a file argument) and checks:
   * every sample parses as ``name{labels} value``, value a float;
   * ``# TYPE`` lines are well-formed and name a known type, appear at
     most once per metric, and precede that metric's samples;
+  * every family carries both ``# HELP`` and ``# TYPE`` — a family with
+    one but not the other is flagged;
   * counter sample names end in ``_total`` (per current naming practice);
   * histograms are complete and coherent: ``_bucket`` samples carry an
     ``le`` label, cumulative counts are monotone in ``le`` order, a
@@ -53,6 +55,7 @@ def parse_le(value: str) -> float:
 def lint(text: str):
     errors = []
     types = {}  # family -> declared type
+    helps = {}  # family -> True once a # HELP line was seen
     seen_samples = {}  # family -> True once a sample was emitted
     # histogram family -> {"buckets": [(le, count)], "sum": x, "count": n}
     histograms = {}
@@ -80,7 +83,17 @@ def lint(text: str):
                 if name in seen_samples:
                     err(f"# TYPE for {name!r} after its samples")
                 types[name] = typ
-            # HELP and comments pass through unchecked.
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 4:
+                    err("malformed # HELP line (need a name and help text)")
+                    continue
+                name = parts[2]
+                if not METRIC_NAME.match(name):
+                    err(f"bad metric name {name!r} in # HELP")
+                if name in helps:
+                    err(f"duplicate # HELP for {name!r}")
+                helps[name] = True
+            # Other comments pass through unchecked.
             continue
 
         m = SAMPLE.match(line)
@@ -160,6 +173,15 @@ def lint(text: str):
             )
         if h["sum"] is None:
             errors.append(f"histogram {family!r} lacks _sum")
+
+    # Every family must carry both metadata lines: HELP without TYPE (or
+    # the reverse) leaves scrapers guessing what the series means.
+    for family in sorted(types):
+        if family not in helps:
+            errors.append(f"family {family!r} has # TYPE but no # HELP")
+    for family in sorted(helps):
+        if family not in types:
+            errors.append(f"family {family!r} has # HELP but no # TYPE")
 
     return errors
 

@@ -14,14 +14,54 @@ VALID = """\
 # HELP hetesim_requests_total HTTP requests fully handled.
 # TYPE hetesim_requests_total counter
 hetesim_requests_total 42
+# HELP hetesim_queue_depth Connections waiting in the accept queue.
 # TYPE hetesim_queue_depth gauge
 hetesim_queue_depth 3
+# HELP hetesim_latency_seconds End-to-end request latency.
 # TYPE hetesim_latency_seconds histogram
 hetesim_latency_seconds_bucket{le="0.1"} 10
 hetesim_latency_seconds_bucket{le="1"} 15
 hetesim_latency_seconds_bucket{le="+Inf"} 17
 hetesim_latency_seconds_sum 4.2
 hetesim_latency_seconds_count 17
+"""
+
+
+SLO_AND_HISTORY = """\
+# HELP obs_ts_ticks_total Sampler ticks taken (one registry snapshot each).
+# TYPE obs_ts_ticks_total counter
+obs_ts_ticks_total 120
+# HELP obs_ts_resident_bytes Approximate bytes held by the retained metrics time-series.
+# TYPE obs_ts_resident_bytes gauge
+obs_ts_resident_bytes 524288
+# HELP obs_ts_samples_merged Fine samples folded into coarser tiers by downsampling.
+# TYPE obs_ts_samples_merged gauge
+obs_ts_samples_merged 36
+# HELP obs_ts_samples_evicted Samples dropped to stay inside the byte budget.
+# TYPE obs_ts_samples_evicted gauge
+obs_ts_samples_evicted 0
+# HELP obs_ts_sample_us Time one sampler tick spent snapshotting, diffing, and storing.
+# TYPE obs_ts_sample_us histogram
+obs_ts_sample_us_bucket{le="127"} 100
+obs_ts_sample_us_bucket{le="1023"} 119
+obs_ts_sample_us_bucket{le="+Inf"} 120
+obs_ts_sample_us_sum 9000
+obs_ts_sample_us_count 120
+# HELP obs_slo_availability_burn_fast_permille Availability error-budget burn over the fast window, x1000.
+# TYPE obs_slo_availability_burn_fast_permille gauge
+obs_slo_availability_burn_fast_permille 0
+# HELP obs_slo_availability_burn_slow_permille Availability error-budget burn over the slow window, x1000.
+# TYPE obs_slo_availability_burn_slow_permille gauge
+obs_slo_availability_burn_slow_permille 0
+# HELP obs_slo_latency_burn_fast_permille Latency error-budget burn over the fast window, x1000.
+# TYPE obs_slo_latency_burn_fast_permille gauge
+obs_slo_latency_burn_fast_permille 14400
+# HELP obs_slo_latency_burn_slow_permille Latency error-budget burn over the slow window, x1000.
+# TYPE obs_slo_latency_burn_slow_permille gauge
+obs_slo_latency_burn_slow_permille 3120
+# HELP obs_slo_alert_state Worst SLO alert state: 0 = ok, 1 = warning, 2 = page.
+# TYPE obs_slo_alert_state gauge
+obs_slo_alert_state 1
 """
 
 
@@ -50,6 +90,7 @@ class LintValid(unittest.TestCase):
 
     def test_labels_and_timestamps_parse(self):
         text = (
+            "# HELP hs_hits_total Cache hits.\n"
             "# TYPE hs_hits_total counter\n"
             'hs_hits_total{path="APA",node="a"} 7 1700000000\n'
         )
@@ -62,15 +103,54 @@ class LintValid(unittest.TestCase):
         self.assertEqual(lint(WORKER_UTILIZATION), [])
 
     def test_help_before_every_type_in_fixture(self):
-        # Guards the fixture itself: one HELP per family, HELP first.
-        lines = WORKER_UTILIZATION.splitlines()
-        for i, line in enumerate(lines):
-            if line.startswith("# TYPE "):
-                family = line.split()[2]
-                self.assertTrue(
-                    lines[i - 1].startswith(f"# HELP {family} "),
-                    f"{family} lacks a preceding # HELP",
-                )
+        # Guards the fixtures themselves: one HELP per family, HELP first.
+        for fixture in (WORKER_UTILIZATION, SLO_AND_HISTORY):
+            lines = fixture.splitlines()
+            for i, line in enumerate(lines):
+                if line.startswith("# TYPE "):
+                    family = line.split()[2]
+                    self.assertTrue(
+                        lines[i - 1].startswith(f"# HELP {family} "),
+                        f"{family} lacks a preceding # HELP",
+                    )
+
+    def test_slo_and_history_families_are_clean(self):
+        # The shape the serve sampler publishes: obs.ts.* ring health and
+        # obs.slo.* burn-rate gauges, exactly as /metrics exposes them.
+        self.assertEqual(lint(SLO_AND_HISTORY), [])
+
+
+class LintHelpPresence(unittest.TestCase):
+    def test_type_without_help_is_flagged(self):
+        text = "# TYPE obs_ts_ticks_total counter\nobs_ts_ticks_total 1\n"
+        errors = lint(text)
+        self.assertTrue(any("no # HELP" in e for e in errors), errors)
+
+    def test_help_without_type_is_flagged(self):
+        text = "# HELP obs_ts_ticks_total Sampler ticks.\nobs_ts_ticks_total 1\n"
+        errors = lint(text)
+        self.assertTrue(any("no # TYPE" in e for e in errors), errors)
+
+    def test_dropping_one_help_line_from_slo_fixture_is_flagged(self):
+        broken = "\n".join(
+            line
+            for line in SLO_AND_HISTORY.splitlines()
+            if not line.startswith("# HELP obs_slo_alert_state")
+        )
+        errors = lint(broken)
+        self.assertTrue(
+            any("'obs_slo_alert_state' has # TYPE but no # HELP" in e for e in errors),
+            errors,
+        )
+
+    def test_malformed_and_duplicate_help_are_flagged(self):
+        errors = lint("# HELP obs_ts_ticks_total\n")
+        self.assertTrue(any("malformed # HELP" in e for e in errors), errors)
+        errors = lint(
+            "# HELP hs_x_total One.\n# HELP hs_x_total Two.\n"
+            "# TYPE hs_x_total counter\nhs_x_total 1\n"
+        )
+        self.assertTrue(any("duplicate # HELP" in e for e in errors), errors)
 
 
 class LintTypeLines(unittest.TestCase):
