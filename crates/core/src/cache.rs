@@ -1,7 +1,8 @@
+use hetesim_obs::lockcheck::TrackedRwLock as RwLock;
 use hetesim_sparse::CsrMatrix;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, PoisonError};
 
 pub use hetesim_obs::CacheStats;
 
@@ -86,7 +87,7 @@ impl<T> Entry<T> {
 /// the cache's reference: outstanding [`Arc`]s returned from earlier
 /// lookups keep their data alive until released, and a later lookup of an
 /// evicted key simply rebuilds it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PathCache {
     inner: RwLock<HashMap<String, Entry<Halves>>>,
     /// Materialized products of step *prefixes* (Section 4.6,
@@ -104,6 +105,21 @@ pub struct PathCache {
     evictions: AtomicU64,
     /// Logical clock driving LRU ordering.
     tick: AtomicU64,
+}
+
+impl Default for PathCache {
+    fn default() -> PathCache {
+        PathCache {
+            inner: RwLock::named("core.cache.inner", HashMap::new()),
+            partial: RwLock::named("core.cache.partial", HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            budget: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
 }
 
 impl PathCache {

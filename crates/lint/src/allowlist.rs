@@ -29,14 +29,22 @@ pub struct AllowEntry {
     pub line: u32,
 }
 
-/// One `[[lock-order]]` entry: while a `first` guard is held in `path`,
-/// acquiring `second` is declared safe (that order — and only that
-/// order — is blessed).
+/// One `[[lock-order]]` entry: while a `first` guard is held, acquiring
+/// `second` is declared safe (that order — and only that order — is
+/// blessed). Two forms:
+///
+/// * **Graph form** (preferred): `first`/`second` are full lock-graph
+///   node IDs (`crates/core/src/cache.rs::inner`), blessing the edge
+///   wherever it is observed; `path`, when present, restricts blessing
+///   to acquisition sites in that file.
+/// * **Legacy form**: `first`/`second` are bare receiver names and
+///   `path` (required) is the file the nesting occurs in.
 #[derive(Debug, Clone)]
 pub struct LockOrderEntry {
-    /// Workspace-relative file the order applies to.
+    /// Workspace-relative file (legacy: required; graph form: optional
+    /// site restriction).
     pub path: String,
-    /// Lock held first (field/binding name as it appears in source).
+    /// Lock held first (node ID with `::`, or legacy receiver name).
     pub first: String,
     /// Lock acquired second.
     pub second: String,
@@ -44,6 +52,13 @@ pub struct LockOrderEntry {
     pub justification: String,
     /// Defining line in `lint-allow.toml`.
     pub line: u32,
+}
+
+impl LockOrderEntry {
+    /// Whether the entry uses full lock-graph node IDs.
+    pub fn graph_form(&self) -> bool {
+        self.first.contains("::") || self.second.contains("::")
+    }
 }
 
 /// Parsed allowlist plus per-entry match counters filled during linting.
@@ -184,6 +199,25 @@ impl Allowlist {
                     ),
                 });
             }
+            if e.first.is_empty() || e.second.is_empty() {
+                findings.push(Finding {
+                    pass: Pass::Allowlist,
+                    file: file_label.to_string(),
+                    line: e.line,
+                    message: "[[lock-order]] entry needs both `first` and `second`".to_string(),
+                });
+            } else if !e.graph_form() && e.path.is_empty() {
+                findings.push(Finding {
+                    pass: Pass::Allowlist,
+                    file: file_label.to_string(),
+                    line: e.line,
+                    message: format!(
+                        "[[lock-order]] {} -> {} uses bare names without a `path` — \
+                         use full node IDs (file.rs::name) or add `path`",
+                        e.first, e.second
+                    ),
+                });
+            }
         }
         list.matched = vec![0; list.allows.len()];
         list.lock_matched = vec![0; list.lock_orders.len()];
@@ -203,11 +237,27 @@ impl Allowlist {
         false
     }
 
-    /// Whether acquiring `second` while holding `first` in `file` is a
-    /// declared order; counts the blessing.
-    pub fn order_declared(&mut self, file: &str, first: &str, second: &str) -> bool {
+    /// Whether the edge `first → second` is a declared order; counts the
+    /// blessing. `file` is the acquisition-site file, `first_id` /
+    /// `second_id` are lock-graph node IDs, `first_base` / `second_base`
+    /// the receiver names as written at the site (legacy matching).
+    pub fn order_declared(
+        &mut self,
+        file: &str,
+        first_id: &str,
+        second_id: &str,
+        first_base: &str,
+        second_base: &str,
+    ) -> bool {
         for (i, e) in self.lock_orders.iter().enumerate() {
-            if e.path == file && e.first == first && e.second == second {
+            let hit = if e.graph_form() {
+                e.first == first_id
+                    && e.second == second_id
+                    && (e.path.is_empty() || e.path == file)
+            } else {
+                e.path == file && e.first == first_base && e.second == second_base
+            };
+            if hit {
                 self.lock_matched[i] += 1;
                 return true;
             }

@@ -112,6 +112,24 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 i = ni;
                 line = nl;
             }
+            // Raw identifier `r#type`: one Ident token keeping the `r#`
+            // prefix, so `r#let` is never mistaken for the keyword and
+            // guard names round-trip exactly as written in source.
+            b'r' if i + 2 < b.len()
+                && b[i + 1] == b'#'
+                && (b[i + 2].is_ascii_alphabetic() || b[i + 2] == b'_') =>
+            {
+                let start = i;
+                i += 2;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
             b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
                 let tok_line = line;
                 let (text, ni, nl) = scan_prefixed_string(b, src, i, line);
@@ -460,4 +478,69 @@ fn scan_item(toks: &[Tok], start: usize) -> usize {
         i += 1;
     }
     i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_identifier_is_one_ident_token() {
+        let toks = kinds("let r#match = r#type.lock();");
+        assert!(
+            toks.contains(&(TokKind::Ident, "r#match".to_string())),
+            "{toks:?}"
+        );
+        assert!(
+            toks.contains(&(TokKind::Ident, "r#type".to_string())),
+            "{toks:?}"
+        );
+        // No stray `#` punct between `r` and the name.
+        assert!(
+            !toks.contains(&(TokKind::Ident, "r".to_string())),
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn raw_strings_are_not_raw_identifiers() {
+        let toks = kinds(r###"let s = r#"quoted "inner" text"#;"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1, "{toks:?}");
+        assert!(strs[0].1.contains("inner"));
+    }
+
+    #[test]
+    fn plain_r_variable_still_lexes() {
+        // `r` followed by `#` only fuses when an ident char follows the
+        // hash; `r # [attr]`-style token runs stay separate.
+        let toks = kinds("let r = 1; r");
+        assert!(
+            toks.contains(&(TokKind::Ident, "r".to_string())),
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let toks = kinds("a::b");
+        assert!(
+            toks.contains(&(TokKind::Punct, "::".to_string())),
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn raw_ident_method_chain_shapes_like_a_plain_one() {
+        let raw: Vec<_> = kinds("r#final.lock()")
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let plain: Vec<_> = kinds("guard.lock()").into_iter().map(|(k, _)| k).collect();
+        assert_eq!(raw, plain);
+    }
 }

@@ -5,7 +5,7 @@
 //! hand-rolled concurrency (the serve worker pool, the budgeted-LRU
 //! `PathCache`, the two-phase SpGEMM) must not deadlock; numeric kernels
 //! must stay bit-deterministic; panics must not reach request paths.
-//! This crate machine-checks them with five passes over a hand-rolled,
+//! This crate machine-checks them with seven passes over a hand-rolled,
 //! string/comment-aware token stream (no full parse — token shapes are
 //! enough, see [`lexer`]):
 //!
@@ -26,6 +26,15 @@
 //! * **L4 `lock-discipline`** ([`passes::locks`]) — acquiring a second
 //!   lock while a `.lock()`/`.read()`/`.write()` guard is held requires a
 //!   declared `[[lock-order]]` entry.
+//! * **L6 `lock-graph`** ([`passes::locks`]) — all acquired-while-held
+//!   edges form one workspace-wide directed graph (locks resolved across
+//!   files by declaration); any cycle is a build-failing potential
+//!   deadlock with the full path reported, blessed or not. `--graph-out
+//!   locks.dot|locks.json` exports the graph with topological ranks —
+//!   the total order `hetesim_obs::lockcheck` enforces at runtime.
+//! * **L7 `hold-and-block`** ([`passes::holdblock`]) — no file I/O,
+//!   `Condvar` waits, `thread::join`, or channel `recv` while any lock
+//!   guard is lexically held (allowlist-ratcheted).
 //! * **L5 `determinism`** ([`passes::determinism`]) — no `Instant::now`,
 //!   `SystemTime::now`, or RNG construction inside numeric-kernel files;
 //!   timing belongs behind the `hetesim-obs` facade.
@@ -188,10 +197,16 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 
 /// Runs the full lint using the registry and allowlist files on disk.
 pub fn run(cfg: &Config) -> std::io::Result<Report> {
+    run_full(cfg).map(|(report, _)| report)
+}
+
+/// Runs the full lint from disk, also returning the workspace lock
+/// graph (for `--graph-out`).
+pub fn run_full(cfg: &Config) -> std::io::Result<(Report, passes::locks::LockGraph)> {
     let registry_text = std::fs::read_to_string(cfg.root.join(REGISTRY_PATH)).unwrap_or_default();
     let allowlist_text = std::fs::read_to_string(cfg.root.join(ALLOWLIST_PATH)).unwrap_or_default();
     let files = load_workspace(&cfg.root)?;
-    Ok(run_with(cfg, &files, &registry_text, &allowlist_text))
+    Ok(run_with_graph(cfg, &files, &registry_text, &allowlist_text))
 }
 
 /// Runs the full lint with injected registry/allowlist text — the seam
@@ -203,21 +218,36 @@ pub fn run_with(
     registry_text: &str,
     allowlist_text: &str,
 ) -> Report {
+    run_with_graph(cfg, files, registry_text, allowlist_text).0
+}
+
+/// [`run_with`], also returning the workspace lock graph.
+pub fn run_with_graph(
+    cfg: &Config,
+    files: &[SourceFile],
+    registry_text: &str,
+    allowlist_text: &str,
+) -> (Report, passes::locks::LockGraph) {
     let mut findings: Vec<Finding> = Vec::new();
     let registry = NameRegistry::parse(registry_text, &mut findings, REGISTRY_PATH);
     let mut allow = Allowlist::parse(allowlist_text, &mut findings, ALLOWLIST_PATH);
 
+    // One guard-scope scan per file feeds both lock passes.
+    let scans: Vec<passes::guards::GuardScan> = files.iter().map(passes::guards::scan).collect();
+
     // Passes produce raw findings; the allowlist then gets one chance to
     // suppress each (except allowlist-hygiene findings, which are about
-    // the allowlist itself).
+    // the allowlist itself). The lock pass consults the allowlist
+    // in-pass — a suppressed site must leave the graph before cycle
+    // detection runs.
     let mut raw: Vec<Finding> = Vec::new();
     let names_in_source = passes::obs_names::run(files, &registry, cfg, &mut raw);
     passes::panics::run(files, cfg, &mut raw);
     passes::unsafety::run(files, &mut raw);
-    passes::locks::run(files, &mut allow, &mut raw);
+    let graph = passes::locks::run(files, &scans, &mut allow, &mut raw);
+    passes::holdblock::run(files, &scans, cfg, &mut raw);
     passes::determinism::run(files, cfg, &mut raw);
 
-    let mut matched = 0usize;
     for f in raw {
         // Findings point at .rs sources or at the registry itself
         // (unit-suffix/dead entries); resolve the line either way so the
@@ -231,9 +261,7 @@ pub fn run_with(
                 .map(|s| s.line_text(f.line))
                 .unwrap_or("")
         };
-        if allow.suppresses(&f, line_text) {
-            matched += 1;
-        } else {
+        if !allow.suppresses(&f, line_text) {
             findings.push(f);
         }
     }
@@ -242,15 +270,22 @@ pub fn run_with(
     findings.sort_by(|a, b| {
         (a.pass, &a.file, a.line, &a.message).cmp(&(b.pass, &b.file, b.line, &b.message))
     });
-    Report {
+    let report = Report {
         findings,
         files_scanned: files.len(),
         names_in_source,
         registry_entries: registry.names.len(),
         allowlist_entries: allow.allows.len() + allow.lock_orders.len(),
-        allowlist_matched: matched,
+        // Includes sites the lock pass suppressed in-pass, not just the
+        // generic loop above — both are allowlist matches.
+        allowlist_matched: allow.matched.iter().sum(),
         allowlist_dead: dead,
-    }
+        lock_nodes: graph.nodes.len(),
+        lock_edges: graph.edges.len(),
+        lock_blessed: graph.blessed_edges(),
+        lock_cycles: graph.cycles.len(),
+    };
+    (report, graph)
 }
 
 /// Every obs name used in source (including `span!`-derived field

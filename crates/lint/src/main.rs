@@ -1,11 +1,11 @@
 //! `hetesim-lint` binary — see the crate docs ([`hetesim_lint`]) for the
-//! five passes. Zero dependencies, hand-rolled flag parsing, exit code 1
+//! passes. Zero dependencies, hand-rolled flag parsing, exit code 1
 //! when findings survive the allowlist.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use hetesim_lint::{collect_names, load_workspace, run, Config};
+use hetesim_lint::{collect_names, load_workspace, run_full, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,6 +20,10 @@ OPTIONS:
     --root <PATH>       workspace root (default: current directory)
     --format <FMT>      tree (default) or json
     --out <FILE>        also write the report to FILE
+    --graph-out <FILE>  write the workspace lock graph to FILE; a .dot
+                        extension emits Graphviz DOT, anything else JSON
+                        (repeatable: --graph-out locks.dot --graph-out
+                        locks.json)
     --list-names        print every obs name found in source and exit
                         (for refreshing crates/obs/NAMES.md)
     -h, --help          this text
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut format = String::from("tree");
     let mut out_file: Option<PathBuf> = None;
+    let mut graph_out: Vec<PathBuf> = Vec::new();
     let mut workspace = false;
     let mut list_names = false;
 
@@ -50,6 +55,10 @@ fn main() -> ExitCode {
             "--out" => match args.next() {
                 Some(v) => out_file = Some(PathBuf::from(v)),
                 None => return usage_error("--out needs a file"),
+            },
+            "--graph-out" => match args.next() {
+                Some(v) => graph_out.push(PathBuf::from(v)),
+                None => return usage_error("--graph-out needs a file"),
             },
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -78,7 +87,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = match run(&cfg) {
+    let (report, graph) = match run_full(&cfg) {
         Ok(r) => r,
         Err(e) => return io_error(&root, e),
     };
@@ -91,6 +100,17 @@ fn main() -> ExitCode {
         // The artifact is always JSON regardless of the console format —
         // that is what CI uploads.
         if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("hetesim-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    for path in &graph_out {
+        let body = if path.extension().is_some_and(|e| e == "dot") {
+            graph.to_dot()
+        } else {
+            graph.to_json()
+        };
+        if let Err(e) = std::fs::write(path, body) {
             eprintln!("hetesim-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

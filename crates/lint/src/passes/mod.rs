@@ -1,8 +1,12 @@
-//! The five lint passes. Each is a free function over the tokenized
+//! The lint passes. Each is a free function over the tokenized
 //! workspace appending [`crate::report::Finding`]s; the shared helpers
-//! here keep the token-walking idioms consistent.
+//! here keep the token-walking idioms consistent. [`guards`] is not a
+//! pass but the shared guard-scope scanner that [`locks`] (L4/L6) and
+//! [`holdblock`] (L7) both build on.
 
 pub mod determinism;
+pub mod guards;
+pub mod holdblock;
 pub mod locks;
 pub mod obs_names;
 pub mod panics;

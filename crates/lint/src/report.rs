@@ -13,6 +13,12 @@ pub enum Pass {
     UnsafeAudit,
     /// L4 — nested lock acquisitions must follow a declared order.
     LockDiscipline,
+    /// L6 — the workspace lock graph must be acyclic (potential
+    /// deadlocks report the full cycle path).
+    LockGraph,
+    /// L7 — no blocking calls (I/O, condvar waits, joins, recv) while a
+    /// guard is held.
+    HoldAndBlock,
     /// L5 — no wall clocks or RNG construction in numeric kernels.
     Determinism,
     /// Allowlist hygiene — dead entries, missing justifications.
@@ -27,18 +33,22 @@ impl Pass {
             Pass::PanicFreedom => "panic-freedom",
             Pass::UnsafeAudit => "unsafe-audit",
             Pass::LockDiscipline => "lock-discipline",
+            Pass::LockGraph => "lock-graph",
+            Pass::HoldAndBlock => "hold-and-block",
             Pass::Determinism => "determinism",
             Pass::Allowlist => "allowlist",
         }
     }
 
     /// All passes, report order.
-    pub fn all() -> [Pass; 6] {
+    pub fn all() -> [Pass; 8] {
         [
             Pass::ObsNames,
             Pass::PanicFreedom,
             Pass::UnsafeAudit,
             Pass::LockDiscipline,
+            Pass::LockGraph,
+            Pass::HoldAndBlock,
             Pass::Determinism,
             Pass::Allowlist,
         ]
@@ -76,6 +86,14 @@ pub struct Report {
     pub allowlist_matched: usize,
     /// Allowlist entries that matched nothing (also emitted as findings).
     pub allowlist_dead: usize,
+    /// Lock-graph summary: nodes in the workspace lock graph.
+    pub lock_nodes: usize,
+    /// Lock-graph summary: acquired-while-held edges.
+    pub lock_edges: usize,
+    /// Lock-graph summary: edges blessed by `[[lock-order]]` entries.
+    pub lock_blessed: usize,
+    /// Lock-graph summary: cycles found (each is a finding).
+    pub lock_cycles: usize,
 }
 
 impl Report {
@@ -102,6 +120,11 @@ impl Report {
             self.allowlist_entries,
             self.allowlist_matched,
             self.allowlist_dead,
+        );
+        let _ = writeln!(
+            out,
+            "lock graph: {} node(s), {} edge(s) ({} blessed), {} cycle(s)",
+            self.lock_nodes, self.lock_edges, self.lock_blessed, self.lock_cycles,
         );
         if self.is_clean() {
             let _ = writeln!(out, "clean: all passes green");
@@ -140,6 +163,11 @@ impl Report {
             out,
             "  \"allowlist\": {{\"entries\": {}, \"matched_findings\": {}, \"dead\": {}}},",
             self.allowlist_entries, self.allowlist_matched, self.allowlist_dead
+        );
+        let _ = writeln!(
+            out,
+            "  \"lock_graph\": {{\"nodes\": {}, \"edges\": {}, \"blessed_edges\": {}, \"cycles\": {}}},",
+            self.lock_nodes, self.lock_edges, self.lock_blessed, self.lock_cycles
         );
         out.push_str("  \"passes\": {");
         for (i, pass) in Pass::all().iter().enumerate() {

@@ -3,8 +3,9 @@
 //! These pin down the token-level semantics of each pass — if a lexer or
 //! pass refactor stops flagging any of these, the suite goes red.
 
+use hetesim_lint::passes::locks::LockGraph;
 use hetesim_lint::report::{Pass, Report};
-use hetesim_lint::{run_with, Config, SourceFile};
+use hetesim_lint::{run_with, run_with_graph, Config, SourceFile};
 use std::path::PathBuf;
 
 /// A config scoped like the real workspace policy but with no docs (so
@@ -25,6 +26,16 @@ fn lint_one(rel: &str, krate: &str, src: &str, registry: &str, allow: &str) -> R
 
 fn count(report: &Report, pass: Pass) -> usize {
     report.of(pass).count()
+}
+
+/// Like [`lint_one`] but for multi-file workspaces, returning the lock
+/// graph alongside the report.
+fn lint_files(files: &[(&str, &str, &str)], allow: &str) -> (Report, LockGraph) {
+    let files: Vec<SourceFile> = files
+        .iter()
+        .map(|(rel, krate, src)| SourceFile::from_source(rel, krate, src))
+        .collect();
+    run_with_graph(&cfg(), &files, "", allow)
 }
 
 // --- L1 obs-names ------------------------------------------------------
@@ -390,6 +401,515 @@ fn f(mut r: impl Read, lock: &std::sync::Mutex<u32>) {
     let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
     assert_eq!(
         count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
+}
+
+// --- L4 guard-scope tracking -------------------------------------------
+
+#[test]
+fn l4_if_let_guard_covers_its_block() {
+    // The transient guard from `if let Ok(g) = a.lock()` attaches to the
+    // brace that follows, so an acquisition inside the block nests.
+    let src = r#"
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn f(s: &S) {
+    if let Ok(g) = s.a.lock() {
+        let _h = s.b.lock().unwrap();
+        let _ = *g;
+    }
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        1,
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l4_if_let_guard_dies_at_block_close() {
+    let src = r#"
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn f(s: &S) {
+    if let Ok(g) = s.a.lock() {
+        let _ = *g;
+    }
+    let _h = s.b.lock().unwrap();
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l4_match_on_lock_releases_after_match() {
+    // `match a.lock() { … }` holds the guard for the whole match body and
+    // releases at its closing brace.
+    let src = r#"
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn f(s: &S) {
+    match s.a.lock() {
+        Ok(g) => {
+            let _ = *g;
+        }
+        Err(_) => {}
+    }
+    let _h = s.b.lock().unwrap();
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l4_match_arms_do_not_leak_guards_into_each_other() {
+    let src = r#"
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn f(s: &S, which: bool) {
+    match which {
+        true => {
+            let _g = s.a.lock().unwrap();
+        }
+        false => {
+            let _h = s.b.lock().unwrap();
+        }
+    }
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", src, "", "");
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l4_raw_identifier_guard_is_tracked_and_droppable() {
+    // `r#final` must lex as one identifier for the guard to be named,
+    // held, and then released by `drop(r#final)`.
+    let held = r#"
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn f(s: &S) {
+    let r#final = s.a.lock().unwrap();
+    let _h = s.b.lock().unwrap();
+    let _ = *r#final;
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", held, "", "");
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        1,
+        "{}",
+        report.render_tree()
+    );
+
+    let dropped = r#"
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn f(s: &S) {
+    let r#final = s.a.lock().unwrap();
+    drop(r#final);
+    let _h = s.b.lock().unwrap();
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", dropped, "", "");
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
+}
+
+// --- L6 lock-graph -----------------------------------------------------
+
+const TWO_NODE_CYCLE: &str = r#"
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn forward(s: &S) {
+    let g = s.a.lock().unwrap();
+    let h = s.b.lock().unwrap();
+    let _ = *g + *h;
+}
+fn backward(s: &S) {
+    let g = s.b.lock().unwrap();
+    let h = s.a.lock().unwrap();
+    let _ = *g + *h;
+}
+"#;
+
+#[test]
+fn l6_two_node_cycle_is_a_deadlock_finding() {
+    let (report, graph) = lint_files(&[("crates/core/src/a.rs", "x", TWO_NODE_CYCLE)], "");
+    assert_eq!(
+        count(&report, Pass::LockGraph),
+        1,
+        "{}",
+        report.render_tree()
+    );
+    assert!(report
+        .of(Pass::LockGraph)
+        .any(|f| f.message.contains("potential deadlock")));
+    assert_eq!(graph.nodes.len(), 2);
+    assert_eq!(graph.edges.len(), 2);
+    assert_eq!(graph.cycles.len(), 1);
+}
+
+#[test]
+fn l6_cycle_of_blessed_edges_still_fails() {
+    // [[lock-order]] silences the per-edge discipline findings but the
+    // cycle check runs over every observed edge: two blessed edges that
+    // close a loop are still a deadlock.
+    let allow = r#"
+[[lock-order]]
+first = "crates/core/src/a.rs::a"
+second = "crates/core/src/a.rs::b"
+justification = "fixture: forward direction"
+
+[[lock-order]]
+first = "crates/core/src/a.rs::b"
+second = "crates/core/src/a.rs::a"
+justification = "fixture: backward direction"
+"#;
+    let (report, graph) = lint_files(&[("crates/core/src/a.rs", "x", TWO_NODE_CYCLE)], allow);
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
+    assert_eq!(
+        count(&report, Pass::LockGraph),
+        1,
+        "{}",
+        report.render_tree()
+    );
+    assert_eq!(graph.blessed_edges(), 2);
+    assert_eq!(graph.cycles.len(), 1);
+}
+
+#[test]
+fn l6_suppressed_site_leaves_the_graph_and_breaks_the_cycle() {
+    // A per-site [[allow]] is the one mechanism that removes an edge
+    // before cycle detection — the escape hatch when the "edge" is
+    // provably unreachable (e.g. the two sites can never race).
+    let allow = r#"
+[[lock-order]]
+first = "crates/core/src/a.rs::a"
+second = "crates/core/src/a.rs::b"
+justification = "fixture: the surviving direction"
+
+[[allow]]
+pass = "lock-discipline"
+path = "crates/core/src/a.rs"
+pattern = "let h = s.a.lock()"
+justification = "fixture: pretend backward is unreachable"
+"#;
+    let (report, graph) = lint_files(&[("crates/core/src/a.rs", "x", TWO_NODE_CYCLE)], allow);
+    assert_eq!(
+        count(&report, Pass::LockGraph),
+        0,
+        "{}",
+        report.render_tree()
+    );
+    assert_eq!(
+        count(&report, Pass::LockDiscipline),
+        0,
+        "{}",
+        report.render_tree()
+    );
+    assert_eq!(graph.edges.len(), 1, "suppressed edge must leave the graph");
+    assert_eq!(graph.cycles.len(), 0);
+    assert_eq!(report.allowlist_dead, 0, "{}", report.render_tree());
+}
+
+#[test]
+fn l6_three_node_cycle_reports_the_full_path() {
+    let src = r#"
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32>, c: Mutex<u32> }
+fn ab(s: &S) {
+    let g = s.a.lock().unwrap();
+    let _h = s.b.lock().unwrap();
+    let _ = *g;
+}
+fn bc(s: &S) {
+    let g = s.b.lock().unwrap();
+    let _h = s.c.lock().unwrap();
+    let _ = *g;
+}
+fn ca(s: &S) {
+    let g = s.c.lock().unwrap();
+    let _h = s.a.lock().unwrap();
+    let _ = *g;
+}
+"#;
+    let (report, graph) = lint_files(&[("crates/core/src/a.rs", "x", src)], "");
+    let msg = report
+        .of(Pass::LockGraph)
+        .map(|f| f.message.as_str())
+        .next()
+        .unwrap_or_default()
+        .to_string();
+    assert!(
+        msg.contains("::a") && msg.contains("::b") && msg.contains("::c"),
+        "cycle message must walk the whole loop: {msg}"
+    );
+    assert_eq!(graph.cycles.len(), 1);
+    assert_eq!(graph.cycles[0].len(), 3);
+}
+
+#[test]
+fn l6_cross_file_edges_resolve_to_the_declaring_file() {
+    // forward nests in the declaring file; backward nests in another
+    // file entirely. Both resolve to the same two nodes, closing a
+    // cross-file cycle no single-file view could see.
+    let decl_file = r#"
+use std::sync::Mutex;
+pub struct S { pub a: Mutex<u32>, pub b: Mutex<u32> }
+pub fn forward(s: &S) {
+    let g = s.a.lock().unwrap();
+    let _h = s.b.lock().unwrap();
+    let _ = *g;
+}
+"#;
+    let user_file = r#"
+use crate::a::S;
+pub fn backward(s: &S) {
+    let g = s.b.lock().unwrap();
+    let _h = s.a.lock().unwrap();
+    let _ = *g;
+}
+"#;
+    let (report, graph) = lint_files(
+        &[
+            ("crates/core/src/a.rs", "x", decl_file),
+            ("crates/core/src/user.rs", "x", user_file),
+        ],
+        "",
+    );
+    assert_eq!(graph.nodes.len(), 2, "{}", graph.to_json());
+    assert!(graph
+        .nodes
+        .iter()
+        .all(|n| n.file == "crates/core/src/a.rs" && n.kind == "Mutex"));
+    assert_eq!(graph.cycles.len(), 1);
+    assert_eq!(
+        count(&report, Pass::LockGraph),
+        1,
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l6_dead_lock_order_entry_is_flagged() {
+    let allow = r#"
+[[lock-order]]
+first = "crates/core/src/a.rs::nothing"
+second = "crates/core/src/a.rs::nowhere"
+justification = "fixture: blesses an edge that no longer exists"
+"#;
+    let report = lint_one("crates/core/src/a.rs", "x", "fn f() {}", "", allow);
+    assert_eq!(report.allowlist_dead, 1, "{}", report.render_tree());
+    assert!(report
+        .of(Pass::Allowlist)
+        .any(|f| f.message.contains("dead [[lock-order]] entry")));
+}
+
+#[test]
+fn l6_graph_exports_are_well_formed() {
+    let (_, graph) = lint_files(&[("crates/core/src/a.rs", "x", TWO_NODE_CYCLE)], "");
+    let dot = graph.to_dot();
+    assert!(dot.starts_with("digraph lock_order {"));
+    assert!(dot.trim_end().ends_with('}'));
+    assert_eq!(dot.matches(" -> ").count(), 2, "{dot}");
+    let json = graph.to_json();
+    assert!(json.contains("\"nodes\""));
+    assert!(json.contains("\"edges\""));
+    assert!(json.contains("\"cycles\""));
+    assert!(json.contains("crates/core/src/a.rs::a"));
+}
+
+// --- L7 hold-and-block -------------------------------------------------
+
+#[test]
+fn l7_file_write_under_guard_is_flagged() {
+    let src = r#"
+use std::io::Write;
+use std::sync::Mutex;
+struct S { log: Mutex<std::fs::File> }
+fn f(s: &S) {
+    let mut g = s.log.lock().unwrap();
+    g.write_all(b"x").ok();
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(
+        count(&report, Pass::HoldAndBlock),
+        1,
+        "{}",
+        report.render_tree()
+    );
+    assert!(report
+        .of(Pass::HoldAndBlock)
+        .any(|f| f.message.contains("file/socket write") && f.message.contains("`log` guard")));
+}
+
+#[test]
+fn l7_write_after_drop_is_clean() {
+    let src = r#"
+use std::io::Write;
+use std::sync::Mutex;
+struct S { log: Mutex<u32> }
+fn f(s: &S, mut out: std::fs::File) {
+    let g = s.log.lock().unwrap();
+    let v = *g;
+    drop(g);
+    out.write_all(&v.to_le_bytes()).ok();
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(
+        count(&report, Pass::HoldAndBlock),
+        0,
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l7_channel_recv_and_thread_join_under_guard_are_flagged() {
+    let src = r#"
+use std::sync::Mutex;
+struct S { q: Mutex<u32> }
+fn f(s: &S, rx: std::sync::mpsc::Receiver<u32>, h: std::thread::JoinHandle<()>) {
+    let _g = s.q.lock().unwrap();
+    let _ = rx.recv();
+    let _ = h.join();
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(
+        count(&report, Pass::HoldAndBlock),
+        2,
+        "{}",
+        report.render_tree()
+    );
+    assert!(report
+        .of(Pass::HoldAndBlock)
+        .any(|f| f.message.contains("channel recv")));
+    assert!(report
+        .of(Pass::HoldAndBlock)
+        .any(|f| f.message.contains("thread join")));
+}
+
+#[test]
+fn l7_path_qualified_wait_helper_is_still_a_condvar_wait() {
+    // Wrapping the wait in a free function (`lockcheck::wait_timeout`)
+    // must not hide it from the pass.
+    let src = r#"
+use std::sync::{Condvar, Mutex};
+struct S { q: Mutex<u32> }
+fn f(s: &S, cv: &Condvar, d: std::time::Duration) {
+    let g = s.q.lock().unwrap();
+    let _ = hetesim_obs::lockcheck::wait_timeout(cv, g, d);
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(
+        count(&report, Pass::HoldAndBlock),
+        1,
+        "{}",
+        report.render_tree()
+    );
+    assert!(report
+        .of(Pass::HoldAndBlock)
+        .any(|f| f.message.contains("Condvar wait")));
+}
+
+#[test]
+fn l7_out_of_scope_crate_is_ignored() {
+    let src = r#"
+use std::io::Write;
+use std::sync::Mutex;
+struct S { log: Mutex<std::fs::File> }
+fn f(s: &S) {
+    let mut g = s.log.lock().unwrap();
+    g.write_all(b"x").ok();
+}
+"#;
+    let report = lint_one("crates/bench/src/a.rs", "bench", src, "", "");
+    assert_eq!(
+        count(&report, Pass::HoldAndBlock),
+        0,
+        "{}",
+        report.render_tree()
+    );
+}
+
+#[test]
+fn l7_allowlist_suppresses_with_justification() {
+    let src = r#"
+use std::io::Write;
+use std::sync::Mutex;
+struct S { log: Mutex<std::fs::File> }
+fn f(s: &S) {
+    let mut g = s.log.lock().unwrap();
+    g.write_all(b"x").ok();
+}
+"#;
+    let allow = r#"
+[[allow]]
+pass = "hold-and-block"
+path = "crates/core/src/a.rs"
+pattern = "g.write_all(b\"x\")"
+justification = "fixture: the mutex exists to serialize this write"
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", allow);
+    assert_eq!(
+        count(&report, Pass::HoldAndBlock),
+        0,
+        "{}",
+        report.render_tree()
+    );
+    assert_eq!(report.allowlist_dead, 0, "{}", report.render_tree());
+}
+
+#[test]
+fn l7_blocking_call_with_no_guard_is_clean() {
+    let src = r#"
+use std::io::Write;
+fn f(mut out: std::fs::File) {
+    out.write_all(b"x").ok();
+    out.flush().ok();
+}
+"#;
+    let report = lint_one("crates/core/src/a.rs", "core", src, "", "");
+    assert_eq!(
+        count(&report, Pass::HoldAndBlock),
         0,
         "{}",
         report.render_tree()

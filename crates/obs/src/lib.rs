@@ -72,6 +72,7 @@
 //! ```
 
 mod flame;
+pub mod lockcheck;
 mod profile;
 mod slo;
 mod snapshot;

@@ -8,12 +8,13 @@
 //! `with_threads` SpGEMM pool) never serialize on a single mutex for the
 //! actual increments.
 
+use crate::lockcheck::TrackedRwLock as RwLock;
 use crate::snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
 use crate::HIST_BUCKETS;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// The registry guards only plain maps of `Arc` cells — a panic while one
@@ -89,12 +90,22 @@ struct CounterCell {
     gauge: AtomicBool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Registry {
     /// Keyed by nesting path (`outer/inner`), values aggregated.
     spans: RwLock<HashMap<String, Arc<SpanCell>>>,
     counters: RwLock<HashMap<&'static str, Arc<CounterCell>>>,
     histograms: RwLock<HashMap<&'static str, Arc<AtomicHistogram>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            spans: RwLock::named("obs.registry.spans", HashMap::new()),
+            counters: RwLock::named("obs.registry.counters", HashMap::new()),
+            histograms: RwLock::named("obs.registry.histograms", HashMap::new()),
+        }
+    }
 }
 
 fn registry() -> &'static Registry {

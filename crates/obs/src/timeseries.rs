@@ -23,10 +23,11 @@
 //! thread, no storage, every query empty — so the disabled path costs
 //! exactly nothing, like the rest of the crate.
 
+use crate::lockcheck::TrackedMutex as Mutex;
 use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One downsampling tier: how many base ticks one sample spans, and how
@@ -549,10 +550,10 @@ impl Sampler {
     /// Starts sampling with `cfg`, evaluating `slo` each tick when given.
     pub fn start(cfg: HistoryConfig, slo: Option<crate::SloSpec>) -> Sampler {
         let shared = Arc::new(SamplerShared {
-            history: Mutex::new(History::new(cfg)),
+            history: Mutex::named("obs.timeseries.history", History::new(cfg)),
             stop: AtomicBool::new(false),
             wake: Condvar::new(),
-            wake_guard: Mutex::new(()),
+            wake_guard: Mutex::named("obs.timeseries.wake", ()),
         });
         let thread = if cfg!(feature = "obs") {
             let shared = Arc::clone(&shared);
@@ -598,9 +599,7 @@ fn tick_loop(shared: &SamplerShared, tick_ms: u64, slo: Option<crate::SloSpec>) 
     loop {
         {
             let guard = lock_ok(shared.wake_guard.lock());
-            let (_guard, _timeout) = shared
-                .wake
-                .wait_timeout(guard, period)
+            let (_guard, _timeout) = crate::lockcheck::wait_timeout(&shared.wake, guard, period)
                 .unwrap_or_else(PoisonError::into_inner);
         }
         if shared.stop.load(Ordering::Relaxed) {

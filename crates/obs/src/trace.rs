@@ -26,9 +26,10 @@
 //! span on top of the registry work; with the `obs` cargo feature off,
 //! everything here compiles to empty inlined bodies.
 
+use crate::lockcheck::{TrackedMutex as Mutex, TrackedRwLock as RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError};
 
 /// Trace buffers and sink lists stay structurally sound if a panic lands
 /// while a guard is held (worst case: one half-written trace line), so
@@ -247,7 +248,7 @@ impl RingSink {
     pub fn new(cap: usize) -> RingSink {
         RingSink {
             cap,
-            buf: Mutex::new(VecDeque::new()),
+            buf: Mutex::named("obs.trace.ring", VecDeque::new()),
         }
     }
 
@@ -310,10 +311,13 @@ impl JsonlSink {
         Ok(JsonlSink {
             path,
             max_bytes,
-            state: Mutex::new(JsonlState {
-                file: Some(file),
-                written,
-            }),
+            state: Mutex::named(
+                "obs.trace.jsonl",
+                JsonlState {
+                    file: Some(file),
+                    written,
+                },
+            ),
         })
     }
 }
@@ -418,7 +422,7 @@ pub fn trace_should_capture() -> CaptureDecision {
 
 fn global_sinks() -> &'static RwLock<Vec<Arc<dyn TraceSink>>> {
     static SINKS: OnceLock<RwLock<Vec<Arc<dyn TraceSink>>>> = OnceLock::new();
-    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+    SINKS.get_or_init(|| RwLock::named("obs.trace.sinks", Vec::new()))
 }
 
 /// Registers a process-wide sink receiving every trace passed to

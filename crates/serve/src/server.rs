@@ -20,12 +20,13 @@
 //! drain everything already queued, then joins them.
 
 use crate::http::{read_request, HttpError, Request, Response};
+use hetesim_obs::lockcheck::TrackedMutex as Mutex;
 use hetesim_obs::{FinishedTrace, JsonlSink, RingSink, TraceSink};
 use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Anything that can answer a parsed request. Implemented by
@@ -232,7 +233,8 @@ impl Server {
             config.workers
         };
         let slow_log = match &config.slow_log {
-            Some(path) => Some(Mutex::new(
+            Some(path) => Some(Mutex::named(
+                "serve.server.slow_log",
                 std::fs::OpenOptions::new()
                     .create(true)
                     .append(true)
@@ -276,7 +278,7 @@ impl Server {
             queue_depth: config.queue_depth.max(1),
             deadline: (config.deadline_ms > 0).then(|| Duration::from_millis(config.deadline_ms)),
             shared: Arc::new(Shared {
-                queue: Mutex::new(VecDeque::new()),
+                queue: Mutex::named("serve.server.queue", VecDeque::new()),
                 ready: Condvar::new(),
                 stop: AtomicBool::new(false),
             }),
@@ -393,11 +395,12 @@ impl Server {
                     if self.stopping() {
                         break None;
                     }
-                    let (q, _) = self
-                        .shared
-                        .ready
-                        .wait_timeout(queue, Duration::from_millis(50))
-                        .unwrap_or_else(PoisonError::into_inner);
+                    let (q, _) = hetesim_obs::lockcheck::wait_timeout(
+                        &self.shared.ready,
+                        queue,
+                        Duration::from_millis(50),
+                    )
+                    .unwrap_or_else(PoisonError::into_inner);
                     queue = q;
                 }
             };

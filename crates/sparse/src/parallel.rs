@@ -63,8 +63,9 @@
 use crate::kernel;
 use crate::scratch::{self, Scratch};
 use crate::{check_nnz, CsrMatrix, Result, SparseError};
+use hetesim_obs::lockcheck::TrackedMutex as Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::PoisonError;
 
 pub use crate::kernel::{dense_accumulator_selected, DENSE_GATHER_WORDS_PER_NNZ};
 pub use crate::scratch::arena_resident_bytes;
@@ -103,7 +104,7 @@ pub struct PoolStats {
 }
 
 /// Utilization of the most recent [`two_phase`] run, for [`take_pool_stats`].
-static LAST_POOL_STATS: Mutex<Option<PoolStats>> = Mutex::new(None);
+static LAST_POOL_STATS: Mutex<Option<PoolStats>> = Mutex::named("sparse.parallel.pool_stats", None);
 
 /// Takes (and clears) the per-worker utilization record of the most
 /// recent parallel product. `None` while metrics are disabled or when no

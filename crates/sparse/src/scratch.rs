@@ -25,7 +25,8 @@
 //! While metrics are enabled, the pool's resident bytes are published on
 //! the `sparse.parallel.arena_bytes` gauge after every return.
 
-use std::sync::{Mutex, PoisonError};
+use hetesim_obs::lockcheck::TrackedMutex as Mutex;
+use std::sync::PoisonError;
 
 /// Pooled records beyond this count are dropped instead of retained, so
 /// a burst of wide parallel products cannot pin scratch memory forever.
@@ -81,7 +82,7 @@ impl Scratch {
 
 /// The process-wide pool. Lock discipline: held only for a push/pop,
 /// never while another lock is taken or a kernel runs.
-static POOL: Mutex<Vec<Scratch>> = Mutex::new(Vec::new());
+static POOL: Mutex<Vec<Scratch>> = Mutex::named("sparse.scratch.pool", Vec::new());
 
 /// Takes a scratch record sized for `ncols` output columns, reusing a
 /// pooled one when available.
